@@ -1,0 +1,26 @@
+"""Benchmark: Figure 10 + Table I -- BuzzFlow and Montage makespans.
+
+All three Table I scenarios x both workflows x all four strategies over
+32 nodes / 4 DCs.  Shapes: decentralized strategies win the
+metadata-intensive scenarios (paper: 15 % BuzzFlow / 28 % Montage gain
+for DR over the baseline); replicated is competitive on computation-
+intensive runs; strategy spread shrinks at small scale.
+"""
+
+from repro.experiments.fig10_workflows import PAPER_GAINS, run_fig10
+from repro.metadata.controller import StrategyName
+
+
+def test_fig10_workflows(benchmark, echo):
+    result = benchmark.pedantic(
+        lambda: run_fig10(scenarios=("SS", "CI", "MI")),
+        rounds=1,
+        iterations=1,
+    )
+    echo(result)
+    props = result.properties()
+    assert not any("MISS" in line for line in props), "\n".join(props)
+    for wf, paper_gain in PAPER_GAINS.items():
+        measured = result.gain(wf, "MI", StrategyName.HYBRID)
+        benchmark.extra_info[f"{wf}_mi_dr_gain"] = round(measured, 3)
+        benchmark.extra_info[f"{wf}_mi_dr_gain_paper"] = paper_gain

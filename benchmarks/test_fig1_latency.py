@@ -1,0 +1,26 @@
+"""Benchmark: Figure 1 -- remote vs local metadata operation cost.
+
+Paper parameters exactly: 100/500/1000/5000 files posted from West
+Europe to a registry at three distances.  Shape to reproduce: remote
+operations are orders of magnitude slower than local ones.
+"""
+
+from repro.experiments.fig1_latency import PAPER_FILE_COUNTS, run_fig1
+
+
+def test_fig1_latency(benchmark, echo):
+    result = benchmark.pedantic(
+        lambda: run_fig1(file_counts=PAPER_FILE_COUNTS),
+        rounds=1,
+        iterations=1,
+    )
+    echo(result)
+    # Headline property: the paper's "orders of magnitude" remote cost.
+    assert result.ratio(5000, "distant region") >= 10
+    assert result.ratio(5000, "same region") >= 3
+    # Monotone in file count for every placement.
+    for series in result.times.values():
+        assert all(a < b for a, b in zip(series, series[1:]))
+    benchmark.extra_info["ratio_distant_5000"] = result.ratio(
+        5000, "distant region"
+    )

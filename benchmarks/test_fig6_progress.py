@@ -1,0 +1,24 @@
+"""Benchmark: Figure 6 -- completion progress, DN vs DR vs centralized.
+
+32 nodes, 4,000 ops/node (paper zooms into the Fig. 5 run).  Shapes to
+reproduce: DR >= ~1.25x speedup over DN in the 20-70 % window; the
+centralized curve decelerates; site centrality ordering (East US best,
+South Central US worst).
+"""
+
+from repro.experiments.fig6_progress import run_fig6
+
+
+def test_fig6_progress(benchmark, echo):
+    result = benchmark.pedantic(
+        lambda: run_fig6(n_nodes=32, ops_per_node=4000),
+        rounds=1,
+        iterations=1,
+    )
+    echo(result)
+    props = result.properties()
+    assert not any("MISS" in line for line in props), "\n".join(props)
+    benchmark.extra_info["dr_vs_dn_speedup_20_70"] = round(
+        result.speedup(), 3
+    )
+    assert result.speedup() >= 1.25

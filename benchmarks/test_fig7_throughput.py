@@ -1,0 +1,27 @@
+"""Benchmark: Figure 7 -- metadata throughput, 8 -> 128 nodes.
+
+Full node sweep as in the paper; 1,000 ops/node (paper: 5,000 -- the
+throughput metric is rate-based, so the shorter run measures the same
+steady state).  Shapes: decentralized ~linear scaling toward the ~1,150
+ops/s region; replicated stops scaling past 32 nodes; centralized
+capped by its single instance.
+"""
+
+from repro.experiments.fig7_throughput import run_fig7
+from repro.metadata.controller import StrategyName
+
+
+def test_fig7_throughput(benchmark, echo):
+    result = benchmark.pedantic(
+        lambda: run_fig7(
+            node_counts=(8, 16, 32, 64, 128), ops_per_node=1000
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    echo(result)
+    props = result.properties()
+    assert not any("MISS" in line for line in props), "\n".join(props)
+    peak = result.throughput[StrategyName.DECENTRALIZED][-1]
+    benchmark.extra_info["decentralized_peak_ops_per_s"] = round(peak, 1)
+    benchmark.extra_info["paper_peak_ops_per_s"] = 1150

@@ -1,0 +1,21 @@
+"""Benchmark: Figure 8 -- fixed 32,000-operation workload, 8 -> 128 nodes.
+
+Paper parameters exactly.  Shapes: centralized and decentralized enjoy
+a ~linear time gain as nodes grow; replicated degrades at larger scale.
+"""
+
+from repro.experiments.fig8_scalability import PAPER_TOTAL_OPS, run_fig8
+
+
+def test_fig8_scalability(benchmark, echo):
+    result = benchmark.pedantic(
+        lambda: run_fig8(
+            node_counts=(8, 16, 32, 64, 128), total_ops=PAPER_TOTAL_OPS
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    echo(result)
+    props = result.properties()
+    assert not any("MISS" in line for line in props), "\n".join(props)
+    benchmark.extra_info["total_ops"] = PAPER_TOTAL_OPS

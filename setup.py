@@ -1,0 +1,21 @@
+"""Setup shim for environments without the `wheel` package.
+
+The canonical metadata lives in pyproject.toml; this file exists so
+`pip install -e . --no-use-pep517 --no-build-isolation` works offline
+(legacy `setup.py develop` does not require bdist_wheel).
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=(
+        "Multi-site metadata management for geographically distributed "
+        "cloud workflows (CLUSTER 2015 reproduction)"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.9",
+    install_requires=["numpy>=1.21"],
+)

@@ -1,0 +1,85 @@
+"""repro: multi-site metadata management for geo-distributed cloud workflows.
+
+A full reproduction of Pineda-Morales, Costan & Antoniu, *Towards
+Multi-site Metadata Management for Geographically Distributed Cloud
+Workflows* (IEEE CLUSTER 2015), built on a discrete-event simulated
+multi-site cloud.
+
+Quickstart::
+
+    from repro import Deployment, ArchitectureController, RegistryEntry
+
+    dep = Deployment(n_nodes=32, seed=7)
+    ctrl = ArchitectureController(dep, strategy="hybrid")
+
+    def publish(env):
+        entry = RegistryEntry(key="image-001.fits")
+        stored = yield from ctrl.write("west-europe", entry)
+        found = yield from ctrl.read("east-us", "image-001.fits",
+                                     require_found=True)
+
+    dep.run_process(publish(dep.env))
+
+See DESIGN.md for the architecture and EXPERIMENTS.md for the
+paper-versus-measured results.
+"""
+
+from repro.cloud import (
+    AZURE_4DC,
+    CloudTopology,
+    Datacenter,
+    Deployment,
+    Distance,
+    Network,
+    Region,
+    VirtualMachine,
+    azure_4dc_topology,
+    make_topology,
+)
+from repro.metadata import (
+    ArchitectureController,
+    CacheManager,
+    CentralizedStrategy,
+    ConsistentHashRing,
+    DecentralizedStrategy,
+    HybridStrategy,
+    MetadataConfig,
+    MetadataRegistry,
+    MetadataStrategy,
+    OpKind,
+    OpStats,
+    RegistryEntry,
+    ReplicatedStrategy,
+    StrategyName,
+)
+from repro.sim import Environment
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AZURE_4DC",
+    "ArchitectureController",
+    "CacheManager",
+    "CentralizedStrategy",
+    "CloudTopology",
+    "ConsistentHashRing",
+    "Datacenter",
+    "DecentralizedStrategy",
+    "Deployment",
+    "Distance",
+    "Environment",
+    "HybridStrategy",
+    "MetadataConfig",
+    "MetadataRegistry",
+    "MetadataStrategy",
+    "Network",
+    "OpKind",
+    "OpStats",
+    "Region",
+    "RegistryEntry",
+    "ReplicatedStrategy",
+    "StrategyName",
+    "VirtualMachine",
+    "azure_4dc_topology",
+    "make_topology",
+]

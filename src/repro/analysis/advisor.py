@@ -1,0 +1,129 @@
+"""Which strategy fits what type of workflow on what kind of deployment?
+
+Codifies the Section VII best-match analysis:
+
+- **centralized**: small-scale workflows -- few tens of nodes, at most
+  ~500 files each, single site;
+- **replicated**: average sets of very large files, infrequent metadata
+  operations (the sync agent keeps up, everything is local);
+- **decentralized (non-replicated)**: many small files, high degree of
+  parallelism (scatter/gather), tasks and data widely distributed;
+- **hybrid (decentralized + local replication)**: many small files with
+  a larger proportion of *sequential* jobs (pipeline patterns), where
+  consecutive tasks scheduled in the same datacenter find metadata
+  locally.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.metadata.controller import StrategyName
+from repro.util.units import MB
+from repro.workflow.dag import Workflow
+
+__all__ = ["WorkloadProfile", "profile_workflow", "recommend_strategy"]
+
+#: Above this mean file size the workflow counts as "very large files".
+LARGE_FILE_THRESHOLD = 64 * MB
+#: At or below this ops-per-task level the workflow is metadata-light.
+LOW_OPS_THRESHOLD = 500
+#: Parallelism ratio (max level width / total tasks) splitting
+#: scatter-like from pipeline-like workflows.
+PARALLEL_RATIO = 0.30
+
+
+@dataclass(frozen=True)
+class WorkloadProfile:
+    """The features the Section VII analysis keys on."""
+
+    n_sites: int
+    n_nodes: int
+    ops_per_task: float
+    mean_file_size: float
+    #: Fraction of tasks in the widest parallel wave.
+    parallelism_ratio: float
+    n_tasks: int
+
+    def __post_init__(self):
+        if self.n_sites <= 0 or self.n_nodes <= 0:
+            raise ValueError("n_sites and n_nodes must be positive")
+        if not 0 <= self.parallelism_ratio <= 1:
+            raise ValueError("parallelism_ratio must be in [0, 1]")
+
+
+def profile_workflow(
+    workflow: Workflow, n_sites: int, n_nodes: int
+) -> WorkloadProfile:
+    """Extract a :class:`WorkloadProfile` from a workflow DAG."""
+    tasks = list(workflow)
+    n_tasks = len(tasks)
+    if n_tasks == 0:
+        raise ValueError("empty workflow")
+    files = [f for t in tasks for f in list(t.inputs) + list(t.outputs)]
+    mean_size = (
+        sum(f.size for f in files) / len(files) if files else 0.0
+    )
+    widest = max(len(level) for level in workflow.levels())
+    return WorkloadProfile(
+        n_sites=n_sites,
+        n_nodes=n_nodes,
+        ops_per_task=workflow.total_metadata_ops / n_tasks,
+        mean_file_size=mean_size,
+        parallelism_ratio=widest / n_tasks,
+        n_tasks=n_tasks,
+    )
+
+
+def recommend_strategy(
+    profile: WorkloadProfile,
+) -> Tuple[str, List[str]]:
+    """Return (strategy name, human-readable reasons) for a profile.
+
+    Decision procedure, in the paper's order of precedence:
+
+    1. single site, or small scale -> centralized;
+    2. few very large files / infrequent metadata ops -> replicated;
+    3. many small files + high parallelism -> decentralized;
+    4. many small files + mostly sequential -> hybrid.
+    """
+    reasons: List[str] = []
+
+    if profile.n_sites == 1:
+        reasons.append("single-site deployment: WAN latency is irrelevant")
+        return StrategyName.CENTRALIZED, reasons
+    if profile.n_nodes <= 32 and profile.ops_per_task <= LOW_OPS_THRESHOLD and (
+        profile.n_tasks * profile.ops_per_task <= 16_000
+    ):
+        reasons.append(
+            "small scale (few tens of nodes, <=500 ops/task): "
+            "intra-DC latency and data/metadata proximity dominate"
+        )
+        return StrategyName.CENTRALIZED, reasons
+
+    if (
+        profile.mean_file_size >= LARGE_FILE_THRESHOLD
+        and profile.ops_per_task <= LOW_OPS_THRESHOLD
+    ):
+        reasons.append(
+            "few very large files with infrequent metadata operations: "
+            "the synchronization agent has time to keep replicas "
+            "consistent and every op stays local"
+        )
+        return StrategyName.REPLICATED, reasons
+
+    if profile.parallelism_ratio >= PARALLEL_RATIO:
+        reasons.append(
+            "many small files with a high degree of parallelism "
+            "(scatter/gather): hash partitioning preserves throughput "
+            "at scale"
+        )
+        return StrategyName.DECENTRALIZED, reasons
+
+    reasons.append(
+        "many small files with mostly sequential (pipeline) stages: "
+        "local replicas make consecutive same-site tasks' metadata "
+        "reads local"
+    )
+    return StrategyName.HYBRID, reasons

@@ -1,0 +1,85 @@
+"""Result export: persist experiment outcomes as JSON.
+
+Experiments produce rich in-memory objects (op traces, per-task
+records, figure series); this module flattens them to JSON documents
+so results can be archived, diffed across calibrations and loaded into
+external analysis stacks.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, List, Union
+
+from repro.analysis.metrics import summarize_ops
+from repro.metadata.stats import OpStats
+from repro.workflow.engine import TaskResult, WorkflowResult
+
+__all__ = [
+    "export_json",
+    "ops_to_records",
+    "workflow_result_to_dict",
+]
+
+
+def ops_to_records(stats: OpStats, limit: int = 0) -> List[Dict[str, Any]]:
+    """Flatten an op trace to dicts (optionally only the first N)."""
+    records = stats.records[:limit] if limit else stats.records
+    return [
+        {
+            "kind": r.kind.value,
+            "key": r.key,
+            "site": r.site,
+            "started_at": r.started_at,
+            "finished_at": r.finished_at,
+            "latency": r.latency,
+            "local": r.local,
+            "found": r.found,
+            "retries": r.retries,
+        }
+        for r in records
+    ]
+
+
+def _task_result_to_dict(r: TaskResult) -> Dict[str, Any]:
+    return {
+        "task_id": r.task_id,
+        "vm": r.vm,
+        "site": r.site,
+        "started_at": r.started_at,
+        "finished_at": r.finished_at,
+        "duration": r.duration,
+        "metadata_time": r.metadata_time,
+        "transfer_time": r.transfer_time,
+        "compute_time": r.compute_time,
+    }
+
+
+def workflow_result_to_dict(
+    result: WorkflowResult, include_ops: bool = False
+) -> Dict[str, Any]:
+    """Flatten a workflow run, with headline op metrics always included."""
+    doc: Dict[str, Any] = {
+        "workflow": result.workflow,
+        "strategy": result.strategy,
+        "makespan": result.makespan,
+        "total_metadata_time": result.total_metadata_time,
+        "total_transfer_time": result.total_transfer_time,
+        "tasks_per_site": result.tasks_per_site(),
+        "tasks": [_task_result_to_dict(r) for r in result.task_results],
+    }
+    if result.ops is not None:
+        doc["op_metrics"] = summarize_ops(result.ops).as_dict()
+        if include_ops:
+            doc["ops"] = ops_to_records(result.ops)
+    return doc
+
+
+def export_json(obj: Any, path: Union[str, Path]) -> None:
+    """Write any JSON-compatible document (or WorkflowResult) to disk."""
+    if isinstance(obj, WorkflowResult):
+        obj = workflow_result_to_dict(obj)
+    Path(path).write_text(
+        json.dumps(obj, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )

@@ -1,0 +1,52 @@
+"""Aggregate metrics over operation traces and workflow results."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.metadata.stats import OpKind, OpStats
+
+__all__ = ["RunMetrics", "summarize_ops"]
+
+
+@dataclass(frozen=True)
+class RunMetrics:
+    """Headline numbers of one experiment run."""
+
+    total_ops: int
+    makespan: float
+    throughput: float
+    mean_read_latency: float
+    mean_write_latency: float
+    p99_latency: float
+    local_fraction: float
+    total_retries: int
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "total_ops": self.total_ops,
+            "makespan": self.makespan,
+            "throughput": self.throughput,
+            "mean_read_latency": self.mean_read_latency,
+            "mean_write_latency": self.mean_write_latency,
+            "p99_latency": self.p99_latency,
+            "local_fraction": self.local_fraction,
+            "total_retries": self.total_retries,
+        }
+
+
+def summarize_ops(stats: OpStats) -> RunMetrics:
+    """Collapse an :class:`OpStats` trace into headline metrics."""
+    return RunMetrics(
+        total_ops=stats.count,
+        makespan=stats.makespan(),
+        throughput=stats.throughput(),
+        mean_read_latency=stats.mean_latency(OpKind.READ),
+        mean_write_latency=stats.mean_latency(OpKind.WRITE),
+        p99_latency=stats.latency_percentile(99),
+        local_fraction=stats.local_fraction,
+        total_retries=stats.total_retries,
+    )

@@ -1,0 +1,111 @@
+"""Analytic queueing models for validating the simulator.
+
+The registry instances are single-server queues fed by a closed
+population of clients -- a textbook *machine-repairman* (closed M/M/1//N)
+system.  This module computes the analytic predictions so tests can
+check the discrete-event simulator against theory:
+
+- :func:`mm1_utilization`, :func:`mm1_mean_wait` -- open M/M/1 formulas
+  for the registry under Poisson-ish load;
+- :func:`closed_network_throughput` -- the classic machine-repairman
+  fixed point for N clients with think time Z cycling through a server
+  with mean service time S; also yields the asymptotic bound
+  ``min(N / (Z + S), 1 / S)`` that explains both regimes of Fig. 7:
+  the client-bound linear ramp and the server-bound plateau;
+- :func:`saturation_point` -- the node count where a strategy's
+  registry capacity stops the linear ramp (the knee of the paper's
+  throughput curves).
+
+These are *models of the model*: they deliberately ignore WAN jitter
+and non-exponential service, so agreement within ~10-15 % is the
+expected outcome (asserted in ``tests/analysis/test_queueing.py``).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Tuple
+
+__all__ = [
+    "closed_network_throughput",
+    "mm1_mean_wait",
+    "mm1_utilization",
+    "saturation_point",
+    "throughput_upper_bound",
+]
+
+
+def mm1_utilization(arrival_rate: float, service_time: float) -> float:
+    """Offered load rho = lambda * S of an M/M/1 server."""
+    if arrival_rate < 0 or service_time <= 0:
+        raise ValueError("arrival_rate >= 0 and service_time > 0 required")
+    return arrival_rate * service_time
+
+
+def mm1_mean_wait(arrival_rate: float, service_time: float) -> float:
+    """Mean time in system (wait + service) of a stable M/M/1 queue.
+
+    Returns ``inf`` for rho >= 1 (saturated).
+    """
+    rho = mm1_utilization(arrival_rate, service_time)
+    if rho >= 1.0:
+        return float("inf")
+    return service_time / (1.0 - rho)
+
+
+def throughput_upper_bound(
+    n_clients: int, think_time: float, service_time: float
+) -> float:
+    """The two-regime asymptotic bound of a closed single-server system.
+
+    ``min(N / (Z + S), 1 / S)``: linear in N while client-bound, capped
+    at the server rate once saturated.
+    """
+    if n_clients <= 0:
+        raise ValueError("n_clients must be positive")
+    if think_time < 0 or service_time <= 0:
+        raise ValueError("think_time >= 0 and service_time > 0 required")
+    return min(
+        n_clients / (think_time + service_time), 1.0 / service_time
+    )
+
+
+def closed_network_throughput(
+    n_clients: int, think_time: float, service_time: float
+) -> Tuple[float, float]:
+    """Exact machine-repairman throughput and mean response time.
+
+    N clients cycle: think for Z (exponential), then queue at one
+    exponential server with mean S.  Uses the standard recursive MVA
+    (mean value analysis) for a closed network with one queueing
+    station and one delay station.
+
+    Returns ``(throughput, mean_response_time_at_server)``.
+    """
+    if n_clients <= 0:
+        raise ValueError("n_clients must be positive")
+    if think_time < 0 or service_time <= 0:
+        raise ValueError("think_time >= 0 and service_time > 0 required")
+    q = 0.0  # mean queue length at the server
+    throughput = 0.0
+    response = service_time
+    for n in range(1, n_clients + 1):
+        response = service_time * (1.0 + q)
+        throughput = n / (think_time + response)
+        q = throughput * response
+    return throughput, response
+
+
+def saturation_point(think_time: float, service_time: float) -> float:
+    """The client count N* where the two asymptotes of the closed
+    system cross: ``N* = (Z + S) / S``.
+
+    Below N* the system is client-bound (throughput ~ N / (Z+S));
+    above, server-bound (throughput ~ 1/S).  For the paper's Fig. 7:
+    with a remote-op think time of ~100 ms and ~3 ms of service, the
+    centralized instance saturates around N* ~ 35 clients -- which is
+    why its curve flattens right past the 32-node run.
+    """
+    if think_time < 0 or service_time <= 0:
+        raise ValueError("think_time >= 0 and service_time > 0 required")
+    return (think_time + service_time) / service_time

@@ -1,0 +1,264 @@
+"""Command-line interface.
+
+::
+
+    python -m repro.cli figures [--quick] [--only fig7]
+    python -m repro.cli simulate --strategy dr --nodes 32 --ops 1000
+    python -m repro.cli advise --workflow montage --ops 1000
+    python -m repro.cli advise --file my_workflow.json
+    python -m repro.cli run --workflow montage --strategy dr --export out.json
+    python -m repro.cli strategies
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.analysis.advisor import profile_workflow, recommend_strategy
+from repro.experiments import (
+    run_fig1,
+    run_fig3,
+    run_fig5,
+    run_fig6,
+    run_fig7,
+    run_fig8,
+    run_fig10,
+)
+from repro.experiments.charts import bar_chart
+from repro.experiments.reporting import render_table
+from repro.experiments.synthetic import run_synthetic_workload
+from repro.metadata.controller import STRATEGIES, StrategyName
+from repro.workflow.applications import buzzflow, montage
+from repro.workflow.serialization import load_workflow
+from repro.workflow.traces import characterize
+
+__all__ = ["main", "build_parser"]
+
+FIGURES = {
+    "fig1": lambda quick: run_fig1(
+        file_counts=(100, 500, 1000) if quick else (100, 500, 1000, 5000)
+    ),
+    "fig3": lambda quick: run_fig3(),
+    "fig5": lambda quick: run_fig5(
+        ops_per_node=(100, 250, 500, 1000) if quick else (500, 1000, 5000, 10000),
+        n_nodes=32,
+    ),
+    "fig6": lambda quick: run_fig6(
+        n_nodes=32, ops_per_node=1500 if quick else 5000
+    ),
+    "fig7": lambda quick: run_fig7(
+        node_counts=(8, 16, 32, 64) if quick else (8, 16, 32, 64, 128),
+        ops_per_node=500 if quick else 5000,
+    ),
+    "fig8": lambda quick: run_fig8(
+        node_counts=(8, 16, 32, 64) if quick else (8, 16, 32, 64, 128),
+        total_ops=8000 if quick else 32000,
+    ),
+    "fig10": lambda quick: run_fig10(
+        scenarios=("SS", "MI") if quick else ("SS", "CI", "MI")
+    ),
+}
+
+WORKFLOWS = {"montage": montage, "buzzflow": buzzflow}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    figs = sub.add_parser(
+        "figures", help="regenerate the paper's evaluation figures"
+    )
+    figs.add_argument("--quick", action="store_true")
+    figs.add_argument(
+        "--only",
+        choices=sorted(FIGURES),
+        help="run a single figure instead of all",
+    )
+
+    sim = sub.add_parser(
+        "simulate", help="run the synthetic reader/writer benchmark"
+    )
+    sim.add_argument(
+        "--strategy",
+        default="hybrid",
+        help="strategy name or alias (dn, dr, baseline, subtree, ...)",
+    )
+    sim.add_argument("--nodes", type=int, default=32)
+    sim.add_argument("--ops", type=int, default=1000)
+    sim.add_argument("--seed", type=int, default=0)
+
+    adv = sub.add_parser(
+        "advise", help="characterize a workflow and recommend a strategy"
+    )
+    target = adv.add_mutually_exclusive_group(required=True)
+    target.add_argument("--workflow", choices=sorted(WORKFLOWS))
+    target.add_argument("--file", help="path to a workflow JSON document")
+    adv.add_argument("--ops", type=int, default=1000)
+    adv.add_argument("--nodes", type=int, default=32)
+
+    runp = sub.add_parser(
+        "run", help="execute a workflow under a strategy and report"
+    )
+    rtarget = runp.add_mutually_exclusive_group(required=True)
+    rtarget.add_argument("--workflow", choices=sorted(WORKFLOWS))
+    rtarget.add_argument("--file", help="path to a workflow JSON document")
+    runp.add_argument("--strategy", default="hybrid")
+    runp.add_argument("--nodes", type=int, default=32)
+    runp.add_argument("--ops", type=int, default=100)
+    runp.add_argument("--seed", type=int, default=7)
+    runp.add_argument(
+        "--export", metavar="PATH", help="write the run result as JSON"
+    )
+
+    sub.add_parser("strategies", help="list available strategies")
+    return parser
+
+
+def _resolve_workflow(args):
+    if getattr(args, "file", None):
+        return load_workflow(args.file)
+    return WORKFLOWS[args.workflow](ops_per_task=args.ops)
+
+
+def _cmd_figures(args) -> int:
+    names = [args.only] if args.only else sorted(FIGURES)
+    for name in names:
+        result = FIGURES[name](args.quick)
+        print(f"\n=== {name} ===")
+        print(result.render())
+    return 0
+
+
+def _cmd_simulate(args) -> int:
+    res = run_synthetic_workload(
+        args.strategy,
+        n_nodes=args.nodes,
+        ops_per_node=args.ops,
+        seed=args.seed,
+    )
+    print(
+        render_table(
+            ["metric", "value"],
+            [
+                ["strategy", res.strategy],
+                ["nodes", res.n_nodes],
+                ["total ops", res.total_ops],
+                ["makespan (s)", res.makespan],
+                ["throughput (ops/s)", res.throughput],
+                ["mean node time (s)", res.mean_node_time],
+                ["local fraction", f"{res.ops.local_fraction:.0%}"],
+                ["read retries", res.ops.total_retries],
+            ],
+            title="synthetic reader/writer benchmark",
+        )
+    )
+    print()
+    print(
+        bar_chart(
+            sorted(res.node_time_by_site().items()),
+            title="mean node time by site (s)",
+            width=40,
+        )
+    )
+    return 0
+
+
+def _cmd_advise(args) -> int:
+    wf = _resolve_workflow(args)
+    ch = characterize(wf)
+    print(
+        render_table(
+            ["feature", "value"],
+            [
+                ["tasks", ch.n_tasks],
+                ["files", ch.n_files],
+                ["mean file size (B)", ch.mean_file_size],
+                ["small-file fraction", f"{ch.small_file_fraction:.0%}"],
+                ["ops per task", ch.metadata_ops_per_task],
+                ["read/write ratio", ch.read_write_ratio],
+                ["dominant pattern", ch.dominant_pattern],
+                ["metadata-intensive", ch.is_metadata_intensive()],
+            ],
+            title=f"characterization: {wf.name}",
+        )
+    )
+    prof = profile_workflow(wf, n_sites=4, n_nodes=args.nodes)
+    strategy, reasons = recommend_strategy(prof)
+    print(f"\nrecommended strategy: {strategy}")
+    for r in reasons:
+        print(f"  - {r}")
+    return 0
+
+
+def _cmd_run(args) -> int:
+    from repro.analysis.export import export_json
+    from repro.cloud.deployment import Deployment
+    from repro.metadata.controller import ArchitectureController
+    from repro.workflow.engine import WorkflowEngine
+
+    wf = _resolve_workflow(args)
+    dep = Deployment(n_nodes=args.nodes, seed=args.seed)
+    ctrl = ArchitectureController(dep, strategy=args.strategy)
+    engine = WorkflowEngine(dep, ctrl.strategy)
+    res = engine.run(wf)
+    ctrl.shutdown()
+    print(
+        render_table(
+            ["metric", "value"],
+            [
+                ["workflow", res.workflow],
+                ["strategy", res.strategy],
+                ["tasks", len(res.task_results)],
+                ["makespan (s)", res.makespan],
+                ["metadata time (s)", res.total_metadata_time],
+                ["transfer time (s)", res.total_transfer_time],
+                ["local ops", f"{res.ops.local_fraction:.0%}"],
+            ],
+            title=f"run: {wf.name} under {ctrl.strategy.name}",
+        )
+    )
+    print()
+    print(
+        bar_chart(
+            sorted(res.tasks_per_site().items()),
+            title="tasks per site",
+            width=40,
+        )
+    )
+    if args.export:
+        export_json(res, args.export)
+        print(f"\nresult written to {args.export}")
+    return 0
+
+
+def _cmd_strategies(_args) -> int:
+    rows = []
+    for name in sorted(STRATEGIES):
+        cls = STRATEGIES[name]
+        doc = (cls.__doc__ or "").strip().splitlines()[0]
+        core = "core" if name in StrategyName.all() else "extension"
+        rows.append([name, core, doc])
+    print(render_table(["name", "kind", "summary"], rows))
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "figures": _cmd_figures,
+        "simulate": _cmd_simulate,
+        "advise": _cmd_advise,
+        "run": _cmd_run,
+        "strategies": _cmd_strategies,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

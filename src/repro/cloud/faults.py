@@ -1,0 +1,166 @@
+"""Fault injection for resilience experiments.
+
+The paper's opening motivation for multi-site deployments includes
+"resilience to failures"; its cache tier is explicitly HA (primary +
+replica, Section III-B).  This module schedules failures against a
+running deployment so tests and experiments can measure how the
+metadata service behaves through them:
+
+- :class:`CacheFailureInjector` -- kills registry cache primaries (and
+  optionally replicas) on a schedule, exercising the promote-and-
+  repopulate path;
+- :class:`LatencySpikeInjector` -- temporarily inflates one WAN link's
+  latency (a transatlantic brown-out), exercising the sensitivity of
+  each strategy to a single slow path;
+- :class:`SiteOutage` -- marks a whole site's registry unreachable for
+  a window by inflating its service latency to the outage duration
+  (requests queue and drain when the site returns).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Generator, List, Optional
+
+from repro.sim import Environment
+from repro.cloud.network import Network
+from repro.cloud.topology import CloudTopology
+
+__all__ = [
+    "CacheFailureInjector",
+    "FaultEvent",
+    "LatencySpikeInjector",
+    "SiteOutage",
+]
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One injected fault, for post-run reporting."""
+
+    at: float
+    kind: str
+    target: str
+    detail: str = ""
+
+
+class CacheFailureInjector:
+    """Kill cache primaries at fixed simulated times.
+
+    >>> injector = CacheFailureInjector(env, strategy.registries,
+    ...                                 schedule=[(5.0, "west-europe")])
+    """
+
+    def __init__(
+        self,
+        env: Environment,
+        registries: Dict[str, "object"],
+        schedule: List[tuple],
+    ):
+        self.env = env
+        self.registries = registries
+        self.events: List[FaultEvent] = []
+        for at, site in schedule:
+            if site not in registries:
+                raise ValueError(f"no registry at {site!r}")
+            env.process(
+                self._fail_at(at, site), name=f"fault-cache-{site}"
+            )
+
+    def _fail_at(self, at: float, site: str) -> Generator:
+        yield self.env.timeout(at)
+        self.registries[site].cache.fail_primary()
+        self.events.append(
+            FaultEvent(self.env.now, "cache-primary-failure", site)
+        )
+
+
+class LatencySpikeInjector:
+    """Inflate one link's latency for a window, then restore it."""
+
+    def __init__(
+        self,
+        env: Environment,
+        topology: CloudTopology,
+        a: str,
+        b: str,
+        start: float,
+        duration: float,
+        factor: float = 10.0,
+    ):
+        if duration <= 0 or factor <= 0:
+            raise ValueError("duration and factor must be positive")
+        self.env = env
+        self.topology = topology
+        self.events: List[FaultEvent] = []
+        env.process(
+            self._spike(a, b, start, duration, factor),
+            name=f"fault-latency-{a}-{b}",
+        )
+
+    def _spike(
+        self, a: str, b: str, start: float, duration: float, factor: float
+    ) -> Generator:
+        yield self.env.timeout(start)
+        fwd = self.topology.link(a, b)
+        bwd = self.topology.link(b, a)
+        original = (fwd.latency, bwd.latency)
+        fwd.latency *= factor
+        bwd.latency *= factor
+        self.events.append(
+            FaultEvent(
+                self.env.now,
+                "latency-spike-start",
+                f"{a}<->{b}",
+                f"x{factor}",
+            )
+        )
+        yield self.env.timeout(duration)
+        fwd.latency, bwd.latency = original
+        self.events.append(
+            FaultEvent(self.env.now, "latency-spike-end", f"{a}<->{b}")
+        )
+
+
+class SiteOutage:
+    """Take a site's registry offline for a window.
+
+    Implemented by acquiring *all* service slots of the registry for
+    the outage duration: in-flight requests finish, new ones queue and
+    drain when the outage lifts -- the observable behaviour of a
+    rebooting cache instance behind a connection-retrying client.
+    """
+
+    def __init__(
+        self,
+        env: Environment,
+        registry,
+        start: float,
+        duration: float,
+    ):
+        if duration <= 0:
+            raise ValueError("duration must be positive")
+        self.env = env
+        self.registry = registry
+        self.events: List[FaultEvent] = []
+        env.process(
+            self._outage(start, duration),
+            name=f"fault-outage-{registry.site}",
+        )
+
+    def _outage(self, start: float, duration: float) -> Generator:
+        yield self.env.timeout(start)
+        server = self.registry._server
+        requests = [server.request() for _ in range(server.capacity)]
+        from repro.sim import AllOf
+
+        yield AllOf(self.env, requests)
+        self.events.append(
+            FaultEvent(self.env.now, "site-outage-start", self.registry.site)
+        )
+        yield self.env.timeout(duration)
+        for req in requests:
+            req.cancel()
+        self.events.append(
+            FaultEvent(self.env.now, "site-outage-end", self.registry.site)
+        )

@@ -1,0 +1,200 @@
+"""WAN/LAN network model: latency, bandwidth and request/response RPC.
+
+Every message between two sites pays:
+
+``delay = base_latency + jitter + size / bandwidth``
+
+where ``base_latency`` comes from the topology's link spec and jitter is
+a truncated-normal perturbation drawn from a dedicated RNG stream (so
+network noise never disturbs workload generation).  Inter-DC links also
+have bounded *concurrency*: a limited number of in-flight transfers
+share the link, which is what makes a hammered centralized registry's
+ingress a real bottleneck rather than an infinitely parallel pipe.
+
+Two interaction styles are offered:
+
+- :meth:`Network.transfer` -- fire a one-way message / bulk transfer and
+  wait for its arrival (used by the storage layer and lazy metadata
+  propagation);
+- :meth:`Network.rpc` -- request/response round trip with a server-side
+  service callback (used by metadata registry clients).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Generator, Optional, Tuple
+
+from repro.sim import Environment, Resource
+from repro.cloud.topology import CloudTopology
+from repro.util.rng import RngStreams
+
+__all__ = ["Network", "NetworkMessage", "NetworkStats", "RpcError"]
+
+
+class RpcError(Exception):
+    """Raised to RPC callers when the remote service fails the request."""
+
+
+@dataclass
+class NetworkMessage:
+    """A message in flight between two sites (metadata op, file chunk...)."""
+
+    src: str
+    dst: str
+    size: int  # bytes
+    payload: Any = None
+    sent_at: float = 0.0
+
+
+@dataclass
+class NetworkStats:
+    """Aggregate transfer statistics, broken down by distance class."""
+
+    messages: int = 0
+    bytes: int = 0
+    local_messages: int = 0
+    same_region_messages: int = 0
+    geo_distant_messages: int = 0
+    total_latency: float = 0.0
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "messages": self.messages,
+            "bytes": self.bytes,
+            "local_messages": self.local_messages,
+            "same_region_messages": self.same_region_messages,
+            "geo_distant_messages": self.geo_distant_messages,
+            "total_latency": self.total_latency,
+        }
+
+
+class Network:
+    """Latency/bandwidth network over a :class:`CloudTopology`.
+
+    Parameters
+    ----------
+    env:
+        Simulation environment.
+    topology:
+        Site layout and link specs.
+    rng:
+        Stream registry; the network uses the ``"network"`` stream.
+    link_concurrency:
+        Max concurrent transfers per directed inter-DC link pair.  Local
+        (intra-DC) traffic is not capped: the paper's bottlenecks are WAN
+        links and registry service capacity, not top-of-rack switches.
+    """
+
+    #: Per-message fixed processing overhead (serialization, NIC), seconds.
+    PER_MESSAGE_OVERHEAD = 50e-6
+
+    def __init__(
+        self,
+        env: Environment,
+        topology: CloudTopology,
+        rng: Optional[RngStreams] = None,
+        link_concurrency: int = 64,
+    ):
+        self.env = env
+        self.topology = topology
+        self.rng = (rng or RngStreams(seed=0)).get("network")
+        self.link_concurrency = link_concurrency
+        self._link_slots: Dict[Tuple[str, str], Resource] = {}
+        self.stats = NetworkStats()
+
+    # -- delay model --------------------------------------------------------
+
+    def one_way_delay(self, src: str, dst: str, size: int = 0) -> float:
+        """Sample the one-way delay for a message of ``size`` bytes."""
+        link = self.topology.link(src, dst)
+        delay = link.latency + self.PER_MESSAGE_OVERHEAD
+        if size > 0:
+            delay += size / link.bandwidth
+        if link.jitter > 0:
+            # Truncated normal: latency noise can only add, never make the
+            # speed of light faster.
+            noise = self.rng.normal(0.0, link.jitter)
+            delay += max(0.0, noise)
+        return delay
+
+    def round_trip(self, src: str, dst: str) -> float:
+        """Expected request/response latency for an empty payload."""
+        return self.one_way_delay(src, dst) + self.one_way_delay(dst, src)
+
+    def _slots(self, src: str, dst: str) -> Optional[Resource]:
+        if src == dst:
+            return None
+        key = (src, dst)
+        if key not in self._link_slots:
+            self._link_slots[key] = Resource(
+                self.env, capacity=self.link_concurrency
+            )
+        return self._link_slots[key]
+
+    def _account(self, src: str, dst: str, size: int, delay: float) -> None:
+        self.stats.messages += 1
+        self.stats.bytes += size
+        self.stats.total_latency += delay
+        dist = self.topology.distance(src, dst)
+        if dist.name == "LOCAL":
+            self.stats.local_messages += 1
+        elif dist.name == "SAME_REGION":
+            self.stats.same_region_messages += 1
+        else:
+            self.stats.geo_distant_messages += 1
+
+    # -- primitives -----------------------------------------------------------
+
+    def transfer(
+        self, src: str, dst: str, size: int = 0, payload: Any = None
+    ) -> Generator:
+        """Process: move ``size`` bytes from ``src`` to ``dst``.
+
+        Yields until the message has fully arrived; returns the
+        :class:`NetworkMessage` that was delivered.
+        """
+        msg = NetworkMessage(src, dst, size, payload, sent_at=self.env.now)
+        slots = self._slots(src, dst)
+        delay = self.one_way_delay(src, dst, size)
+        if slots is None:
+            yield self.env.timeout(delay)
+        else:
+            with slots.request() as req:
+                yield req
+                yield self.env.timeout(delay)
+        self._account(src, dst, size, delay)
+        return msg
+
+    def rpc(
+        self,
+        src: str,
+        dst: str,
+        service: "Generator | Any",
+        request_size: int = 256,
+        response_size: int = 256,
+    ) -> Generator:
+        """Process: request/response round trip with remote service work.
+
+        ``service`` is either a generator (simulated server-side work,
+        e.g. queuing at the registry and paying service time) whose return
+        value becomes the RPC result, or a plain callable evaluated at the
+        server.  Local calls (``src == dst``) still pay the (tiny) local
+        link latency both ways -- clients and registries are distinct VMs
+        even within one site.
+        """
+        # Request leg.
+        yield from self.transfer(src, dst, request_size)
+        # Server-side processing.
+        if hasattr(service, "send"):
+            result = yield from service
+        elif callable(service):
+            result = service()
+        else:
+            result = service
+        # Response leg.
+        yield from self.transfer(dst, src, response_size)
+        return result
+
+    def reset_stats(self) -> None:
+        self.stats = NetworkStats()

@@ -1,0 +1,143 @@
+"""Calibrated topology presets, including the paper's Azure testbed.
+
+The evaluation testbed (Section VI-A) consisted of four Azure
+datacenters: North Europe (Ireland), West Europe (Netherlands), South
+Central US (Texas) and East US (Virginia), using Small VMs (1 core,
+1.75 GB).
+
+One-way latencies below are calibrated to reproduce the *shape* of the
+paper's Figure 1 (local << same-region << geo-distant; remote metadata
+ops up to ~50x local, Section IV-D) and the site-centrality ordering of
+Section VI-B: East US is the most central site and South Central US the
+least central.  Absolute values are representative 2015-era inter-region
+RTTs halved to one-way figures.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional, Sequence, Tuple
+
+from repro.cloud.topology import CloudTopology, Datacenter, Region
+from repro.cloud.vm import VMSize
+from repro.util.units import GB, MB
+
+__all__ = [
+    "AZURE_4DC",
+    "AZURE_SMALL_VM",
+    "EUROPE",
+    "US",
+    "azure_4dc_topology",
+    "make_topology",
+]
+
+EUROPE = Region("europe")
+US = Region("us")
+
+#: Azure "Small" instance: 1 core, 1.75 GB (Section VI-A).
+AZURE_SMALL_VM = VMSize("small", cores=1, memory=int(1.75 * GB))
+
+#: Site names of the 4-DC testbed, in a stable order.
+AZURE_4DC: Tuple[str, ...] = (
+    "west-europe",
+    "north-europe",
+    "east-us",
+    "south-central-us",
+)
+
+# One-way latency (seconds) between each site pair.  Same-region pairs
+# (EU-EU, US-US) sit an order of magnitude above local (~0.5 ms) and the
+# transatlantic pairs another ~4-6x above that.
+_AZURE_LATENCY: Dict[Tuple[str, str], float] = {
+    ("west-europe", "north-europe"): 0.010,
+    ("east-us", "south-central-us"): 0.018,
+    ("west-europe", "east-us"): 0.040,
+    ("north-europe", "east-us"): 0.042,
+    ("west-europe", "south-central-us"): 0.058,
+    ("north-europe", "south-central-us"): 0.060,
+}
+
+#: Inter-DC WAN bandwidth (bytes/s); intra-DC uses the topology default.
+_AZURE_WAN_BANDWIDTH = 50 * MB
+
+#: Latency jitter std-dev as a fraction of the base latency.
+_AZURE_JITTER_FRACTION = 0.05
+
+
+def azure_4dc_topology(
+    jitter: bool = True,
+    wan_bandwidth: float = _AZURE_WAN_BANDWIDTH,
+) -> CloudTopology:
+    """The paper's 4-datacenter Azure testbed.
+
+    >>> topo = azure_4dc_topology()
+    >>> topo.distance("west-europe", "north-europe").value
+    'same-region'
+    >>> topo.most_central().name
+    'east-us'
+    """
+    dcs = [
+        Datacenter("west-europe", EUROPE),
+        Datacenter("north-europe", EUROPE),
+        Datacenter("east-us", US),
+        Datacenter("south-central-us", US),
+    ]
+    topo = CloudTopology(dcs)
+    for (a, b), lat in _AZURE_LATENCY.items():
+        topo.set_link(
+            a,
+            b,
+            latency=lat,
+            bandwidth=wan_bandwidth,
+            jitter=lat * _AZURE_JITTER_FRACTION if jitter else 0.0,
+        )
+    topo.validate()
+    return topo
+
+
+def make_topology(
+    sites: Sequence[str],
+    regions: Optional[Dict[str, str]] = None,
+    same_region_latency: float = 0.010,
+    geo_distant_latency: float = 0.050,
+    wan_bandwidth: float = _AZURE_WAN_BANDWIDTH,
+    jitter_fraction: float = 0.0,
+) -> CloudTopology:
+    """Build a synthetic topology with uniform latency classes.
+
+    Parameters
+    ----------
+    sites:
+        Site names.
+    regions:
+        Optional mapping site -> region name; sites without an entry get
+        their own singleton region (hence all pairs geo-distant).
+    """
+    if not sites:
+        raise ValueError("need at least one site")
+    regions = regions or {}
+    region_objs: Dict[str, Region] = {}
+
+    def region_of(site: str) -> Region:
+        rname = regions.get(site, f"region-{site}")
+        if rname not in region_objs:
+            region_objs[rname] = Region(rname)
+        return region_objs[rname]
+
+    dcs = [Datacenter(name, region_of(name)) for name in sites]
+    topo = CloudTopology(dcs)
+    for i, a in enumerate(dcs):
+        for b in dcs[i + 1 :]:
+            lat = (
+                same_region_latency
+                if a.region == b.region
+                else geo_distant_latency
+            )
+            topo.set_link(
+                a.name,
+                b.name,
+                latency=lat,
+                bandwidth=wan_bandwidth,
+                jitter=lat * jitter_fraction,
+            )
+    topo.validate()
+    return topo

@@ -1,0 +1,212 @@
+"""Datacenters, regions and the inter-site distance taxonomy.
+
+Terminology follows Section IV of the paper:
+
+- **local**: node and registry in the same datacenter;
+- **same-region**: different datacenters of the same geographic region;
+- **geo-distant**: datacenters in different geographic regions.
+
+A :class:`CloudTopology` owns the set of datacenters and the symmetric
+one-way latency matrix between them.  Latencies are *model inputs*
+calibrated against the paper's Figure 1 (see ``repro.cloud.presets``).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.util.units import MB
+
+__all__ = ["CloudTopology", "Datacenter", "Distance", "Region"]
+
+
+class Distance(enum.Enum):
+    """Physical-distance class between two datacenters (paper Section IV)."""
+
+    LOCAL = "local"
+    SAME_REGION = "same-region"
+    GEO_DISTANT = "geo-distant"
+
+    @property
+    def is_remote(self) -> bool:
+        """Both same-region and geo-distant count as *remote* scenarios."""
+        return self is not Distance.LOCAL
+
+
+@dataclass(frozen=True)
+class Region:
+    """A geographic region grouping datacenters (e.g. Europe, US)."""
+
+    name: str
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass
+class Datacenter:
+    """A cloud site: the largest building block of the cloud.
+
+    Attributes
+    ----------
+    name:
+        Unique site identifier (e.g. ``"west-europe"``).
+    region:
+        Geographic region the site belongs to.
+    core_limit:
+        Per-deployment core cap (Azure enforced 300 cores/deployment at
+        the time of the paper -- one of the stated reasons workflows
+        *must* go multi-site).
+    """
+
+    name: str
+    region: Region
+    core_limit: int = 300
+    index: int = -1  # assigned by CloudTopology
+
+    def distance_to(self, other: "Datacenter") -> Distance:
+        """Classify the distance to another datacenter."""
+        if self.name == other.name:
+            return Distance.LOCAL
+        if self.region == other.region:
+            return Distance.SAME_REGION
+        return Distance.GEO_DISTANT
+
+    def __hash__(self) -> int:
+        return hash(self.name)
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Datacenter) and other.name == self.name
+
+    def __repr__(self) -> str:
+        return f"<Datacenter {self.name} ({self.region})>"
+
+
+@dataclass
+class LinkSpec:
+    """Latency/bandwidth parameters of one directed inter-DC link."""
+
+    latency: float  # one-way propagation latency, seconds
+    bandwidth: float = 100 * MB  # bytes/second
+    jitter: float = 0.0  # std-dev of lognormal-ish latency noise, seconds
+
+
+class CloudTopology:
+    """The set of datacenters plus the pairwise link model.
+
+    The latency matrix is symmetric by construction (``set_link`` sets
+    both directions unless told otherwise), matching the paper's
+    treatment of inter-DC distance as an undirected property.
+    """
+
+    def __init__(self, datacenters: Iterable[Datacenter]):
+        self.datacenters: List[Datacenter] = list(datacenters)
+        if not self.datacenters:
+            raise ValueError("Topology needs at least one datacenter")
+        names = [dc.name for dc in self.datacenters]
+        if len(set(names)) != len(names):
+            raise ValueError(f"Duplicate datacenter names in {names}")
+        self._by_name: Dict[str, Datacenter] = {}
+        for i, dc in enumerate(self.datacenters):
+            dc.index = i
+            self._by_name[dc.name] = dc
+        self._links: Dict[Tuple[str, str], LinkSpec] = {}
+        # Sensible default for intra-DC "links" (LAN): sub-millisecond.
+        self.local_link = LinkSpec(latency=0.0005, bandwidth=1000 * MB)
+
+    # -- construction -------------------------------------------------------
+
+    def set_link(
+        self,
+        a: str,
+        b: str,
+        latency: float,
+        bandwidth: float = 100 * MB,
+        jitter: float = 0.0,
+        symmetric: bool = True,
+    ) -> None:
+        """Define the WAN link between sites ``a`` and ``b``."""
+        if a not in self._by_name or b not in self._by_name:
+            raise KeyError(f"Unknown datacenter in link {a!r}-{b!r}")
+        if a == b:
+            raise ValueError("Use 'local_link' for intra-DC latency")
+        if latency < 0 or bandwidth <= 0:
+            raise ValueError("latency must be >=0 and bandwidth > 0")
+        self._links[(a, b)] = LinkSpec(latency, bandwidth, jitter)
+        if symmetric:
+            self._links[(b, a)] = LinkSpec(latency, bandwidth, jitter)
+
+    # -- lookup --------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.datacenters)
+
+    def __iter__(self):
+        return iter(self.datacenters)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._by_name
+
+    def get(self, name: str) -> Datacenter:
+        try:
+            return self._by_name[name]
+        except KeyError:
+            raise KeyError(
+                f"Unknown datacenter {name!r}; have {sorted(self._by_name)}"
+            ) from None
+
+    def link(self, src: str, dst: str) -> LinkSpec:
+        """The link spec between two sites (local link if same site)."""
+        if src == dst:
+            return self.local_link
+        try:
+            return self._links[(src, dst)]
+        except KeyError:
+            raise KeyError(
+                f"No link defined between {src!r} and {dst!r}"
+            ) from None
+
+    def latency(self, src: str, dst: str) -> float:
+        """One-way base latency between two sites, seconds."""
+        return self.link(src, dst).latency
+
+    def distance(self, src: str, dst: str) -> Distance:
+        return self.get(src).distance_to(self.get(dst))
+
+    def validate(self) -> None:
+        """Check every inter-DC pair has a link (raises otherwise)."""
+        missing = [
+            (a.name, b.name)
+            for a in self.datacenters
+            for b in self.datacenters
+            if a.name != b.name and (a.name, b.name) not in self._links
+        ]
+        if missing:
+            raise ValueError(f"Missing links: {missing}")
+
+    # -- site centrality (Section VI-B, Fig. 6 discussion) -------------------
+
+    def centrality(self, name: str) -> float:
+        """Average one-way latency from ``name`` to all other sites.
+
+        The paper defines a site's *centrality* as the average distance
+        from it to the rest of the datacenters, and observes that the
+        best decentralized performance occurs at the most central site.
+        Lower value = more central.
+        """
+        others = [dc for dc in self.datacenters if dc.name != name]
+        if not others:
+            return 0.0
+        return sum(self.latency(name, o.name) for o in others) / len(others)
+
+    def most_central(self) -> Datacenter:
+        """The datacenter with the lowest average latency to the others."""
+        return min(self.datacenters, key=lambda dc: self.centrality(dc.name))
+
+    def least_central(self) -> Datacenter:
+        return max(self.datacenters, key=lambda dc: self.centrality(dc.name))
+
+    def __repr__(self) -> str:
+        return f"<CloudTopology {[dc.name for dc in self.datacenters]}>"

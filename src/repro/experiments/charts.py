@@ -1,0 +1,110 @@
+"""Terminal charts: render experiment series without a plotting stack.
+
+The benchmark reports are text-first (diff-able, CI-friendly); these
+helpers add visual shape to them -- horizontal bar charts for figure
+comparisons (Fig. 10-style grouped bars) and line charts for sweeps
+(Figs. 5-8) -- using plain Unicode blocks.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+__all__ = ["bar_chart", "line_chart", "sparkline"]
+
+_BLOCKS = " ▁▂▃▄▅▆▇█"
+_BAR = "█"
+_HALF = "▌"
+
+
+def bar_chart(
+    items: Sequence[Tuple[str, float]],
+    width: int = 50,
+    title: Optional[str] = None,
+    unit: str = "",
+) -> str:
+    """Horizontal bar chart: one labelled bar per (label, value).
+
+    >>> print(bar_chart([("a", 10), ("b", 5)], width=10))  # doctest: +SKIP
+    a │██████████ 10
+    b │█████ 5
+    """
+    if not items:
+        return title or ""
+    peak = max(v for _, v in items)
+    label_w = max(len(label) for label, _ in items)
+    lines = [title] if title else []
+    for label, value in items:
+        if peak <= 0:
+            filled = 0
+            half = False
+        else:
+            exact = value / peak * width
+            filled = int(exact)
+            half = (exact - filled) >= 0.5
+        bar = _BAR * filled + (_HALF if half else "")
+        lines.append(
+            f"{label.ljust(label_w)} │{bar} {value:g}{unit}"
+        )
+    return "\n".join(lines)
+
+
+def sparkline(values: Sequence[float]) -> str:
+    """A one-line shape summary of a series."""
+    if not values:
+        return ""
+    lo, hi = min(values), max(values)
+    span = hi - lo
+    if span <= 0:
+        return _BLOCKS[4] * len(values)
+    out = []
+    for v in values:
+        idx = int((v - lo) / span * (len(_BLOCKS) - 2)) + 1
+        out.append(_BLOCKS[idx])
+    return "".join(out)
+
+
+def line_chart(
+    xs: Sequence[float],
+    series: Dict[str, Sequence[float]],
+    height: int = 12,
+    width: Optional[int] = None,
+    title: Optional[str] = None,
+) -> str:
+    """Multi-series scatter/line chart on a character grid.
+
+    Each series gets a distinct marker; the legend maps markers to
+    series names.  X positions are spread evenly (categorical axis, as
+    in the paper's node-count sweeps).
+    """
+    if not series or not xs:
+        return title or ""
+    markers = "ox+*#@%&"
+    n = len(xs)
+    width = width or max(2 * n, 24)
+    all_vals = [v for s in series.values() for v in s]
+    lo, hi = min(all_vals), max(all_vals)
+    if hi <= lo:
+        hi = lo + 1.0
+    grid = [[" "] * width for _ in range(height)]
+    for si, (name, ys) in enumerate(series.items()):
+        m = markers[si % len(markers)]
+        for i, y in enumerate(ys):
+            col = int(i / max(1, n - 1) * (width - 1))
+            row = height - 1 - int((y - lo) / (hi - lo) * (height - 1))
+            grid[row][col] = m
+    lines = [title] if title else []
+    for r, row in enumerate(grid):
+        level = hi - (hi - lo) * r / (height - 1)
+        lines.append(f"{level:10.1f} ┤{''.join(row)}")
+    axis_labels = "".join(
+        str(x).ljust(max(1, (width // max(1, n)))) for x in xs
+    )[:width]
+    lines.append(" " * 11 + "└" + "─" * width)
+    lines.append(" " * 12 + axis_labels)
+    legend = "  ".join(
+        f"{markers[i % len(markers)]}={name}"
+        for i, name in enumerate(series)
+    )
+    lines.append(" " * 12 + legend)
+    return "\n".join(lines)

@@ -1,0 +1,130 @@
+"""Figure 1: cost of remote metadata operations.
+
+"Average time for file-posting metadata operations performed from the
+West Europe datacenter, when the metadata server is located within the
+same datacenter, the same geographical region and a remote region."
+
+A single client in West Europe posts 100 / 500 / 1000 / 5000 entries to
+a lone registry instance placed at increasing distance.  The paper's
+property: remote operations take **orders of magnitude** longer than
+local ones, and time grows linearly with the number of published files.
+
+This experiment drives a raw :class:`MetadataRegistry` directly (no
+strategy middleware), matching the paper's "simple experiment conducted
+on the Azure cloud ... isolating the metadata access times".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Generator, List, Sequence
+
+from repro.sim import Environment
+from repro.cloud.network import Network
+from repro.cloud.presets import azure_4dc_topology
+from repro.metadata.config import MetadataConfig
+from repro.metadata.entry import RegistryEntry
+from repro.metadata.registry import MetadataRegistry
+from repro.experiments.reporting import check, render_table
+
+__all__ = ["Fig1Result", "run_fig1", "PAPER_FILE_COUNTS"]
+
+#: X axis of the paper's figure.
+PAPER_FILE_COUNTS = (100, 500, 1000, 5000)
+
+#: (client site, registry site) for the three distance classes.
+PLACEMENTS = {
+    "same site": ("west-europe", "west-europe"),
+    "same region": ("west-europe", "north-europe"),
+    "distant region": ("west-europe", "east-us"),
+}
+
+
+@dataclass
+class Fig1Result:
+    """Total posting time per (placement, file count)."""
+
+    file_counts: Sequence[int]
+    #: placement label -> list of total times aligned with file_counts.
+    times: Dict[str, List[float]] = field(default_factory=dict)
+
+    def ratio(self, n_files: int, far: str, near: str = "same site") -> float:
+        """Remote/local slowdown at a given file count."""
+        idx = list(self.file_counts).index(n_files)
+        near_t = self.times[near][idx]
+        return self.times[far][idx] / near_t if near_t > 0 else float("inf")
+
+    def properties(self) -> List[str]:
+        """The paper's qualitative claims, each checked on the data."""
+        biggest = max(self.file_counts)
+        out = [
+            check(
+                "remote ops are orders of magnitude slower than local",
+                self.ratio(biggest, "distant region") >= 10,
+                f"{self.ratio(biggest, 'distant region'):.1f}x at "
+                f"{biggest} files",
+            ),
+            check(
+                "same-region sits between local and geo-distant",
+                self.times["same site"][-1]
+                < self.times["same region"][-1]
+                < self.times["distant region"][-1],
+            ),
+        ]
+        for label, series in self.times.items():
+            monotone = all(a < b for a, b in zip(series, series[1:]))
+            out.append(
+                check(f"time grows with published files ({label})", monotone)
+            )
+        return out
+
+    def render(self) -> str:
+        rows = []
+        for i, n in enumerate(self.file_counts):
+            rows.append(
+                [n]
+                + [self.times[label][i] for label in PLACEMENTS]
+            )
+        table = render_table(
+            ["files"] + list(PLACEMENTS),
+            rows,
+            title="Fig. 1 -- file-posting time (s) from West Europe",
+            float_fmt="{:.2f}",
+        )
+        return table + "\n" + "\n".join(self.properties())
+
+
+def run_fig1(
+    file_counts: Sequence[int] = PAPER_FILE_COUNTS,
+    seed: int = 0,
+    config: MetadataConfig | None = None,
+) -> Fig1Result:
+    """Measure posting times for every placement and file count."""
+    cfg = config or MetadataConfig()
+    result = Fig1Result(file_counts=tuple(file_counts))
+    for label, (client_site, registry_site) in PLACEMENTS.items():
+        series: List[float] = []
+        for n_files in file_counts:
+            env = Environment()
+            topo = azure_4dc_topology()
+            network = Network(env, topo)
+            registry = MetadataRegistry(env, registry_site, cfg)
+
+            def post(n=n_files, site=client_site, reg=registry) -> Generator:
+                start = env.now
+                for i in range(n):
+                    # The paper's posting op: look-up read then write.
+                    yield from reg.rpc_get(network, site, f"file{i}")
+                    yield from reg.rpc_put(
+                        network,
+                        site,
+                        RegistryEntry(
+                            key=f"file{i}", locations=frozenset({site})
+                        ),
+                    )
+                return env.now - start
+
+            proc = env.process(post())
+            series.append(env.run(until=proc))
+        result.times[label] = series
+    return result

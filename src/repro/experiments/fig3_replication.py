@@ -1,0 +1,148 @@
+"""Figure 3: the local-replication micro-scenario.
+
+The paper illustrates the hybrid strategy's benefit with two nodes n1
+and n2 in the same site s1: n1 writes an entry whose hash places it at
+a geo-distant site s2, then n2 reads it.
+
+- Without local replication (Fig. 3a): both the write and the read are
+  remote, "up to 50x longer than a local operation".
+- With local replication (Fig. 3b): the write keeps a local copy and
+  the subsequent read is served locally, "making reads up to 50x
+  faster".
+
+This experiment reproduces the scenario verbatim: it searches the key
+space for a name whose DHT home is geo-distant from the writer, runs
+both variants, and reports the read speedup.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Generator, List, Optional
+
+from repro.sim import Environment
+from repro.cloud.network import Network
+from repro.cloud.presets import azure_4dc_topology
+from repro.cloud.topology import Distance
+from repro.metadata.config import MetadataConfig
+from repro.metadata.entry import RegistryEntry
+from repro.metadata.strategies import DecentralizedStrategy, HybridStrategy
+from repro.experiments.reporting import check, render_table
+
+__all__ = ["Fig3Result", "run_fig3"]
+
+
+@dataclass
+class Fig3Result:
+    key: str
+    writer_site: str
+    home_site: str
+    #: (write latency, read latency) without local replication.
+    non_replicated: tuple
+    #: (write latency, read latency) with local replication.
+    replicated: tuple
+
+    @property
+    def read_speedup(self) -> float:
+        return (
+            self.non_replicated[1] / self.replicated[1]
+            if self.replicated[1] > 0
+            else float("inf")
+        )
+
+    def properties(self) -> List[str]:
+        return [
+            check(
+                "local replication makes the read dramatically faster "
+                "(paper: up to ~50x)",
+                self.read_speedup >= 5,
+                f"{self.read_speedup:.0f}x",
+            ),
+            check(
+                "the scenario's key really hashes geo-distant",
+                self.home_site != self.writer_site,
+                f"{self.writer_site} -> {self.home_site}",
+            ),
+        ]
+
+    def render(self) -> str:
+        rows = [
+            [
+                "non-replicated (Fig. 3a)",
+                self.non_replicated[0] * 1000,
+                self.non_replicated[1] * 1000,
+            ],
+            [
+                "locally replicated (Fig. 3b)",
+                self.replicated[0] * 1000,
+                self.replicated[1] * 1000,
+            ],
+        ]
+        table = render_table(
+            ["variant", "write (ms)", "read (ms)"],
+            rows,
+            title=(
+                f"Fig. 3 -- same-site write/read of {self.key!r} "
+                f"(home: {self.home_site})"
+            ),
+        )
+        return table + "\n" + "\n".join(self.properties())
+
+
+def _find_geo_distant_key(strategy, writer_site: str, topology) -> str:
+    """A key whose DHT home is geo-distant from the writer's site."""
+    for i in range(10_000):
+        key = f"fig3/candidate-{i}"
+        home = strategy.home_of(key)
+        if topology.distance(writer_site, home) is Distance.GEO_DISTANT:
+            return key
+    raise RuntimeError("no geo-distant key found (ring misconfigured?)")
+
+
+def run_fig3(
+    writer_site: str = "west-europe",
+    config: Optional[MetadataConfig] = None,
+) -> Fig3Result:
+    cfg = config or MetadataConfig(
+        # Isolate protocol latency: no client-side envelope overhead.
+        **{**MetadataConfig().__dict__, "client_overhead": 0.0}
+    )
+    topo = azure_4dc_topology(jitter=False)
+
+    def measure(strategy_cls) -> tuple:
+        env = Environment()
+        network = Network(env, azure_4dc_topology(jitter=False))
+        strat = strategy_cls(
+            env, network, [dc.name for dc in topo], cfg
+        )
+        key = _find_geo_distant_key(strat, writer_site, topo)
+
+        def scenario() -> Generator:
+            t0 = env.now
+            yield from strat.write(
+                writer_site, RegistryEntry(key=key)
+            )
+            # Client-perceived write latency: what n1 waits for.
+            write_latency = env.now - t0
+            # Let any lazy propagation settle so both variants read a
+            # stable registry (the paper's n2 reads after n1 finished).
+            yield from strat.flush()
+            t0 = env.now
+            got = yield from strat.read(writer_site, key, require_found=True)
+            assert got is not None
+            return write_latency, env.now - t0, key, strat
+
+        proc = env.process(scenario())
+        w, r, key, strat = env.run(until=proc)
+        strat.shutdown()
+        return w, r, key, strat
+
+    w_dn, r_dn, key, strat_dn = measure(DecentralizedStrategy)
+    w_dr, r_dr, _, strat_dr = measure(HybridStrategy)
+    return Fig3Result(
+        key=key,
+        writer_site=writer_site,
+        home_site=strat_dn.home_of(key),
+        non_replicated=(w_dn, r_dn),
+        replicated=(w_dr, r_dr),
+    )

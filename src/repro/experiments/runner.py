@@ -1,0 +1,94 @@
+"""Run every experiment and emit the full paper-vs-measured report.
+
+Entry point::
+
+    python -m repro.experiments.runner [--quick]
+
+``--quick`` shrinks workloads to CI-friendly sizes while preserving
+every qualitative property check; the default runs the paper's actual
+parameters (minutes of wall time).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Callable, List, Tuple
+
+from repro.experiments.fig1_latency import run_fig1
+from repro.experiments.fig3_replication import run_fig3
+from repro.experiments.fig5_makespan import run_fig5
+from repro.experiments.fig6_progress import run_fig6
+from repro.experiments.fig7_throughput import run_fig7
+from repro.experiments.fig8_scalability import run_fig8
+from repro.experiments.fig10_workflows import run_fig10
+
+__all__ = ["main", "run_all"]
+
+
+def _experiments(quick: bool) -> List[Tuple[str, Callable[[], object]]]:
+    if quick:
+        return [
+            ("Fig. 1", lambda: run_fig1(file_counts=(100, 500, 1000))),
+            ("Fig. 3", run_fig3),
+            (
+                "Fig. 5",
+                lambda: run_fig5(
+                    ops_per_node=(100, 250, 500, 1000), n_nodes=32
+                ),
+            ),
+            ("Fig. 6", lambda: run_fig6(n_nodes=32, ops_per_node=1500)),
+            (
+                "Fig. 7",
+                lambda: run_fig7(
+                    node_counts=(8, 16, 32, 64), ops_per_node=500
+                ),
+            ),
+            (
+                "Fig. 8",
+                lambda: run_fig8(
+                    node_counts=(8, 16, 32, 64), total_ops=8000
+                ),
+            ),
+            ("Fig. 10 / Table I", lambda: run_fig10(scenarios=("SS", "MI"))),
+        ]
+    return [
+        ("Fig. 1", run_fig1),
+        ("Fig. 3", run_fig3),
+        ("Fig. 5", run_fig5),
+        ("Fig. 6", run_fig6),
+        ("Fig. 7", run_fig7),
+        ("Fig. 8", run_fig8),
+        ("Fig. 10 / Table I", run_fig10),
+    ]
+
+
+def run_all(quick: bool = False, stream=None) -> List[object]:
+    """Run all experiments, printing each report; returns result objects."""
+    stream = stream or sys.stdout
+    results = []
+    for name, fn in _experiments(quick):
+        t0 = time.time()
+        result = fn()
+        elapsed = time.time() - t0
+        print(f"\n=== {name} (wall {elapsed:.1f}s) ===", file=stream)
+        print(result.render(), file=stream)
+        results.append(result)
+    return results
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="reduced workloads (seconds instead of minutes)",
+    )
+    args = parser.parse_args(argv)
+    run_all(quick=args.quick)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

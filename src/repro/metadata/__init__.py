@@ -1,0 +1,56 @@
+"""Multi-site metadata management -- the paper's core contribution.
+
+This package implements the middleware metadata service of Sections
+III-V: versioned in-memory registry entries, a per-site registry built
+on a primary/replica cache tier with optimistic concurrency, a DHT
+(consistent hash ring) for entry placement, lazy batched cross-site
+propagation, and the four management strategies:
+
+- :class:`~repro.metadata.strategies.CentralizedStrategy` (baseline),
+- :class:`~repro.metadata.strategies.ReplicatedStrategy` (per-site
+  replicas + synchronization agent),
+- :class:`~repro.metadata.strategies.DecentralizedStrategy` (DHT
+  partitioned, non-replicated),
+- :class:`~repro.metadata.strategies.HybridStrategy` (DHT partitioned
+  with local replication -- the paper's best performer for
+  metadata-intensive workloads).
+
+The :class:`~repro.metadata.controller.ArchitectureController` selects
+between strategies at run time, plug-and-play, as in Section V.
+"""
+
+from repro.metadata.config import MetadataConfig
+from repro.metadata.entry import RegistryEntry, VersionConflict
+from repro.metadata.cache import CacheManager, CacheFailure
+from repro.metadata.hashring import ConsistentHashRing, ModuloPartitioner
+from repro.metadata.registry import MetadataRegistry
+from repro.metadata.stats import OpKind, OpRecord, OpStats
+from repro.metadata.controller import ArchitectureController, StrategyName
+from repro.metadata.strategies import (
+    CentralizedStrategy,
+    DecentralizedStrategy,
+    HybridStrategy,
+    MetadataStrategy,
+    ReplicatedStrategy,
+)
+
+__all__ = [
+    "ArchitectureController",
+    "CacheFailure",
+    "CacheManager",
+    "CentralizedStrategy",
+    "ConsistentHashRing",
+    "DecentralizedStrategy",
+    "HybridStrategy",
+    "MetadataConfig",
+    "MetadataRegistry",
+    "MetadataStrategy",
+    "ModuloPartitioner",
+    "OpKind",
+    "OpRecord",
+    "OpStats",
+    "RegistryEntry",
+    "ReplicatedStrategy",
+    "StrategyName",
+    "VersionConflict",
+]

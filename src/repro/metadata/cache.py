@@ -1,0 +1,186 @@
+"""The in-memory cache tier backing each registry instance.
+
+Models the managed-cache service of Section V: a dedicated cache layer,
+separate from the application VMs, providing
+
+- a flat key-value namespace (DHT-friendly -- no directory trees),
+- **optimistic concurrency**: puts carry the expected version and fail
+  with :class:`VersionConflict` if the entry moved underneath (no locks,
+  exploiting the write-once/read-many workflow pattern),
+- **high availability** through a primary + replica pair: if the primary
+  fails, the replica is promoted and a fresh replica is repopulated,
+  exactly as the paper describes for the standard cache tier.
+
+The cache is a pure state container -- service *time* is charged by
+:class:`~repro.metadata.registry.MetadataRegistry`, which queues
+requests in front of this store.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.metadata.entry import RegistryEntry, VersionConflict
+
+__all__ = ["CacheFailure", "CacheManager"]
+
+
+class CacheFailure(Exception):
+    """Raised when both primary and replica are unavailable."""
+
+
+class _CacheInstance:
+    """One physical cache process: a dict plus an append-only update log."""
+
+    def __init__(self) -> None:
+        self.data: Dict[str, RegistryEntry] = {}
+        # Monotonic log of applied updates, enabling cursor-based "give me
+        # everything since X" pulls by the synchronization agent.
+        self.log: List[RegistryEntry] = []
+        self.alive = True
+
+    def snapshot(self) -> Dict[str, RegistryEntry]:
+        return dict(self.data)
+
+
+class CacheManager:
+    """Primary/replica cache pair with optimistic concurrency.
+
+    All mutating operations are applied to the primary and mirrored to
+    the replica synchronously (intra-DC mirroring is cheap; the paper's
+    HA cache tier does the same transparently).
+    """
+
+    def __init__(self, name: str = "cache"):
+        self.name = name
+        self._primary = _CacheInstance()
+        self._replica = _CacheInstance()
+        self.failovers = 0
+        self.conflicts = 0
+
+    # -- basic operations ----------------------------------------------------
+
+    def get(self, key: str) -> Optional[RegistryEntry]:
+        """Look up an entry; ``None`` if absent."""
+        return self._live().data.get(key)
+
+    def put(
+        self,
+        entry: RegistryEntry,
+        expected_version: Optional[int] = None,
+    ) -> RegistryEntry:
+        """Insert/update an entry under optimistic concurrency.
+
+        The put is a *merging upsert*: the paper's write protocol is a
+        look-up read (does the entry exist?) followed by the actual
+        write, so publishing a file from a second site must extend the
+        location set, never drop the first site.  The server performs
+        that check-and-merge here (one client RPC); clients with
+        ``write_lookup`` enabled additionally probe first.
+
+        ``expected_version`` of ``None`` means unconditional upsert;
+        otherwise the put only succeeds if the stored version matches
+        (optimistic concurrency).  Returns the entry as stored, with a
+        bumped version.
+        """
+        store = self._live()
+        current = store.data.get(entry.key)
+        current_version = current.version if current is not None else 0
+        if expected_version is not None and current_version != expected_version:
+            self.conflicts += 1
+            raise VersionConflict(entry.key, expected_version, current_version)
+        merged = entry if current is None else current.merged_with(entry)
+        stored = merged.with_version(current_version + 1)
+        self._apply(stored)
+        return stored
+
+    def merge(self, entry: RegistryEntry) -> RegistryEntry:
+        """Apply a propagated update: location-union/max-version merge.
+
+        Merging is idempotent and commutative (see
+        :meth:`RegistryEntry.merged_with`), the property that makes the
+        lazy update scheme converge.
+        """
+        current = self._live().data.get(entry.key)
+        stored = entry if current is None else current.merged_with(entry)
+        self._apply(stored)
+        return stored
+
+    def delete(self, key: str) -> bool:
+        """Remove an entry; returns whether it existed."""
+        store = self._live()
+        existed = key in store.data
+        if existed:
+            del store.data[key]
+            if self._replica.alive:
+                self._replica.data.pop(key, None)
+        return existed
+
+    def _apply(self, entry: RegistryEntry) -> None:
+        p = self._live()
+        p.data[entry.key] = entry
+        p.log.append(entry)
+        if p is self._primary and self._replica.alive:
+            self._replica.data[entry.key] = entry
+            self._replica.log.append(entry)
+
+    # -- log access (for the synchronization agent) ---------------------------
+
+    @property
+    def log_length(self) -> int:
+        return len(self._live().log)
+
+    def updates_since(self, cursor: int) -> Tuple[List[RegistryEntry], int]:
+        """Entries appended after ``cursor``; returns (batch, new_cursor)."""
+        log = self._live().log
+        if cursor < 0:
+            raise ValueError("cursor must be >= 0")
+        return list(log[cursor:]), len(log)
+
+    # -- failure / HA ---------------------------------------------------------
+
+    def fail_primary(self) -> None:
+        """Kill the primary; promote the replica and rebuild a new one.
+
+        Mirrors the paper's HA description: "If a failure occurs with
+        the primary cache, the replica cache is automatically promoted
+        to primary and a new replica is created and populated."
+        """
+        if not self._replica.alive:
+            self._primary.alive = False
+            raise CacheFailure(f"{self.name}: both instances down")
+        self._primary = self._replica
+        self._replica = _CacheInstance()
+        self._replica.data = self._primary.snapshot()
+        self._replica.log = list(self._primary.log)
+        self.failovers += 1
+
+    def fail_replica(self) -> None:
+        """Kill the replica; a new empty one is created and repopulated."""
+        self._replica = _CacheInstance()
+        self._replica.data = self._primary.snapshot()
+        self._replica.log = list(self._primary.log)
+        self.failovers += 1
+
+    def _live(self) -> _CacheInstance:
+        if self._primary.alive:
+            return self._primary
+        raise CacheFailure(f"{self.name}: primary down and not failed over")
+
+    # -- introspection ----------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._live().data)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._live().data
+
+    def keys(self) -> Iterator[str]:
+        return iter(self._live().data)
+
+    def is_consistent_with_replica(self) -> bool:
+        """HA invariant check: primary and replica hold identical data."""
+        return self._primary.data == self._replica.data
+
+    def __repr__(self) -> str:
+        return f"<CacheManager {self.name} entries={len(self)}>"

@@ -1,0 +1,172 @@
+"""The Architecture Controller (Section V): plug-and-play strategy switch.
+
+The desired strategy "is provided as a parameter and can be dynamically
+modified as new jobs are executed".  The controller owns the strategy
+registry, instantiates strategies against a deployment, and supports
+swapping strategies between jobs, including migrating already-published
+metadata into the new layout (a full re-partition -- the expensive
+operation the paper's related-work section warns about, measurable here).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Generator, List, Optional, Type
+
+from repro.sim import Environment
+from repro.cloud.deployment import Deployment
+from repro.cloud.network import Network
+from repro.metadata.config import MetadataConfig
+from repro.metadata.entry import RegistryEntry
+from repro.metadata.strategies import (
+    CentralizedStrategy,
+    DecentralizedStrategy,
+    HybridStrategy,
+    KReplicatedStrategy,
+    MetadataStrategy,
+    RelationalDBStrategy,
+    ReplicatedStrategy,
+    SubtreePartitionedStrategy,
+)
+
+__all__ = ["ArchitectureController", "StrategyName", "STRATEGIES"]
+
+
+class StrategyName:
+    """Canonical strategy identifiers (as used in reports and figures)."""
+
+    CENTRALIZED = "centralized"
+    REPLICATED = "replicated"
+    DECENTRALIZED = "decentralized"
+    HYBRID = "hybrid"
+
+    #: Paper-figure aliases: DN = decentralized non-replicated,
+    #: DR = decentralized replicated.
+    ALIASES: Dict[str, str] = {
+        "dn": DECENTRALIZED,
+        "dr": HYBRID,
+        "decentralized-non-replicated": DECENTRALIZED,
+        "decentralized-replicated": HYBRID,
+        "baseline": CENTRALIZED,
+    }
+
+    @classmethod
+    def canonical(cls, name: str) -> str:
+        name = name.strip().lower()
+        return cls.ALIASES.get(name, name)
+
+    @classmethod
+    def all(cls) -> List[str]:
+        return [
+            cls.CENTRALIZED,
+            cls.REPLICATED,
+            cls.DECENTRALIZED,
+            cls.HYBRID,
+        ]
+
+
+STRATEGIES: Dict[str, Type[MetadataStrategy]] = {
+    StrategyName.CENTRALIZED: CentralizedStrategy,
+    StrategyName.REPLICATED: ReplicatedStrategy,
+    StrategyName.DECENTRALIZED: DecentralizedStrategy,
+    StrategyName.HYBRID: HybridStrategy,
+    # Related-work comparison strategies (Section VIII) and extensions;
+    # not part of StrategyName.all() so the paper's figures stay 4-way.
+    "subtree": SubtreePartitionedStrategy,
+    "relational-db": RelationalDBStrategy,
+    "k-replicated": KReplicatedStrategy,
+}
+
+
+class ArchitectureController:
+    """Creates, holds and swaps the active metadata strategy."""
+
+    def __init__(
+        self,
+        deployment: Deployment,
+        strategy: str = StrategyName.CENTRALIZED,
+        config: Optional[MetadataConfig] = None,
+    ):
+        self.deployment = deployment
+        self.env: Environment = deployment.env
+        self.network: Network = deployment.network
+        self.config = config or MetadataConfig()
+        self._active: MetadataStrategy = self._build(strategy)
+
+    # -- strategy management --------------------------------------------------------
+
+    @staticmethod
+    def register(name: str, cls: Type[MetadataStrategy]) -> None:
+        """Add a custom strategy to the plug-and-play registry."""
+        if not issubclass(cls, MetadataStrategy):
+            raise TypeError(f"{cls!r} is not a MetadataStrategy")
+        STRATEGIES[StrategyName.canonical(name)] = cls
+
+    def _build(self, name: str) -> MetadataStrategy:
+        canonical = StrategyName.canonical(name)
+        try:
+            cls = STRATEGIES[canonical]
+        except KeyError:
+            raise ValueError(
+                f"unknown strategy {name!r}; available: {sorted(STRATEGIES)}"
+            ) from None
+        return cls(
+            self.env, self.network, self.deployment.sites, self.config
+        )
+
+    @property
+    def strategy(self) -> MetadataStrategy:
+        """The currently active strategy."""
+        return self._active
+
+    def switch(self, name: str, migrate: bool = True) -> Generator:
+        """Process: swap the active strategy, optionally migrating entries.
+
+        Migration re-publishes every known entry through the *new*
+        strategy's write path from the entry's origin site (or the first
+        site when unknown), paying the full cost of re-partitioning --
+        the paper's argument for why strategy choice should match the
+        workload up front.
+        """
+        old = self._active
+        old.shutdown()
+        new = self._build(name)
+        if migrate:
+            seen: Dict[str, RegistryEntry] = {}
+            for registry in old.registries.values():
+                for key in registry.cache.keys():
+                    entry = registry.cache.get(key)
+                    if entry is None:
+                        continue
+                    seen[key] = (
+                        entry
+                        if key not in seen
+                        else seen[key].merged_with(entry)
+                    )
+            for key in sorted(seen):
+                entry = seen[key]
+                origin = (
+                    entry.origin_site
+                    if entry.origin_site in self.deployment.sites
+                    else self.deployment.sites[0]
+                )
+                yield from new.write(origin, entry)
+        self._active = new
+        return new
+
+    # -- convenience proxies ----------------------------------------------------------
+
+    def write(self, site: str, entry: RegistryEntry) -> Generator:
+        result = yield from self._active.write(site, entry)
+        return result
+
+    def read(
+        self, site: str, key: str, require_found: bool = False
+    ) -> Generator:
+        result = yield from self._active.read(site, key, require_found)
+        return result
+
+    def shutdown(self) -> None:
+        self._active.shutdown()
+
+    def __repr__(self) -> str:
+        return f"<ArchitectureController active={self._active.name}>"

@@ -1,0 +1,118 @@
+"""Registry entries: the fundamental metadata storage unit (Section V).
+
+An entry carries only what a workflow needs to *locate* a file -- its
+unique key and the set of locations holding replicas -- deliberately
+dropping POSIX-style attributes (permissions etc.) the paper observes
+are never used during workflow execution.  Entries are versioned to
+support the cache tier's optimistic concurrency model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Any, Dict, FrozenSet, Optional, Tuple
+
+__all__ = ["RegistryEntry", "VersionConflict"]
+
+
+class VersionConflict(Exception):
+    """Optimistic-concurrency failure: the entry changed under the writer."""
+
+    def __init__(self, key: str, expected: int, actual: int):
+        super().__init__(
+            f"version conflict on {key!r}: expected {expected}, found {actual}"
+        )
+        self.key = key
+        self.expected = expected
+        self.actual = actual
+
+
+@dataclass(frozen=True)
+class RegistryEntry:
+    """One immutable version of a file's metadata.
+
+    Attributes
+    ----------
+    key:
+        Unique identifier -- for workflow files, the file name.
+    locations:
+        Sites (datacenter names) currently holding the file data.
+    size:
+        File size in bytes (0 for the empty marker files used by the
+        synthetic benchmarks, matching Section VI-A).
+    version:
+        Monotonic per-key version, managed by the cache tier.
+    origin_site:
+        Site where this version was created; used by the sync agent to
+        avoid echoing updates back to their producer.
+    created_at:
+        Simulated creation timestamp (consistency-window accounting).
+    attributes:
+        Optional small extension dict -- the paper notes the registry
+        scope "can be easily extended by defining different types of
+        Registry Entries".
+    """
+
+    key: str
+    locations: FrozenSet[str] = frozenset()
+    size: int = 0
+    version: int = 0
+    origin_site: str = ""
+    created_at: float = 0.0
+    attributes: Optional[Tuple[Tuple[str, Any], ...]] = None
+
+    def __post_init__(self):
+        if not self.key:
+            raise ValueError("entry key must be non-empty")
+        if self.size < 0:
+            raise ValueError("entry size must be >= 0")
+        if self.version < 0:
+            raise ValueError("entry version must be >= 0")
+        # Normalize locations to a frozenset for hashability/equality.
+        if not isinstance(self.locations, frozenset):
+            object.__setattr__(self, "locations", frozenset(self.locations))
+
+    # -- derived -----------------------------------------------------------
+
+    def with_location(self, site: str) -> "RegistryEntry":
+        """A copy that also lists ``site`` as holding the file."""
+        return replace(self, locations=self.locations | {site})
+
+    def with_version(self, version: int) -> "RegistryEntry":
+        return replace(self, version=version)
+
+    def merged_with(self, other: "RegistryEntry") -> "RegistryEntry":
+        """Merge two versions of the same key (location-set union).
+
+        Registry entries form a join-semilattice under location union
+        with max-version: this is what makes lazy propagation safe --
+        merges commute, so replicas converge regardless of delivery
+        order (eventual consistency, Section III-D).
+        """
+        if other.key != self.key:
+            raise ValueError(f"cannot merge {self.key!r} with {other.key!r}")
+        newer = self if self.version >= other.version else other
+        return replace(
+            newer,
+            locations=self.locations | other.locations,
+            version=max(self.version, other.version),
+        )
+
+    def serialized_size(self, base: int = 64) -> int:
+        """Rough wire size: envelope + key + one slot per location."""
+        return base + len(self.key) + 16 * len(self.locations)
+
+    def get_attribute(self, name: str, default: Any = None) -> Any:
+        for k, v in self.attributes or ():
+            if k == name:
+                return v
+        return default
+
+    @staticmethod
+    def make_attributes(mapping: Dict[str, Any]) -> Tuple[Tuple[str, Any], ...]:
+        """Freeze a dict into the tuple form ``attributes`` expects."""
+        return tuple(sorted(mapping.items()))
+
+    def __str__(self) -> str:
+        locs = ",".join(sorted(self.locations)) or "-"
+        return f"{self.key}@v{self.version}[{locs}]"

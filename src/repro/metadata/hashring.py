@@ -1,0 +1,154 @@
+"""DHT-style placement: which site owns a metadata key.
+
+Two partitioners are provided:
+
+- :class:`ModuloPartitioner` -- the textbook ``hash(key) % n_sites``
+  scheme.  Simple and perfectly uniform, but re-maps nearly every key
+  when a site joins or leaves.
+- :class:`ConsistentHashRing` -- consistent hashing with virtual nodes.
+  This is the scheme the repository uses by default: the paper's
+  Section VIII explicitly calls out metadata-server *volatility* (elastic
+  clouds adding/removing nodes) as the failure mode of naive hashing,
+  and consistent hashing bounds migration to ~1/n of keys.
+
+Hashes are computed with BLAKE2b (stable across processes and Python
+versions, unlike the built-in ``hash``) so experiment placement is fully
+deterministic.
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+__all__ = ["ConsistentHashRing", "ModuloPartitioner", "stable_hash"]
+
+
+def stable_hash(value: str, salt: str = "") -> int:
+    """A deterministic 64-bit hash of a string."""
+    h = hashlib.blake2b(
+        value.encode("utf-8"), digest_size=8, salt=salt.encode()[:16] or b""
+    )
+    return int.from_bytes(h.digest(), "big")
+
+
+class ModuloPartitioner:
+    """``hash(key) % n`` placement over a fixed, ordered site list."""
+
+    def __init__(self, sites: Sequence[str]):
+        if not sites:
+            raise ValueError("need at least one site")
+        if len(set(sites)) != len(sites):
+            raise ValueError("duplicate sites")
+        self.sites: Tuple[str, ...] = tuple(sites)
+
+    def site_for(self, key: str) -> str:
+        """The site responsible for ``key``."""
+        return self.sites[stable_hash(key) % len(self.sites)]
+
+    def __len__(self) -> int:
+        return len(self.sites)
+
+
+class ConsistentHashRing:
+    """Consistent hashing over sites, with virtual nodes for balance.
+
+    >>> ring = ConsistentHashRing(["a", "b", "c"], virtual_nodes=64)
+    >>> ring.site_for("file-42") in {"a", "b", "c"}
+    True
+
+    Adding or removing a site re-maps only the keys whose ring arc
+    changed hands -- about ``1/n`` of the keyspace (property-tested in
+    ``tests/metadata/test_hashring.py``).
+    """
+
+    def __init__(self, sites: Iterable[str], virtual_nodes: int = 64):
+        if virtual_nodes <= 0:
+            raise ValueError("virtual_nodes must be positive")
+        self.virtual_nodes = virtual_nodes
+        self._ring: List[Tuple[int, str]] = []
+        self._hashes: List[int] = []
+        self._sites: List[str] = []
+        for site in sites:
+            self.add_site(site)
+        if not self._sites:
+            raise ValueError("need at least one site")
+
+    # -- membership ------------------------------------------------------------
+
+    @property
+    def sites(self) -> List[str]:
+        return list(self._sites)
+
+    def add_site(self, site: str) -> None:
+        """Join a site: insert its virtual nodes onto the ring."""
+        if site in self._sites:
+            raise ValueError(f"site {site!r} already on ring")
+        self._sites.append(site)
+        for v in range(self.virtual_nodes):
+            point = stable_hash(f"{site}#{v}")
+            idx = bisect.bisect(self._hashes, point)
+            self._hashes.insert(idx, point)
+            self._ring.insert(idx, (point, site))
+
+    def remove_site(self, site: str) -> None:
+        """Leave: drop the site's virtual nodes; its arcs fall to successors."""
+        if site not in self._sites:
+            raise KeyError(f"site {site!r} not on ring")
+        self._sites.remove(site)
+        keep = [(h, s) for (h, s) in self._ring if s != site]
+        self._ring = keep
+        self._hashes = [h for h, _ in keep]
+
+    # -- placement ---------------------------------------------------------------
+
+    def site_for(self, key: str) -> str:
+        """The site whose arc contains ``key``'s hash point."""
+        if not self._ring:
+            raise RuntimeError("empty ring")
+        point = stable_hash(key)
+        idx = bisect.bisect(self._hashes, point)
+        if idx == len(self._ring):
+            idx = 0  # wrap around
+        return self._ring[idx][1]
+
+    def preference_list(self, key: str, n: int) -> List[str]:
+        """The first ``n`` *distinct* sites clockwise from the key's point.
+
+        Used for replica placement extensions (e.g. k-way replication
+        ablations); ``preference_list(key, 1)[0] == site_for(key)``.
+        """
+        if n <= 0:
+            raise ValueError("n must be positive")
+        if not self._ring:
+            raise RuntimeError("empty ring")
+        point = stable_hash(key)
+        start = bisect.bisect(self._hashes, point)
+        result: List[str] = []
+        for i in range(len(self._ring)):
+            _, site = self._ring[(start + i) % len(self._ring)]
+            if site not in result:
+                result.append(site)
+                if len(result) == n:
+                    break
+        return result
+
+    def load_distribution(self, keys: Iterable[str]) -> Dict[str, int]:
+        """How many of ``keys`` land on each site (balance diagnostics)."""
+        counts = {site: 0 for site in self._sites}
+        for key in keys:
+            counts[self.site_for(key)] += 1
+        return counts
+
+    def __len__(self) -> int:
+        return len(self._sites)
+
+    def __contains__(self, site: str) -> bool:
+        return site in self._sites
+
+    def __repr__(self) -> str:
+        return (
+            f"<ConsistentHashRing sites={self._sites} "
+            f"vnodes={self.virtual_nodes}>"
+        )

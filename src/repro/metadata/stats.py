@@ -1,0 +1,151 @@
+"""Operation accounting shared by all strategies.
+
+Every client-visible metadata operation produces an :class:`OpRecord`
+with its timing and distance class; :class:`OpStats` aggregates them and
+derives the quantities the paper's figures report: per-node execution
+time (Fig. 5), completion-progress curves (Fig. 6), aggregate throughput
+(Fig. 7) and time-to-complete-N-ops (Fig. 8).
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass, field
+import enum
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["OpKind", "OpRecord", "OpStats"]
+
+
+class OpKind(enum.Enum):
+    READ = "read"
+    WRITE = "write"
+    DELETE = "delete"
+
+
+@dataclass(frozen=True)
+class OpRecord:
+    """One completed metadata operation, as seen by the client node."""
+
+    kind: OpKind
+    key: str
+    site: str  # site of the issuing node
+    started_at: float
+    finished_at: float
+    #: Whether all service legs stayed inside the issuing site.
+    local: bool
+    #: Whether the entry was found (reads) / created fresh (writes).
+    found: bool = True
+    #: Number of retries performed before completion (replicated reads).
+    retries: int = 0
+
+    @property
+    def latency(self) -> float:
+        return self.finished_at - self.started_at
+
+    def __post_init__(self):
+        if self.finished_at < self.started_at:
+            raise ValueError("operation finished before it started")
+
+
+class OpStats:
+    """Append-only collection of op records plus derived metrics."""
+
+    def __init__(self) -> None:
+        self.records: List[OpRecord] = []
+
+    def add(self, record: OpRecord) -> None:
+        self.records.append(record)
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    # -- basic aggregates -------------------------------------------------------
+
+    @property
+    def count(self) -> int:
+        return len(self.records)
+
+    def count_by_kind(self, kind: OpKind) -> int:
+        return sum(1 for r in self.records if r.kind is kind)
+
+    @property
+    def local_fraction(self) -> float:
+        """Fraction of operations served fully locally."""
+        if not self.records:
+            return 0.0
+        return sum(1 for r in self.records if r.local) / len(self.records)
+
+    def mean_latency(self, kind: Optional[OpKind] = None) -> float:
+        lats = [
+            r.latency
+            for r in self.records
+            if kind is None or r.kind is kind
+        ]
+        return float(np.mean(lats)) if lats else 0.0
+
+    def latency_percentile(self, q: float, kind: Optional[OpKind] = None) -> float:
+        lats = [
+            r.latency
+            for r in self.records
+            if kind is None or r.kind is kind
+        ]
+        return float(np.percentile(lats, q)) if lats else 0.0
+
+    @property
+    def total_retries(self) -> int:
+        return sum(r.retries for r in self.records)
+
+    # -- figure-level metrics -------------------------------------------------------
+
+    def makespan(self) -> float:
+        """Time from the first op start to the last op completion."""
+        if not self.records:
+            return 0.0
+        start = min(r.started_at for r in self.records)
+        end = max(r.finished_at for r in self.records)
+        return end - start
+
+    def throughput(self) -> float:
+        """Aggregate completed operations per second (Fig. 7 metric)."""
+        span = self.makespan()
+        return len(self.records) / span if span > 0 else 0.0
+
+    def completion_times(self) -> np.ndarray:
+        """Sorted completion timestamps."""
+        return np.sort(np.array([r.finished_at for r in self.records]))
+
+    def progress_curve(self, percents: Sequence[float]) -> List[Tuple[float, float]]:
+        """(percent-complete, time) pairs -- the Fig. 6 representation.
+
+        ``percents`` are in (0, 100]; time is measured from the first op
+        start.
+        """
+        if not self.records:
+            return [(p, 0.0) for p in percents]
+        times = self.completion_times()
+        t0 = min(r.started_at for r in self.records)
+        out = []
+        for p in percents:
+            if not 0 < p <= 100:
+                raise ValueError(f"percent {p} outside (0, 100]")
+            idx = max(0, int(np.ceil(p / 100 * len(times))) - 1)
+            out.append((p, float(times[idx] - t0)))
+        return out
+
+    def per_site_mean_completion(self) -> Dict[str, float]:
+        """Mean completion time per issuing site (centrality analysis)."""
+        by_site: Dict[str, List[float]] = {}
+        for r in self.records:
+            by_site.setdefault(r.site, []).append(r.finished_at)
+        return {s: float(np.mean(v)) for s, v in by_site.items()}
+
+    def merge(self, other: "OpStats") -> "OpStats":
+        merged = OpStats()
+        merged.records = self.records + other.records
+        return merged
+
+    def __repr__(self) -> str:
+        return f"<OpStats n={len(self.records)}>"

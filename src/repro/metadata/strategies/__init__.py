@@ -1,0 +1,23 @@
+"""The four multi-site metadata management strategies (Section IV)."""
+
+from repro.metadata.strategies.base import MetadataStrategy
+from repro.metadata.strategies.centralized import CentralizedStrategy
+from repro.metadata.strategies.replicated import ReplicatedStrategy
+from repro.metadata.strategies.decentralized import DecentralizedStrategy
+from repro.metadata.strategies.hybrid import HybridStrategy
+from repro.metadata.strategies.extensions import (
+    KReplicatedStrategy,
+    RelationalDBStrategy,
+    SubtreePartitionedStrategy,
+)
+
+__all__ = [
+    "CentralizedStrategy",
+    "DecentralizedStrategy",
+    "HybridStrategy",
+    "KReplicatedStrategy",
+    "MetadataStrategy",
+    "RelationalDBStrategy",
+    "ReplicatedStrategy",
+    "SubtreePartitionedStrategy",
+]

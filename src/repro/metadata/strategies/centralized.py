@@ -1,0 +1,66 @@
+"""Centralized metadata (Section IV-A) -- the state-of-the-art baseline.
+
+A single registry instance, arbitrarily placed in one datacenter, serves
+every node of the multi-site deployment.  Nodes co-located with the
+registry enjoy fast local operations; everyone else pays the WAN on
+every single metadata access, and all traffic funnels into one bounded
+service queue -- the two effects that make this the baseline to beat.
+"""
+
+from __future__ import annotations
+
+from typing import Generator, List, Optional
+
+from repro.sim import Environment
+from repro.cloud.network import Network
+from repro.metadata.config import MetadataConfig
+from repro.metadata.entry import RegistryEntry
+from repro.metadata.registry import MetadataRegistry
+from repro.metadata.strategies.base import MetadataStrategy
+
+__all__ = ["CentralizedStrategy"]
+
+
+class CentralizedStrategy(MetadataStrategy):
+    """One registry instance at ``config.home_site`` serves all sites."""
+
+    name = "centralized"
+
+    def __init__(
+        self,
+        env: Environment,
+        network: Network,
+        sites: List[str],
+        config: Optional[MetadataConfig] = None,
+    ):
+        super().__init__(env, network, sites, config)
+        self.home_site = self.config.home_site or self.sites[0]
+        if self.home_site not in self.sites:
+            raise ValueError(
+                f"home_site {self.home_site!r} not among sites {self.sites}"
+            )
+        self.registry = MetadataRegistry(env, self.home_site, self.config)
+        self.registries = {self.home_site: self.registry}
+
+    def _do_write(self, site: str, entry: RegistryEntry) -> Generator:
+        entry = entry.with_location(site) if site not in entry.locations else entry
+        stored = yield from self._client_write(site, self.registry, entry)
+        # Centralized writes are immediately globally visible: every
+        # reader consults the same instance.
+        self.tracker.on_created(entry.key)
+        self.tracker.on_fully_visible(entry.key)
+        return stored, site == self.home_site
+
+    def _do_read(self, site: str, key: str) -> Generator:
+        entry = yield from self.registry.rpc_get(self.network, site, key)
+        return entry, site == self.home_site
+
+    def _do_delete(self, site: str, key: str) -> Generator:
+        existed = yield from self.network.rpc(
+            site,
+            self.home_site,
+            self.registry.serve_delete(key),
+            request_size=self.config.request_size,
+            response_size=self.config.response_size,
+        )
+        return existed, site == self.home_site

@@ -1,0 +1,243 @@
+"""Comparison strategies from the paper's related-work analysis.
+
+Section VIII discusses the approaches the proposed strategies are
+positioned against.  Implementing them makes those arguments
+measurable:
+
+- :class:`SubtreePartitionedStrategy` -- namespace subtree partitioning
+  (PanFS/NFS-mount style): each top-level directory is pinned to one
+  site.  Good locality, but "static partitioning suffers from severe
+  bottleneck problems when a single file, directory, or directory
+  subtree becomes popular" -- the hot-directory imbalance the
+  ``test_ablation_subtree_vs_hashing`` bench quantifies.
+- :class:`RelationalDBStrategy` -- the metadata-in-an-RDBMS baseline
+  (e.g. Chiron): a centralized store whose per-operation cost carries
+  transaction/locking overhead; the paper cites in-memory storage
+  outperforming database storage by ~10x on Azure.
+- :class:`KReplicatedStrategy` -- an *extension* of the hybrid scheme:
+  entries are replicated to the first ``k`` distinct sites clockwise on
+  the hash ring (preference list), trading write fan-out for read
+  availability.  k=1 degenerates to the decentralized strategy.
+
+All three plug into the :class:`ArchitectureController` registry.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Generator, List, Optional
+
+from repro.sim import Environment
+from repro.cloud.network import Network
+from repro.metadata.config import MetadataConfig
+from repro.metadata.entry import RegistryEntry
+from repro.metadata.hashring import ConsistentHashRing, stable_hash
+from repro.metadata.registry import MetadataRegistry
+from repro.metadata.strategies.base import MetadataStrategy
+
+__all__ = [
+    "KReplicatedStrategy",
+    "RelationalDBStrategy",
+    "SubtreePartitionedStrategy",
+]
+
+
+class SubtreePartitionedStrategy(MetadataStrategy):
+    """Static namespace-subtree partitioning across sites.
+
+    The *subtree* of a key is its top-level path component (``a/b/c``
+    -> ``a``; flat names form their own singleton subtree).  Each
+    subtree is statically assigned to a site by a stable hash, so all
+    entries under one directory are co-located -- maximal directory
+    locality, zero balance guarantees.
+    """
+
+    name = "subtree"
+
+    def __init__(
+        self,
+        env: Environment,
+        network: Network,
+        sites: List[str],
+        config: Optional[MetadataConfig] = None,
+    ):
+        super().__init__(env, network, sites, config)
+        self.registries = {
+            site: MetadataRegistry(env, site, self.config) for site in self.sites
+        }
+
+    @staticmethod
+    def subtree_of(key: str) -> str:
+        return key.split("/", 1)[0]
+
+    def site_for(self, key: str) -> str:
+        """The site owning the key's subtree."""
+        subtree = self.subtree_of(key)
+        return self.sites[stable_hash(subtree) % len(self.sites)]
+
+    def _do_write(self, site: str, entry: RegistryEntry) -> Generator:
+        owner = self.site_for(entry.key)
+        registry = self.registries[owner]
+        entry = entry.with_location(site) if site not in entry.locations else entry
+        stored = yield from self._client_write(site, registry, entry)
+        self.tracker.on_created(entry.key)
+        self.tracker.on_fully_visible(entry.key)
+        return stored, owner == site
+
+    def _do_read(self, site: str, key: str) -> Generator:
+        owner = self.site_for(key)
+        entry = yield from self.registries[owner].rpc_get(
+            self.network, site, key
+        )
+        return entry, owner == site
+
+    def _do_delete(self, site: str, key: str) -> Generator:
+        owner = self.site_for(key)
+        existed = yield from self.network.rpc(
+            site,
+            owner,
+            self.registries[owner].serve_delete(key),
+            request_size=self.config.request_size,
+            response_size=self.config.response_size,
+        )
+        return existed, owner == site
+
+    def load_imbalance(self) -> float:
+        """Max/mean entries per instance (1.0 = perfectly balanced)."""
+        counts = [len(reg) for reg in self.registries.values()]
+        mean = sum(counts) / len(counts)
+        return max(counts) / mean if mean > 0 else 1.0
+
+
+class RelationalDBStrategy(MetadataStrategy):
+    """Centralized metadata kept in a relational database.
+
+    Same topology as the centralized baseline, but every operation pays
+    the transaction overhead factor -- the paper observes in-memory
+    storage outperforming database storage by ~10x, and calls the DB
+    approach "too heavy for metadata-intensive workloads".
+    """
+
+    name = "relational-db"
+
+    #: Service-time multiplier over the in-memory cache (paper ref [24]).
+    DB_OVERHEAD_FACTOR = 10.0
+
+    def __init__(
+        self,
+        env: Environment,
+        network: Network,
+        sites: List[str],
+        config: Optional[MetadataConfig] = None,
+    ):
+        super().__init__(env, network, sites, config)
+        self.home_site = self.config.home_site or self.sites[0]
+        db_config = MetadataConfig(
+            **{
+                **self.config.__dict__,
+                "service_time": self.config.service_time
+                * self.DB_OVERHEAD_FACTOR,
+            }
+        )
+        self.registry = MetadataRegistry(env, self.home_site, db_config)
+        self.registries = {self.home_site: self.registry}
+
+    def _do_write(self, site: str, entry: RegistryEntry) -> Generator:
+        entry = entry.with_location(site) if site not in entry.locations else entry
+        stored = yield from self._client_write(site, self.registry, entry)
+        self.tracker.on_created(entry.key)
+        self.tracker.on_fully_visible(entry.key)
+        return stored, site == self.home_site
+
+    def _do_read(self, site: str, key: str) -> Generator:
+        entry = yield from self.registry.rpc_get(self.network, site, key)
+        return entry, site == self.home_site
+
+    def _do_delete(self, site: str, key: str) -> Generator:
+        existed = yield from self.network.rpc(
+            site,
+            self.home_site,
+            self.registry.serve_delete(key),
+            request_size=self.config.request_size,
+            response_size=self.config.response_size,
+        )
+        return existed, site == self.home_site
+
+
+class KReplicatedStrategy(MetadataStrategy):
+    """DHT placement with a k-site preference-list replication factor.
+
+    Writes store the entry at the first ``k`` distinct sites clockwise
+    from the key's hash point (synchronously, nearest first); reads
+    probe the preference list starting from the cheapest replica for
+    the reading site.  An availability-oriented extension of the
+    paper's hybrid scheme (which replicates at the *writer's* site
+    instead).
+    """
+
+    name = "k-replicated"
+
+    def __init__(
+        self,
+        env: Environment,
+        network: Network,
+        sites: List[str],
+        config: Optional[MetadataConfig] = None,
+        replication_factor: int = 2,
+    ):
+        super().__init__(env, network, sites, config)
+        if replication_factor < 1:
+            raise ValueError("replication_factor must be >= 1")
+        self.k = min(replication_factor, len(self.sites))
+        self.ring = ConsistentHashRing(
+            self.sites, virtual_nodes=self.config.virtual_nodes
+        )
+        self.registries = {
+            site: MetadataRegistry(env, site, self.config) for site in self.sites
+        }
+
+    def replica_sites(self, key: str) -> List[str]:
+        return self.ring.preference_list(key, self.k)
+
+    def _do_write(self, site: str, entry: RegistryEntry) -> Generator:
+        entry = entry.with_location(site) if site not in entry.locations else entry
+        replicas = self.replica_sites(entry.key)
+        # Write nearest replica first so the caller-visible latency is
+        # dominated by the closest copy; remaining copies follow
+        # synchronously (strong durability variant).
+        ordered = sorted(
+            replicas,
+            key=lambda s: self.network.topology.latency(site, s),
+        )
+        stored = None
+        for target in ordered:
+            stored = yield from self._client_write(
+                site, self.registries[target], entry
+            )
+        self.tracker.on_created(entry.key)
+        self.tracker.on_fully_visible(entry.key)
+        return stored, all(s == site for s in ordered)
+
+    def _do_read(self, site: str, key: str) -> Generator:
+        replicas = self.replica_sites(key)
+        nearest = min(
+            replicas, key=lambda s: self.network.topology.latency(site, s)
+        )
+        entry = yield from self.registries[nearest].rpc_get(
+            self.network, site, key
+        )
+        return entry, nearest == site
+
+    def _do_delete(self, site: str, key: str) -> Generator:
+        existed = False
+        local = True
+        for target in self.replica_sites(key):
+            e = yield from self.network.rpc(
+                site,
+                target,
+                self.registries[target].serve_delete(key),
+                request_size=self.config.request_size,
+                response_size=self.config.response_size,
+            )
+            existed = existed or e
+            local = local and target == site
+        return existed, local

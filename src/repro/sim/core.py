@@ -1,0 +1,500 @@
+"""Core event loop, events and processes for the simulation kernel.
+
+The design mirrors the well-known process-interaction DES architecture:
+
+- an :class:`Environment` owns a binary-heap event calendar keyed by
+  ``(time, priority, sequence)`` so simultaneous events fire in a stable,
+  deterministic order;
+- an :class:`Event` is a one-shot awaitable that moves through the states
+  *pending -> triggered -> processed* and fans out to callbacks;
+- a :class:`Process` wraps a Python generator; each ``yield`` suspends the
+  process until the yielded event fires, and event values/exceptions are
+  sent/thrown back into the generator.
+
+Determinism is a hard requirement here (experiments must be exactly
+reproducible), hence the explicit tie-breaking sequence counter and the
+absence of any wall-clock or hash-order dependence.
+"""
+
+from __future__ import annotations
+
+import heapq
+from itertools import count
+from typing import (
+    Any,
+    Callable,
+    Generator,
+    Iterable,
+    List,
+    Optional,
+    Tuple,
+)
+
+__all__ = [
+    "AllOf",
+    "AnyOf",
+    "ConditionEvent",
+    "Environment",
+    "Event",
+    "EventPriority",
+    "Interrupt",
+    "Process",
+    "SimulationError",
+    "StopSimulation",
+    "Timeout",
+]
+
+
+class SimulationError(Exception):
+    """Base class for errors raised by the simulation kernel itself."""
+
+
+class StopSimulation(Exception):
+    """Raised internally to halt :meth:`Environment.run` early.
+
+    Users normally stop a run by passing ``until`` to
+    :meth:`Environment.run`; this exception also supports
+    :meth:`Environment.exit`-style termination from inside a process.
+    """
+
+    def __init__(self, value: Any = None):
+        super().__init__(value)
+        self.value = value
+
+
+class EventPriority:
+    """Symbolic priorities for same-timestamp event ordering.
+
+    Lower values fire first.  ``URGENT`` is used by the kernel for process
+    bootstrapping and interrupts so they preempt normal activity scheduled
+    at the same instant; ``NORMAL`` is the default for user events.
+    """
+
+    URGENT = 0
+    NORMAL = 1
+    LOW = 2
+
+
+# Sentinel distinguishing "no value yet" from a legitimate ``None`` value.
+_PENDING = object()
+
+
+class Event:
+    """A one-shot occurrence that other entities can wait on.
+
+    An event starts *pending*.  Calling :meth:`succeed` or :meth:`fail`
+    *triggers* it, scheduling it on the environment's calendar; when the
+    event loop pops it, the event becomes *processed* and its callbacks run.
+
+    Attributes
+    ----------
+    env:
+        Owning :class:`Environment`.
+    callbacks:
+        List of callables invoked with the event once processed.  ``None``
+        after processing (appending then is an error, caught explicitly).
+    """
+
+    def __init__(self, env: "Environment"):
+        self.env = env
+        self.callbacks: Optional[List[Callable[["Event"], None]]] = []
+        self._value: Any = _PENDING
+        self._ok: Optional[bool] = None
+        #: Set when a failed event's exception was delivered to at least one
+        #: waiter (or explicitly defused); undelivered failures surface at
+        #: the end of the run so errors cannot vanish silently.
+        self.defused = False
+
+    # -- state inspection -------------------------------------------------
+
+    @property
+    def triggered(self) -> bool:
+        """True once the event has a value/exception scheduled."""
+        return self._value is not _PENDING
+
+    @property
+    def processed(self) -> bool:
+        """True once callbacks have been executed."""
+        return self.callbacks is None
+
+    @property
+    def ok(self) -> bool:
+        """True if the event succeeded.  Only valid once triggered."""
+        if self._ok is None:
+            raise SimulationError("Event not yet triggered; 'ok' undefined")
+        return self._ok
+
+    @property
+    def value(self) -> Any:
+        """The event's value (or exception instance for failed events)."""
+        if self._value is _PENDING:
+            raise SimulationError("Event not yet triggered; no value")
+        return self._value
+
+    # -- triggering -------------------------------------------------------
+
+    def succeed(self, value: Any = None) -> "Event":
+        """Trigger the event successfully with ``value``."""
+        if self._value is not _PENDING:
+            raise SimulationError(f"{self!r} already triggered")
+        self._ok = True
+        self._value = value
+        self.env._schedule(self, EventPriority.NORMAL)
+        return self
+
+    def fail(self, exception: BaseException) -> "Event":
+        """Trigger the event with an exception to be thrown into waiters."""
+        if not isinstance(exception, BaseException):
+            raise TypeError(f"{exception!r} is not an exception")
+        if self._value is not _PENDING:
+            raise SimulationError(f"{self!r} already triggered")
+        self._ok = False
+        self._value = exception
+        self.env._schedule(self, EventPriority.NORMAL)
+        return self
+
+    def trigger(self, event: "Event") -> None:
+        """Trigger this event with the state of another (callback helper)."""
+        if event._ok:
+            self.succeed(event._value)
+        else:
+            self.fail(event._value)
+
+    # -- composition ------------------------------------------------------
+
+    def __and__(self, other: "Event") -> "AllOf":
+        return AllOf(self.env, [self, other])
+
+    def __or__(self, other: "Event") -> "AnyOf":
+        return AnyOf(self.env, [self, other])
+
+    def __repr__(self) -> str:
+        state = (
+            "processed"
+            if self.processed
+            else "triggered" if self.triggered else "pending"
+        )
+        return f"<{type(self).__name__} {state} at {id(self):#x}>"
+
+
+class Timeout(Event):
+    """An event that fires after a fixed simulated delay."""
+
+    def __init__(self, env: "Environment", delay: float, value: Any = None):
+        if delay < 0:
+            raise ValueError(f"Negative delay {delay!r}")
+        super().__init__(env)
+        self._delay = delay
+        self._ok = True
+        self._value = value
+        env._schedule(self, EventPriority.NORMAL, delay)
+
+    def __repr__(self) -> str:
+        return f"<Timeout delay={self._delay}>"
+
+
+class Initialize(Event):
+    """Kernel event that starts a freshly created process."""
+
+    def __init__(self, env: "Environment", process: "Process"):
+        super().__init__(env)
+        self._ok = True
+        self._value = None
+        self.callbacks = [process._resume]
+        env._schedule(self, EventPriority.URGENT)
+
+
+class Interrupt(Exception):
+    """Thrown into a process by :meth:`Process.interrupt`.
+
+    The ``cause`` carries arbitrary context (e.g. "preempted", a failed
+    node id).  Interrupts are cooperative: the target may catch the
+    exception and keep running.
+    """
+
+    def __init__(self, cause: Any = None):
+        super().__init__(cause)
+
+    @property
+    def cause(self) -> Any:
+        return self.args[0]
+
+    def __str__(self) -> str:
+        return f"Interrupt({self.args[0]!r})"
+
+
+class Process(Event):
+    """Wraps a generator; the process event fires when the generator ends.
+
+    Yield semantics inside the generator:
+
+    - ``yield some_event`` suspends until the event fires; its value is the
+      result of the ``yield`` expression, or the exception is thrown in.
+    - ``return value`` (or ``StopIteration``) makes the process event
+      succeed with ``value``, waking anything waiting on the process.
+    """
+
+    def __init__(self, env: "Environment", generator: Generator, name: str = ""):
+        if not hasattr(generator, "send") or not hasattr(generator, "throw"):
+            raise TypeError(f"{generator!r} is not a generator")
+        super().__init__(env)
+        self._generator = generator
+        self.name = name or getattr(generator, "__name__", "process")
+        #: The event this process is currently waiting on (None if running
+        #: or finished).  Needed for interrupt bookkeeping.
+        self._target: Optional[Event] = None
+        Initialize(env, self)
+
+    @property
+    def is_alive(self) -> bool:
+        """True while the underlying generator has not terminated."""
+        return self._value is _PENDING
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process as soon as possible.
+
+        Interrupting a dead process is an error; interrupting a process
+        that is about to be resumed is safe (the interrupt wins because it
+        is scheduled URGENT).
+        """
+        if not self.is_alive:
+            raise SimulationError(f"{self!r} has terminated; cannot interrupt")
+        if self._target is self.env.active_process:
+            raise SimulationError("A process cannot interrupt itself")
+        wakeup = Event(self.env)
+        wakeup._ok = False
+        wakeup._value = Interrupt(cause)
+        wakeup.callbacks = [self._resume]
+        self.env._schedule(wakeup, EventPriority.URGENT)
+        # Detach from the event we were waiting on: it must no longer
+        # resume us when it fires (we might be waiting on something new by
+        # then, or be dead).
+        if self._target is not None and self._target.callbacks is not None:
+            try:
+                self._target.callbacks.remove(self._resume)
+            except ValueError:
+                pass
+            self._target = None
+
+    def _resume(self, event: Event) -> None:
+        """Advance the generator with the fired event's outcome."""
+        self.env._active_process = self
+        self._target = None
+        try:
+            if event._ok:
+                next_target = self._generator.send(event._value)
+            else:
+                # Exceptions delivered into a process count as handled.
+                event.defused = True
+                next_target = self._generator.throw(event._value)
+        except StopIteration as stop:
+            self.env._active_process = None
+            self.succeed(stop.value)
+            return
+        except BaseException as exc:  # noqa: BLE001 - process crashed
+            self.env._active_process = None
+            self.fail(exc)
+            return
+        self.env._active_process = None
+
+        if not isinstance(next_target, Event):
+            raise SimulationError(
+                f"Process {self.name!r} yielded non-event {next_target!r}"
+            )
+        if next_target.env is not self.env:
+            raise SimulationError(
+                f"Process {self.name!r} yielded event from another environment"
+            )
+        if next_target.callbacks is None:
+            # Already processed: resume immediately at the same instant.
+            immediate = Event(self.env)
+            immediate._ok = next_target._ok
+            immediate._value = next_target._value
+            immediate.callbacks = [self._resume]
+            self.env._schedule(immediate, EventPriority.URGENT)
+            self._target = immediate
+        else:
+            next_target.callbacks.append(self._resume)
+            self._target = next_target
+
+    def __repr__(self) -> str:
+        return f"<Process {self.name!r} {'alive' if self.is_alive else 'done'}>"
+
+
+class ConditionEvent(Event):
+    """Base for events that fire when a predicate over child events holds."""
+
+    def __init__(self, env: "Environment", events: Iterable[Event]):
+        super().__init__(env)
+        self._events: Tuple[Event, ...] = tuple(events)
+        self._fired: List[Event] = []
+        for ev in self._events:
+            if ev.env is not env:
+                raise SimulationError("Condition mixes environments")
+            if ev.callbacks is None:  # already processed
+                self._check(ev)
+            else:
+                ev.callbacks.append(self._check)
+        # An empty condition is trivially satisfied.
+        if not self._events and self._value is _PENDING:
+            self.succeed({})
+
+    def _predicate(self, fired: int, total: int) -> bool:
+        raise NotImplementedError
+
+    def _check(self, event: Event) -> None:
+        if self._value is not _PENDING:
+            return
+        if not event._ok:
+            event.defused = True
+            self.fail(event._value)
+            return
+        self._fired.append(event)
+        if self._predicate(len(self._fired), len(self._events)):
+            self.succeed(self._collect())
+
+    def _collect(self) -> dict:
+        """Map each child event that actually *fired* to its value.
+
+        Note: a Timeout carries its value from construction, so "has a
+        value" is not the same as "has fired" -- only events whose
+        callbacks ran are included.
+        """
+        return {ev: ev._value for ev in self._fired}
+
+
+class AllOf(ConditionEvent):
+    """Fires when *all* child events have fired (fails fast on failure)."""
+
+    def _predicate(self, fired: int, total: int) -> bool:
+        return fired == total
+
+
+class AnyOf(ConditionEvent):
+    """Fires when *any* child event has fired."""
+
+    def _predicate(self, fired: int, total: int) -> bool:
+        return fired >= 1
+
+
+class Environment:
+    """The event loop: virtual clock plus a deterministic event calendar."""
+
+    def __init__(self, initial_time: float = 0.0):
+        self._now = float(initial_time)
+        self._queue: List[Tuple[float, int, int, Event]] = []
+        self._seq = count()
+        self._active_process: Optional[Process] = None
+
+    # -- clock ------------------------------------------------------------
+
+    @property
+    def now(self) -> float:
+        """Current simulated time (seconds by convention in this repo)."""
+        return self._now
+
+    @property
+    def active_process(self) -> Optional[Process]:
+        """The process currently executing, if any."""
+        return self._active_process
+
+    # -- event factories ----------------------------------------------------
+
+    def event(self) -> Event:
+        """Create a new pending event."""
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """Create an event firing ``delay`` time units from now."""
+        return Timeout(self, delay, value)
+
+    def process(self, generator: Generator, name: str = "") -> Process:
+        """Start a new process from ``generator``."""
+        return Process(self, generator, name=name)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        return AllOf(self, events)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        return AnyOf(self, events)
+
+    # -- scheduling ---------------------------------------------------------
+
+    def _schedule(
+        self, event: Event, priority: int, delay: float = 0.0
+    ) -> None:
+        heapq.heappush(
+            self._queue, (self._now + delay, priority, next(self._seq), event)
+        )
+
+    def peek(self) -> float:
+        """Time of the next scheduled event, or ``inf`` if none."""
+        return self._queue[0][0] if self._queue else float("inf")
+
+    def step(self) -> None:
+        """Pop and process exactly one event."""
+        if not self._queue:
+            raise SimulationError("No scheduled events")
+        when, _prio, _seq, event = heapq.heappop(self._queue)
+        self._now = when
+        callbacks, event.callbacks = event.callbacks, None
+        if callbacks is None:
+            return  # cancelled / already processed
+        for cb in callbacks:
+            cb(event)
+        if not event._ok and not event.defused:
+            # A failure nobody waited on: surface it rather than lose it.
+            raise event._value
+
+    def run(self, until: Optional[Any] = None) -> Any:
+        """Run until the calendar drains, a time is reached, or an event fires.
+
+        Parameters
+        ----------
+        until:
+            ``None`` -- run to exhaustion; a number -- run until that
+            simulated time; an :class:`Event` -- run until it fires, and
+            return its value.
+        """
+        stop_event: Optional[Event] = None
+        if until is None:
+            deadline = float("inf")
+        elif isinstance(until, Event):
+            stop_event = until
+            deadline = float("inf")
+            if stop_event.processed:
+                return stop_event.value
+        else:
+            deadline = float(until)
+            if deadline < self._now:
+                raise ValueError(
+                    f"until={deadline} is in the past (now={self._now})"
+                )
+
+        while self._queue:
+            if stop_event is not None and stop_event.processed:
+                break
+            if self.peek() > deadline:
+                self._now = deadline
+                break
+            try:
+                self.step()
+            except StopSimulation as stop:
+                return stop.value
+        else:
+            # Queue drained naturally.
+            if stop_event is None and deadline != float("inf"):
+                self._now = deadline
+
+        if stop_event is not None:
+            if not stop_event.processed:
+                raise SimulationError(
+                    "Run ended before 'until' event fired (deadlock?)"
+                )
+            if not stop_event.ok:
+                raise stop_event.value
+            return stop_event.value
+        return None
+
+    def __repr__(self) -> str:
+        return f"<Environment t={self._now} queued={len(self._queue)}>"

@@ -1,0 +1,13 @@
+"""Storage substrate: per-site file stores and inter-site transfers.
+
+Workflow tasks exchange data through files on shared intermediate
+storage co-deployed with the application (the TomusBlobs-style setup the
+paper builds on).  Metadata (file -> locations) lives in the metadata
+service; this package holds the *data* side: which bytes exist at which
+site, and the cost of moving them.
+"""
+
+from repro.storage.filestore import FileStore, StoredFile
+from repro.storage.transfer import TransferService
+
+__all__ = ["FileStore", "StoredFile", "TransferService"]

@@ -1,0 +1,73 @@
+"""Per-site file stores.
+
+A :class:`FileStore` tracks the files materialized at one datacenter.
+It is a bookkeeping structure (contents are sizes, not bytes); transfer
+*time* is charged by :class:`~repro.storage.transfer.TransferService`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional
+
+__all__ = ["FileStore", "StoredFile"]
+
+
+@dataclass(frozen=True)
+class StoredFile:
+    """One file resident at one site."""
+
+    name: str
+    size: int  # bytes
+    created_at: float = 0.0
+    producer: str = ""  # task id that wrote it
+
+    def __post_init__(self):
+        if not self.name:
+            raise ValueError("file name must be non-empty")
+        if self.size < 0:
+            raise ValueError("file size must be >= 0")
+
+
+class FileStore:
+    """The files present at one site, keyed by name."""
+
+    def __init__(self, site: str):
+        self.site = site
+        self._files: Dict[str, StoredFile] = {}
+        self.bytes_written = 0
+        self.bytes_read = 0
+
+    def put(self, file: StoredFile) -> None:
+        """Materialize a file at this site (idempotent by name)."""
+        if file.name not in self._files:
+            self.bytes_written += file.size
+        self._files[file.name] = file
+
+    def get(self, name: str) -> Optional[StoredFile]:
+        f = self._files.get(name)
+        if f is not None:
+            self.bytes_read += f.size
+        return f
+
+    def has(self, name: str) -> bool:
+        return name in self._files
+
+    def delete(self, name: str) -> bool:
+        return self._files.pop(name, None) is not None
+
+    @property
+    def total_bytes(self) -> int:
+        return sum(f.size for f in self._files.values())
+
+    def __len__(self) -> int:
+        return len(self._files)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._files
+
+    def __iter__(self) -> Iterator[StoredFile]:
+        return iter(self._files.values())
+
+    def __repr__(self) -> str:
+        return f"<FileStore {self.site} files={len(self)}>"

@@ -1,0 +1,97 @@
+"""Inter-site data movement.
+
+The transfer service owns one :class:`FileStore` per site and moves file
+contents over the deployment's network, paying latency plus
+size/bandwidth.  It also keeps the statistics the data-provisioning
+discussion of the paper cares about: how many bytes crossed WAN links
+and how much task time was spent waiting on transfers.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Generator, Iterable, List, Optional
+
+from repro.sim import Environment
+from repro.cloud.network import Network
+from repro.storage.filestore import FileStore, StoredFile
+
+__all__ = ["TransferService"]
+
+
+class TransferError(Exception):
+    """The requested file exists at no site the service knows about."""
+
+
+class TransferService:
+    """File placement plus fetch-to-site transfers."""
+
+    def __init__(self, env: Environment, network: Network, sites: Iterable[str]):
+        self.env = env
+        self.network = network
+        self.stores: Dict[str, FileStore] = {s: FileStore(s) for s in sites}
+        self.transfers = 0
+        self.wan_bytes = 0
+        self.transfer_wait = 0.0
+
+    def store(self, site: str, file: StoredFile) -> None:
+        """Write a freshly produced file at ``site`` (local, instant)."""
+        self._store_of(site).put(file)
+
+    def locations_of(self, name: str) -> List[str]:
+        """Sites currently holding ``name`` (data-side ground truth)."""
+        return [s for s, store in self.stores.items() if store.has(name)]
+
+    def fetch(
+        self,
+        name: str,
+        to_site: str,
+        known_locations: Optional[Iterable[str]] = None,
+    ) -> Generator:
+        """Process: ensure ``name`` is materialized at ``to_site``.
+
+        ``known_locations`` normally comes from the metadata service
+        (that is the whole point of the registry: learning where the
+        data is without broadcasting).  Falls back to ground truth when
+        omitted -- useful for tests.  Picks the closest source site by
+        one-way latency.  Returns the :class:`StoredFile`.
+        """
+        dst = self._store_of(to_site)
+        existing = dst.get(name)
+        if existing is not None:
+            return existing
+
+        candidates = [
+            s
+            for s in (known_locations or self.locations_of(name))
+            if s in self.stores and self.stores[s].has(name)
+        ]
+        if not candidates:
+            raise TransferError(f"file {name!r} not found at any site")
+        src_site = min(
+            candidates,
+            key=lambda s: self.network.topology.latency(s, to_site),
+        )
+        file = self.stores[src_site].get(name)
+        assert file is not None  # guarded by candidates filter
+        start = self.env.now
+        yield from self.network.transfer(src_site, to_site, file.size)
+        self.transfers += 1
+        self.transfer_wait += self.env.now - start
+        if src_site != to_site:
+            self.wan_bytes += file.size
+        dst.put(file)
+        return file
+
+    def _store_of(self, site: str) -> FileStore:
+        try:
+            return self.stores[site]
+        except KeyError:
+            raise KeyError(
+                f"unknown site {site!r}; have {sorted(self.stores)}"
+            ) from None
+
+    def total_files(self) -> int:
+        return sum(len(s) for s in self.stores.values())
+
+    def __repr__(self) -> str:
+        return f"<TransferService sites={sorted(self.stores)}>"

@@ -1,0 +1,26 @@
+"""Shared utilities: deterministic RNG streams and unit helpers."""
+
+from repro.util.rng import RngStreams, derive_seed
+from repro.util.units import (
+    GB,
+    KB,
+    MB,
+    MINUTES,
+    MS,
+    US,
+    fmt_bytes,
+    fmt_duration,
+)
+
+__all__ = [
+    "GB",
+    "KB",
+    "MB",
+    "MINUTES",
+    "MS",
+    "US",
+    "RngStreams",
+    "derive_seed",
+    "fmt_bytes",
+    "fmt_duration",
+]

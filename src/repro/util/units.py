@@ -1,0 +1,49 @@
+"""Unit constants and formatting helpers.
+
+Convention across the repository: time is in **seconds**, sizes in
+**bytes**, bandwidth in **bytes/second**.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "US",
+    "MS",
+    "MINUTES",
+    "KB",
+    "MB",
+    "GB",
+    "fmt_bytes",
+    "fmt_duration",
+]
+
+US = 1e-6
+MS = 1e-3
+MINUTES = 60.0
+
+KB = 1024
+MB = 1024 * KB
+GB = 1024 * MB
+
+
+def fmt_bytes(n: float) -> str:
+    """Human-readable byte count: ``fmt_bytes(3*MB) == '3.0 MB'``."""
+    for unit, div in (("GB", GB), ("MB", MB), ("KB", KB)):
+        if abs(n) >= div:
+            return f"{n / div:.1f} {unit}"
+    return f"{n:.0f} B"
+
+
+def fmt_duration(seconds: float) -> str:
+    """Human-readable duration: ``fmt_duration(90) == '1m30.0s'``."""
+    if seconds < 0:
+        return "-" + fmt_duration(-seconds)
+    if seconds < 1:
+        return f"{seconds * 1000:.1f}ms"
+    if seconds < 60:
+        return f"{seconds:.1f}s"
+    minutes, rem = divmod(seconds, 60.0)
+    if minutes < 60:
+        return f"{int(minutes)}m{rem:04.1f}s"
+    hours, minutes = divmod(int(minutes), 60)
+    return f"{hours}h{minutes:02d}m{rem:04.1f}s"

@@ -1,0 +1,53 @@
+"""Workflow substrate: DAGs, access patterns, applications and the engine.
+
+Workflows here follow the paper's model (Section II): tasks are
+standalone computations exchanging data through files; the engine is a
+scheduler that builds a task-dependency graph from the tasks'
+input/output files, queries the metadata service for file locations,
+moves data when needed and publishes metadata for produced files.
+"""
+
+from repro.workflow.dag import Task, Workflow, WorkflowFile
+from repro.workflow.patterns import (
+    broadcast,
+    gather,
+    pipeline,
+    reduce_tree,
+    scatter,
+)
+from repro.workflow.applications import buzzflow, montage
+from repro.workflow.engine import TaskResult, WorkflowEngine, WorkflowResult
+from repro.workflow.serialization import (
+    load_workflow,
+    save_workflow,
+    workflow_from_dict,
+    workflow_to_dict,
+)
+from repro.workflow.traces import (
+    TraceProfile,
+    characterize,
+    generate_trace_workflow,
+)
+
+__all__ = [
+    "Task",
+    "TaskResult",
+    "TraceProfile",
+    "Workflow",
+    "WorkflowEngine",
+    "WorkflowFile",
+    "WorkflowResult",
+    "broadcast",
+    "buzzflow",
+    "characterize",
+    "gather",
+    "generate_trace_workflow",
+    "load_workflow",
+    "montage",
+    "pipeline",
+    "reduce_tree",
+    "save_workflow",
+    "scatter",
+    "workflow_from_dict",
+    "workflow_to_dict",
+]

@@ -1,0 +1,218 @@
+"""The five canonical workflow data access patterns (Section II-A).
+
+Workflow characterization studies identify pipeline, scatter, gather,
+reduce and broadcast as the building blocks of real applications, which
+are "typically a combination of these patterns".  Each generator below
+returns a fresh :class:`~repro.workflow.dag.Workflow`; they compose by
+passing an existing workflow plus input files.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.util.units import KB, MB
+from repro.workflow.dag import Task, Workflow, WorkflowFile
+
+__all__ = ["broadcast", "gather", "pipeline", "reduce_tree", "scatter"]
+
+DEFAULT_FILE_SIZE = 190 * KB
+
+
+def _out(prefix: str, i: int, size: int) -> WorkflowFile:
+    return WorkflowFile(f"{prefix}/out-{i}", size=size)
+
+
+def pipeline(
+    n_stages: int,
+    compute_time: float = 1.0,
+    extra_ops: int = 0,
+    file_size: int = DEFAULT_FILE_SIZE,
+    name: str = "pipeline",
+) -> Workflow:
+    """A linear chain: each stage consumes the previous stage's output.
+
+    The pattern with the tightest producer/consumer locality -- the one
+    the paper says the *locally replicated* registry fits best.
+    """
+    if n_stages <= 0:
+        raise ValueError("n_stages must be positive")
+    wf = Workflow(name)
+    prev: Optional[WorkflowFile] = None
+    for i in range(n_stages):
+        out = _out(f"{name}/stage-{i}", 0, file_size)
+        wf.add_task(
+            Task(
+                task_id=f"{name}-{i}",
+                inputs=[prev] if prev is not None else [],
+                outputs=[out],
+                compute_time=compute_time,
+                extra_ops=extra_ops,
+                stage=f"stage-{i}",
+            )
+        )
+        prev = out
+    return wf
+
+
+def scatter(
+    fan_out: int,
+    compute_time: float = 1.0,
+    extra_ops: int = 0,
+    file_size: int = DEFAULT_FILE_SIZE,
+    name: str = "scatter",
+) -> Workflow:
+    """One splitter task fans out to ``fan_out`` independent workers."""
+    if fan_out <= 0:
+        raise ValueError("fan_out must be positive")
+    wf = Workflow(name)
+    split_outs = [
+        _out(f"{name}/split", i, file_size) for i in range(fan_out)
+    ]
+    wf.add_task(
+        Task(
+            task_id=f"{name}-split",
+            outputs=split_outs,
+            compute_time=compute_time,
+            extra_ops=extra_ops,
+            stage="split",
+        )
+    )
+    for i in range(fan_out):
+        wf.add_task(
+            Task(
+                task_id=f"{name}-worker-{i}",
+                inputs=[split_outs[i]],
+                outputs=[_out(f"{name}/worker-{i}", 0, file_size)],
+                compute_time=compute_time,
+                extra_ops=extra_ops,
+                stage="worker",
+            )
+        )
+    return wf
+
+
+def gather(
+    fan_in: int,
+    compute_time: float = 1.0,
+    extra_ops: int = 0,
+    file_size: int = DEFAULT_FILE_SIZE,
+    name: str = "gather",
+) -> Workflow:
+    """``fan_in`` independent producers feed one collector task."""
+    if fan_in <= 0:
+        raise ValueError("fan_in must be positive")
+    wf = Workflow(name)
+    produced: List[WorkflowFile] = []
+    for i in range(fan_in):
+        out = _out(f"{name}/producer-{i}", 0, file_size)
+        produced.append(out)
+        wf.add_task(
+            Task(
+                task_id=f"{name}-producer-{i}",
+                outputs=[out],
+                compute_time=compute_time,
+                extra_ops=extra_ops,
+                stage="producer",
+            )
+        )
+    wf.add_task(
+        Task(
+            task_id=f"{name}-collect",
+            inputs=produced,
+            outputs=[_out(f"{name}/collect", 0, file_size)],
+            compute_time=compute_time,
+            extra_ops=extra_ops,
+            stage="collect",
+        )
+    )
+    return wf
+
+
+def reduce_tree(
+    n_leaves: int,
+    arity: int = 2,
+    compute_time: float = 1.0,
+    extra_ops: int = 0,
+    file_size: int = DEFAULT_FILE_SIZE,
+    name: str = "reduce",
+) -> Workflow:
+    """A k-ary reduction tree over ``n_leaves`` leaf producers."""
+    if n_leaves <= 0:
+        raise ValueError("n_leaves must be positive")
+    if arity < 2:
+        raise ValueError("arity must be >= 2")
+    wf = Workflow(name)
+    frontier: List[WorkflowFile] = []
+    for i in range(n_leaves):
+        out = _out(f"{name}/leaf-{i}", 0, file_size)
+        frontier.append(out)
+        wf.add_task(
+            Task(
+                task_id=f"{name}-leaf-{i}",
+                outputs=[out],
+                compute_time=compute_time,
+                extra_ops=extra_ops,
+                stage="leaf",
+            )
+        )
+    level = 0
+    while len(frontier) > 1:
+        next_frontier: List[WorkflowFile] = []
+        for j in range(0, len(frontier), arity):
+            group = frontier[j : j + arity]
+            out = _out(f"{name}/reduce-{level}", j // arity, file_size)
+            next_frontier.append(out)
+            wf.add_task(
+                Task(
+                    task_id=f"{name}-reduce-{level}-{j // arity}",
+                    inputs=list(group),
+                    outputs=[out],
+                    compute_time=compute_time,
+                    extra_ops=extra_ops,
+                    stage=f"reduce-{level}",
+                )
+            )
+        frontier = next_frontier
+        level += 1
+    return wf
+
+
+def broadcast(
+    fan_out: int,
+    compute_time: float = 1.0,
+    extra_ops: int = 0,
+    file_size: int = DEFAULT_FILE_SIZE,
+    name: str = "broadcast",
+) -> Workflow:
+    """One producer's single output is read by ``fan_out`` consumers.
+
+    Stresses hot-entry behaviour: every consumer resolves the *same*
+    metadata key (the paper's related work notes hot entries defeat
+    subtree partitioning; hashing handles them by caching/locality).
+    """
+    if fan_out <= 0:
+        raise ValueError("fan_out must be positive")
+    wf = Workflow(name)
+    shared = _out(f"{name}/source", 0, file_size)
+    wf.add_task(
+        Task(
+            task_id=f"{name}-source",
+            outputs=[shared],
+            compute_time=compute_time,
+            extra_ops=extra_ops,
+            stage="source",
+        )
+    )
+    for i in range(fan_out):
+        wf.add_task(
+            Task(
+                task_id=f"{name}-consumer-{i}",
+                inputs=[shared],
+                outputs=[_out(f"{name}/consumer-{i}", 0, file_size)],
+                compute_time=compute_time,
+                extra_ops=extra_ops,
+                stage="consumer",
+            )
+        )
+    return wf

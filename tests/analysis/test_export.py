@@ -1,0 +1,59 @@
+"""Tests for JSON export of results."""
+
+import json
+
+import pytest
+
+from repro.analysis.export import (
+    export_json,
+    ops_to_records,
+    workflow_result_to_dict,
+)
+from repro.cloud.deployment import Deployment
+from repro.cloud.presets import azure_4dc_topology
+from repro.metadata.controller import ArchitectureController
+from repro.workflow.engine import WorkflowEngine
+from repro.workflow.patterns import pipeline
+
+
+@pytest.fixture
+def result(fast_config):
+    dep = Deployment(
+        topology=azure_4dc_topology(jitter=False), n_nodes=4, seed=71
+    )
+    ctrl = ArchitectureController(dep, strategy="hybrid", config=fast_config)
+    engine = WorkflowEngine(dep, ctrl.strategy)
+    res = engine.run(pipeline(3, compute_time=0.05, extra_ops=4))
+    ctrl.shutdown()
+    return res
+
+
+class TestExport:
+    def test_workflow_result_dict_shape(self, result):
+        doc = workflow_result_to_dict(result)
+        assert doc["workflow"] == "pipeline"
+        assert doc["strategy"] == "hybrid"
+        assert doc["makespan"] > 0
+        assert len(doc["tasks"]) == 3
+        assert "op_metrics" in doc
+        assert "ops" not in doc
+
+    def test_include_full_trace(self, result):
+        doc = workflow_result_to_dict(result, include_ops=True)
+        assert len(doc["ops"]) == len(result.ops.records)
+        first = doc["ops"][0]
+        assert {"kind", "site", "latency", "local"} <= set(first)
+
+    def test_ops_limit(self, result):
+        assert len(ops_to_records(result.ops, limit=2)) == 2
+
+    def test_export_json_file(self, result, tmp_path):
+        path = tmp_path / "run.json"
+        export_json(result, path)
+        doc = json.loads(path.read_text())
+        assert doc["workflow"] == "pipeline"
+
+    def test_export_plain_document(self, tmp_path):
+        path = tmp_path / "doc.json"
+        export_json({"a": [1, 2, 3]}, path)
+        assert json.loads(path.read_text()) == {"a": [1, 2, 3]}

@@ -1,0 +1,106 @@
+"""Additional network-model tests: stats breakdowns, RPC sizes, slots."""
+
+import pytest
+
+from repro.cloud.network import Network, NetworkStats
+from repro.cloud.presets import azure_4dc_topology, make_topology
+from repro.sim import Environment
+from repro.util.units import MB
+
+
+def run(env, gen):
+    return env.run(until=env.process(gen))
+
+
+class TestStats:
+    def test_as_dict_keys(self):
+        d = NetworkStats().as_dict()
+        assert {
+            "messages",
+            "bytes",
+            "local_messages",
+            "same_region_messages",
+            "geo_distant_messages",
+            "total_latency",
+        } == set(d)
+
+    def test_total_latency_accumulates(self, env):
+        net = Network(env, azure_4dc_topology(jitter=False))
+        run(env, net.transfer("west-europe", "east-us"))
+        run(env, net.transfer("west-europe", "east-us"))
+        assert net.stats.total_latency >= 2 * 0.040
+
+
+class TestRpcSizes:
+    def test_large_payload_pays_bandwidth_both_ways(self, env):
+        net = Network(env, azure_4dc_topology(jitter=False))
+
+        def tiny():
+            return (yield from net.rpc(
+                "west-europe", "east-us", lambda: None,
+                request_size=0, response_size=0,
+            ))
+
+        def bulky():
+            return (yield from net.rpc(
+                "west-europe", "east-us", lambda: None,
+                request_size=25 * MB, response_size=25 * MB,
+            ))
+
+        run(env, tiny())
+        t_small = env.now
+        env2 = Environment()
+        net2 = Network(env2, azure_4dc_topology(jitter=False))
+
+        def bulky2():
+            return (yield from net2.rpc(
+                "west-europe", "east-us", lambda: None,
+                request_size=25 * MB, response_size=25 * MB,
+            ))
+
+        env2.run(until=env2.process(bulky2()))
+        # 50 MB total over a 50 MB/s link adds about a second.
+        assert env2.now > t_small + 0.9
+
+
+class TestLinkSlots:
+    def test_slots_are_per_direction(self, env):
+        net = Network(env, azure_4dc_topology(jitter=False), link_concurrency=1)
+        done = []
+
+        def fwd():
+            yield from net.transfer("west-europe", "east-us")
+            done.append(("fwd", env.now))
+
+        def bwd():
+            yield from net.transfer("east-us", "west-europe")
+            done.append(("bwd", env.now))
+
+        env.process(fwd())
+        env.process(bwd())
+        env.run()
+        # Opposite directions never contend.
+        times = dict(done)
+        assert abs(times["fwd"] - times["bwd"]) < 1e-9
+
+    def test_same_direction_contends(self, env):
+        net = Network(env, azure_4dc_topology(jitter=False), link_concurrency=1)
+        done = []
+
+        def xfer():
+            yield from net.transfer("west-europe", "east-us", size=10 * MB)
+            done.append(env.now)
+
+        env.process(xfer())
+        env.process(xfer())
+        env.run()
+        assert done[1] > done[0] * 1.5
+
+
+class TestUniformTopologies:
+    def test_round_trip_symmetric(self, env):
+        topo = make_topology(["a", "b"], geo_distant_latency=0.05)
+        net = Network(env, topo)
+        assert net.round_trip("a", "b") == pytest.approx(
+            net.round_trip("b", "a")
+        )

@@ -1,0 +1,113 @@
+"""Tests for VirtualMachine and Deployment provisioning."""
+
+import pytest
+
+from repro.cloud.deployment import Deployment
+from repro.cloud.presets import AZURE_4DC, azure_4dc_topology
+from repro.cloud.topology import Datacenter, Region
+from repro.cloud.vm import VirtualMachine, VMRole, VMSize
+
+
+class TestVMSize:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            VMSize("bad", cores=0, memory=1)
+        with pytest.raises(ValueError):
+            VMSize("bad", cores=1, memory=0)
+
+
+class TestVirtualMachine:
+    def test_compute_occupies_core(self, env):
+        dc = Datacenter("dc", Region("r"))
+        vm = VirtualMachine(env, "vm-0", dc, VMSize("s", 1, 1024))
+        done = []
+
+        def job(d):
+            yield from vm.compute(d)
+            done.append(env.now)
+
+        env.process(job(2.0))
+        env.process(job(3.0))
+        env.run()
+        # Single core: jobs serialize.
+        assert done == [2.0, 5.0]
+        assert vm.tasks_executed == 2
+        assert vm.busy_time == pytest.approx(5.0)
+
+    def test_multicore_parallel(self, env):
+        dc = Datacenter("dc", Region("r"))
+        vm = VirtualMachine(env, "vm-0", dc, VMSize("m", 2, 1024))
+        done = []
+
+        def job():
+            yield from vm.compute(2.0)
+            done.append(env.now)
+
+        env.process(job())
+        env.process(job())
+        env.run()
+        assert done == [2.0, 2.0]
+
+    def test_negative_duration_rejected(self, env):
+        dc = Datacenter("dc", Region("r"))
+        vm = VirtualMachine(env, "vm-0", dc)
+
+        def job():
+            yield from vm.compute(-1)
+
+        proc = env.process(job())
+        with pytest.raises(ValueError):
+            env.run(until=proc)
+
+    def test_utilization(self, env):
+        dc = Datacenter("dc", Region("r"))
+        vm = VirtualMachine(env, "vm-0", dc, VMSize("s", 1, 1024))
+
+        def job():
+            yield from vm.compute(4.0)
+
+        env.process(job())
+        env.run(until=8.0)
+        assert vm.utilization() == pytest.approx(0.5)
+
+
+class TestDeployment:
+    def test_round_robin_placement(self):
+        dep = Deployment(n_nodes=8, seed=1)
+        per_site = {s: len(dep.workers_at(s)) for s in dep.sites}
+        assert per_site == {s: 2 for s in AZURE_4DC}
+
+    def test_uneven_counts(self):
+        dep = Deployment(n_nodes=6, seed=1)
+        counts = sorted(len(dep.workers_at(s)) for s in dep.sites)
+        assert counts == [1, 1, 2, 2]
+        assert dep.n_nodes == 6
+
+    def test_default_small_vm(self):
+        dep = Deployment(n_nodes=2)
+        assert dep.workers[0].size.cores == 1
+
+    def test_invalid_node_count(self):
+        with pytest.raises(ValueError):
+            Deployment(n_nodes=0)
+
+    def test_core_limit_enforced(self):
+        """Azure's 300-core deployment cap forces multi-site (Section II-B)."""
+        topo = azure_4dc_topology()
+        # A single-site topology cannot host 301 single-core workers.
+        from repro.cloud.presets import make_topology
+
+        single = make_topology(["only-site"])
+        with pytest.raises(ValueError, match="[Cc]ore limit"):
+            Deployment(topology=single, n_nodes=301)
+        # Spread across 4 sites, 301 nodes are fine.
+        Deployment(topology=topo, n_nodes=301)
+
+    def test_control_node_exists(self):
+        dep = Deployment(n_nodes=4)
+        assert dep.control_node.role is VMRole.CONTROL
+
+    def test_deterministic_rng_streams(self):
+        a = Deployment(n_nodes=4, seed=9)
+        b = Deployment(n_nodes=4, seed=9)
+        assert a.rng.get("x").integers(1000) == b.rng.get("x").integers(1000)

@@ -1,0 +1,53 @@
+"""Shared fixtures for the test suite."""
+
+import pytest
+
+from repro.sim import Environment
+from repro.cloud.deployment import Deployment
+from repro.cloud.network import Network
+from repro.cloud.presets import azure_4dc_topology, make_topology
+from repro.metadata.config import MetadataConfig
+
+
+@pytest.fixture
+def env():
+    return Environment()
+
+
+@pytest.fixture
+def topo():
+    """The paper's 4-DC Azure topology, deterministic (no jitter)."""
+    return azure_4dc_topology(jitter=False)
+
+
+@pytest.fixture
+def network(env, topo):
+    return Network(env, topo)
+
+
+@pytest.fixture
+def deployment():
+    """A small 8-node deployment over the 4-DC testbed."""
+    return Deployment(
+        topology=azure_4dc_topology(jitter=False), n_nodes=8, seed=42
+    )
+
+
+@pytest.fixture
+def fast_config():
+    """Config with tiny overheads so tests run quickly in simulated time."""
+    return MetadataConfig(
+        client_overhead=0.001,
+        service_time=0.001,
+        merge_entry_time=0.0005,
+        sync_period=0.5,
+        replication_flush_interval=0.05,
+        read_retry_interval=0.05,
+        read_retry_max_delay=0.2,
+    )
+
+
+def drive(env, gen, name="test"):
+    """Run a generator process to completion; return its value."""
+    proc = env.process(gen, name=name)
+    return env.run(until=proc)

@@ -1,0 +1,50 @@
+"""Tests for the experiment runner plumbing (not the full experiments)."""
+
+import io
+
+import pytest
+
+from repro.experiments import runner
+
+
+class TestRunnerStructure:
+    def test_quick_and_full_cover_same_experiments(self):
+        quick = [name for name, _ in runner._experiments(quick=True)]
+        full = [name for name, _ in runner._experiments(quick=False)]
+        assert quick == full
+        assert "Fig. 1" in quick
+        assert any("Fig. 10" in n for n in quick)
+
+    def test_experiments_are_callables(self):
+        for _name, fn in runner._experiments(quick=True):
+            assert callable(fn)
+
+    def test_run_all_streams_reports(self, monkeypatch):
+        """run_all renders every experiment into the stream."""
+
+        class FakeResult:
+            def render(self):
+                return "FAKE-TABLE"
+
+        monkeypatch.setattr(
+            runner,
+            "_experiments",
+            lambda quick: [("Fig. X", lambda: FakeResult())],
+        )
+        buf = io.StringIO()
+        results = runner.run_all(quick=True, stream=buf)
+        out = buf.getvalue()
+        assert "Fig. X" in out
+        assert "FAKE-TABLE" in out
+        assert len(results) == 1
+
+    def test_main_parses_quick_flag(self, monkeypatch):
+        called = {}
+
+        def fake_run_all(quick=False, stream=None):
+            called["quick"] = quick
+            return []
+
+        monkeypatch.setattr(runner, "run_all", fake_run_all)
+        assert runner.main(["--quick"]) == 0
+        assert called["quick"] is True

@@ -1,0 +1,116 @@
+"""Integration: fault injection against live workloads.
+
+Exercises the resilience story end to end -- failures land *while* the
+metadata service is under load, and the run must still complete with
+correct results.
+"""
+
+import pytest
+
+from repro.cloud.deployment import Deployment
+from repro.cloud.faults import (
+    CacheFailureInjector,
+    LatencySpikeInjector,
+    SiteOutage,
+)
+from repro.cloud.presets import azure_4dc_topology
+from repro.metadata.controller import ArchitectureController
+from repro.workflow.engine import WorkflowEngine
+from repro.workflow.patterns import scatter
+
+
+@pytest.fixture
+def dep():
+    return Deployment(
+        topology=azure_4dc_topology(jitter=False), n_nodes=8, seed=61
+    )
+
+
+class TestWorkflowUnderFaults:
+    def test_workflow_survives_cache_failures(self, dep, fast_config):
+        ctrl = ArchitectureController(dep, strategy="hybrid", config=fast_config)
+        engine = WorkflowEngine(dep, ctrl.strategy)
+        injector = CacheFailureInjector(
+            dep.env,
+            ctrl.strategy.registries,
+            schedule=[(0.2, "west-europe"), (0.4, "east-us")],
+        )
+        res = engine.run(scatter(10, compute_time=0.1, extra_ops=6))
+        ctrl.shutdown()
+        assert len(res.task_results) == 11
+        assert len(injector.events) == 2
+        # Both failed-over caches are consistent again.
+        for site in ("west-europe", "east-us"):
+            cache = ctrl.strategy.registries[site].cache
+            assert cache.failovers == 1
+            assert cache.is_consistent_with_replica()
+
+    def test_workflow_survives_latency_spike(self, dep, fast_config):
+        ctrl = ArchitectureController(
+            dep, strategy="decentralized", config=fast_config
+        )
+        engine = WorkflowEngine(dep, ctrl.strategy)
+        spike = LatencySpikeInjector(
+            dep.env,
+            dep.topology,
+            "west-europe",
+            "east-us",
+            start=0.1,
+            duration=1.0,
+            factor=20.0,
+        )
+        res = engine.run(scatter(8, compute_time=0.1, extra_ops=4))
+        ctrl.shutdown()
+        assert len(res.task_results) == 9
+        # The spike window closed and the link healed.
+        kinds = [e.kind for e in spike.events]
+        assert kinds == ["latency-spike-start", "latency-spike-end"]
+        assert dep.topology.latency("west-europe", "east-us") == pytest.approx(
+            0.040
+        )
+
+    def test_spike_slows_affected_runs(self, fast_config):
+        """The same workload takes longer with a mid-run latency spike."""
+
+        def run(with_spike):
+            dep = Deployment(
+                topology=azure_4dc_topology(jitter=False), n_nodes=8, seed=62
+            )
+            ctrl = ArchitectureController(
+                dep, strategy="centralized", config=fast_config
+            )
+            engine = WorkflowEngine(
+                dep, ctrl.strategy, locality_scheduling=False
+            )
+            if with_spike:
+                LatencySpikeInjector(
+                    dep.env,
+                    dep.topology,
+                    "west-europe",
+                    "east-us",
+                    start=0.05,
+                    duration=30.0,
+                    factor=25.0,
+                )
+            res = engine.run(scatter(10, compute_time=0.05, extra_ops=8))
+            ctrl.shutdown()
+            return res.makespan
+
+        assert run(True) > run(False)
+
+    def test_site_outage_delays_but_completes(self, dep, fast_config):
+        ctrl = ArchitectureController(
+            dep, strategy="centralized", config=fast_config
+        )
+        engine = WorkflowEngine(dep, ctrl.strategy)
+        SiteOutage(
+            dep.env,
+            ctrl.strategy.registry,
+            start=0.05,
+            duration=2.0,
+        )
+        res = engine.run(scatter(6, compute_time=0.05, extra_ops=4))
+        ctrl.shutdown()
+        assert len(res.task_results) == 7
+        # The outage window is visible in the makespan.
+        assert res.makespan >= 2.0

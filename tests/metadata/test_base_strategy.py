@@ -1,0 +1,122 @@
+"""Tests for the MetadataStrategy base-class machinery."""
+
+import pytest
+
+from repro.cloud.deployment import Deployment
+from repro.cloud.presets import azure_4dc_topology
+from repro.metadata.config import MetadataConfig
+from repro.metadata.entry import RegistryEntry
+from repro.metadata.strategies import DecentralizedStrategy, HybridStrategy
+from repro.metadata.strategies.base import ReadMissError
+
+
+@pytest.fixture
+def dep():
+    return Deployment(
+        topology=azure_4dc_topology(jitter=False), n_nodes=4, seed=81
+    )
+
+
+def drive(env, gen):
+    return env.run(until=env.process(gen))
+
+
+class TestRetryBackoff:
+    def test_backoff_grows_then_caps(self, dep):
+        cfg = MetadataConfig(
+            client_overhead=0.0,
+            service_time=0.001,
+            read_retry_interval=0.1,
+            read_retry_backoff=2.0,
+            read_retry_max_delay=0.4,
+            read_max_retries=4,
+        )
+        strat = DecentralizedStrategy(dep.env, dep.network, dep.sites, cfg)
+
+        def flow():
+            yield from strat.read("west-europe", "ghost", require_found=True)
+
+        t0 = dep.env.now
+        with pytest.raises(ReadMissError) as exc:
+            drive(dep.env, flow())
+        elapsed = dep.env.now - t0
+        # Delays: 0.1 + 0.2 + 0.4(capped) + 0.4(capped) = 1.1 s plus
+        # five probe round trips.
+        assert exc.value.retries == 4
+        assert 1.1 <= elapsed <= 1.8
+
+    def test_zero_retries_config(self, dep, fast_config):
+        fast_config.read_max_retries = 0
+        strat = DecentralizedStrategy(
+            dep.env, dep.network, dep.sites, fast_config
+        )
+
+        def flow():
+            yield from strat.read("west-europe", "ghost", require_found=True)
+
+        with pytest.raises(ReadMissError):
+            drive(dep.env, flow())
+
+
+class TestAccounting:
+    def test_retry_count_recorded(self, dep, fast_config):
+        strat = HybridStrategy(dep.env, dep.network, dep.sites, fast_config)
+
+        def late_writer():
+            yield dep.env.timeout(0.3)
+            yield from strat.write("east-us", RegistryEntry(key="late"))
+
+        def reader():
+            got = yield from strat.read(
+                "west-europe", "late", require_found=True
+            )
+            return got
+
+        dep.env.process(late_writer())
+        got = drive(dep.env, reader())
+        strat.shutdown()
+        assert got is not None
+        read_rec = [r for r in strat.stats.records if r.kind.value == "read"][-1]
+        assert read_rec.retries >= 1
+
+    def test_registry_display_and_totals(self, dep, fast_config):
+        strat = DecentralizedStrategy(
+            dep.env, dep.network, dep.sites, fast_config
+        )
+
+        def flow():
+            for i in range(12):
+                yield from strat.write(
+                    "west-europe", RegistryEntry(key=f"k{i}")
+                )
+
+        drive(dep.env, flow())
+        display = strat.registry_for_display()
+        assert set(display) == set(dep.sites)
+        assert sum(display.values()) == strat.total_entries() == 12
+
+    def test_client_overhead_charged(self, dep):
+        fast = MetadataConfig(client_overhead=0.0, service_time=0.001)
+        slow = MetadataConfig(client_overhead=0.5, service_time=0.001)
+
+        def measure(cfg):
+            dep2 = Deployment(
+                topology=azure_4dc_topology(jitter=False), n_nodes=4, seed=81
+            )
+            strat = DecentralizedStrategy(
+                dep2.env, dep2.network, dep2.sites, cfg
+            )
+
+            def flow():
+                yield from strat.write(
+                    "west-europe", RegistryEntry(key="k")
+                )
+
+            dep2.env.run(until=dep2.env.process(flow()))
+            return dep2.env.now
+
+        assert measure(slow) >= measure(fast) + 0.5
+
+    def test_empty_sites_rejected(self, dep, fast_config):
+        with pytest.raises(ValueError):
+            DecentralizedStrategy(dep.env, dep.network, [], fast_config)

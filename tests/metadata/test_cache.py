@@ -1,0 +1,125 @@
+"""Tests for the primary/replica cache tier with optimistic concurrency."""
+
+import pytest
+
+from repro.metadata.cache import CacheFailure, CacheManager
+from repro.metadata.entry import RegistryEntry, VersionConflict
+
+
+@pytest.fixture
+def cache():
+    return CacheManager("test-cache")
+
+
+def e(key="f", locations=("a",), **kw):
+    return RegistryEntry(key=key, locations=frozenset(locations), **kw)
+
+
+class TestBasicOps:
+    def test_get_missing_returns_none(self, cache):
+        assert cache.get("nope") is None
+
+    def test_put_bumps_version(self, cache):
+        stored = cache.put(e())
+        assert stored.version == 1
+        stored2 = cache.put(e(), expected_version=1)
+        assert stored2.version == 2
+
+    def test_put_wrong_version_conflicts(self, cache):
+        cache.put(e())
+        with pytest.raises(VersionConflict):
+            cache.put(e(), expected_version=7)
+        assert cache.conflicts == 1
+
+    def test_unconditional_upsert(self, cache):
+        cache.put(e())
+        cache.put(e())  # no expected_version: always allowed
+        assert cache.get("f").version == 2
+
+    def test_delete(self, cache):
+        cache.put(e())
+        assert cache.delete("f") is True
+        assert cache.delete("f") is False
+        assert cache.get("f") is None
+
+    def test_len_contains_keys(self, cache):
+        cache.put(e("x"))
+        cache.put(e("y"))
+        assert len(cache) == 2
+        assert "x" in cache
+        assert sorted(cache.keys()) == ["x", "y"]
+
+
+class TestMerge:
+    def test_merge_unions_locations(self, cache):
+        cache.put(e(locations=("a",)))
+        cache.merge(e(locations=("b",)))
+        assert cache.get("f").locations == frozenset({"a", "b"})
+
+    def test_merge_into_empty(self, cache):
+        cache.merge(e(locations=("c",)))
+        assert cache.get("f").locations == frozenset({"c"})
+
+    def test_merge_idempotent(self, cache):
+        cache.merge(e())
+        before = cache.get("f")
+        cache.merge(e())
+        after = cache.get("f")
+        assert before.locations == after.locations
+
+
+class TestUpdateLog:
+    def test_updates_since_cursor(self, cache):
+        cache.put(e("a"))
+        cache.put(e("b"))
+        batch, cursor = cache.updates_since(0)
+        assert [x.key for x in batch] == ["a", "b"]
+        cache.put(e("c"))
+        batch2, cursor2 = cache.updates_since(cursor)
+        assert [x.key for x in batch2] == ["c"]
+        assert cursor2 == 3
+
+    def test_negative_cursor_rejected(self, cache):
+        with pytest.raises(ValueError):
+            cache.updates_since(-1)
+
+
+class TestHighAvailability:
+    def test_replica_mirrors_primary(self, cache):
+        cache.put(e("a"))
+        cache.put(e("b"))
+        assert cache.is_consistent_with_replica()
+
+    def test_failover_preserves_data(self, cache):
+        cache.put(e("a"))
+        cache.put(e("b", locations=("z",)))
+        cache.fail_primary()
+        assert cache.failovers == 1
+        assert cache.get("a") is not None
+        assert cache.get("b").locations == frozenset({"z"})
+        # The rebuilt replica is consistent again.
+        assert cache.is_consistent_with_replica()
+
+    def test_writes_continue_after_failover(self, cache):
+        cache.put(e("a"))
+        cache.fail_primary()
+        cache.put(e("c"))
+        assert cache.get("c") is not None
+        assert cache.is_consistent_with_replica()
+
+    def test_log_survives_failover(self, cache):
+        cache.put(e("a"))
+        cache.fail_primary()
+        batch, _ = cache.updates_since(0)
+        assert [x.key for x in batch] == ["a"]
+
+    def test_replica_failure_rebuilds(self, cache):
+        cache.put(e("a"))
+        cache.fail_replica()
+        assert cache.is_consistent_with_replica()
+
+    def test_double_failure_fails(self, cache):
+        cache.fail_primary()  # promotes replica, makes a new one
+        cache._replica.alive = False
+        with pytest.raises(CacheFailure):
+            cache.fail_primary()

@@ -1,0 +1,196 @@
+"""Tests for the sync agent, replication pump and consistency tracker."""
+
+import pytest
+
+from repro.cloud.network import Network
+from repro.cloud.presets import AZURE_4DC, azure_4dc_topology
+from repro.metadata.config import MetadataConfig
+from repro.metadata.consistency import (
+    ConsistencyTracker,
+    ReplicationPump,
+    SyncAgent,
+)
+from repro.metadata.entry import RegistryEntry
+from repro.metadata.registry import MetadataRegistry
+
+
+@pytest.fixture
+def net(env):
+    return Network(env, azure_4dc_topology(jitter=False))
+
+
+@pytest.fixture
+def fast_cfg():
+    return MetadataConfig(
+        service_time=0.001,
+        merge_entry_time=0.0005,
+        sync_period=0.5,
+        replication_flush_interval=0.05,
+        client_overhead=0.0,
+    )
+
+
+@pytest.fixture
+def registries(env, fast_cfg):
+    return {
+        site: MetadataRegistry(env, site, fast_cfg) for site in AZURE_4DC
+    }
+
+
+def e(key, site):
+    return RegistryEntry(
+        key=key, locations=frozenset({site}), origin_site=site
+    )
+
+
+class TestConsistencyTracker:
+    def test_window_measurement(self, env):
+        tr = ConsistencyTracker(env)
+        tr.on_created("k")
+        env._now = 3.0  # direct clock poke is fine for this unit test
+        tr.on_fully_visible("k")
+        assert tr.windows == [3.0]
+        assert tr.mean_window() == 3.0
+        assert tr.pending == 0
+
+    def test_first_creation_wins(self, env):
+        tr = ConsistencyTracker(env)
+        tr.on_created("k")
+        env._now = 1.0
+        tr.on_created("k")  # re-created: window measured from first
+        env._now = 2.0
+        tr.on_fully_visible("k")
+        assert tr.windows == [2.0]
+
+    def test_unknown_key_visible_is_noop(self, env):
+        tr = ConsistencyTracker(env)
+        tr.on_fully_visible("ghost")
+        assert tr.windows == []
+
+
+class TestSyncAgent:
+    def test_propagates_to_all_sites(self, env, net, registries, fast_cfg):
+        agent = SyncAgent(
+            env, net, registries, fast_cfg, agent_site="west-europe"
+        )
+        registries["west-europe"].cache.put(e("f1", "west-europe"))
+        env.run(until=3 * fast_cfg.sync_period)
+        agent.stop()
+        for site, reg in registries.items():
+            assert "f1" in reg, f"f1 missing at {site}"
+
+    def test_no_echo_storm(self, env, net, registries, fast_cfg):
+        """Propagated entries must not bounce between instances forever."""
+        agent = SyncAgent(
+            env, net, registries, fast_cfg, agent_site="west-europe"
+        )
+        registries["east-us"].cache.put(e("f1", "east-us"))
+        env.run(until=6 * fast_cfg.sync_period)
+        propagated_early = agent.entries_propagated
+        env.run(until=20 * fast_cfg.sync_period)
+        # After full propagation, no further copies of f1 move around.
+        assert agent.entries_propagated == propagated_early
+
+    def test_concurrent_writes_not_lost(self, env, net, registries, fast_cfg):
+        """Writes landing during a sync cycle are picked up by the next."""
+        agent = SyncAgent(
+            env, net, registries, fast_cfg, agent_site="west-europe"
+        )
+
+        def late_writer():
+            yield env.timeout(fast_cfg.sync_period * 1.2)
+            registries["south-central-us"].cache.put(
+                e("late", "south-central-us")
+            )
+
+        env.process(late_writer())
+        env.run(until=10 * fast_cfg.sync_period)
+        agent.stop()
+        for reg in registries.values():
+            assert "late" in reg
+
+    def test_merge_unions_locations_across_sites(
+        self, env, net, registries, fast_cfg
+    ):
+        agent = SyncAgent(
+            env, net, registries, fast_cfg, agent_site="west-europe"
+        )
+        registries["west-europe"].cache.put(e("f", "west-europe"))
+        registries["east-us"].cache.put(e("f", "east-us"))
+        env.run(until=6 * fast_cfg.sync_period)
+        agent.stop()
+        for reg in registries.values():
+            assert reg.cache.get("f").locations >= {
+                "west-europe",
+                "east-us",
+            }
+
+    def test_lag_reporting(self, env, net, registries, fast_cfg):
+        agent = SyncAgent(
+            env, net, registries, fast_cfg, agent_site="west-europe"
+        )
+        registries["north-europe"].cache.put(e("x", "north-europe"))
+        assert agent.lag >= 1
+        env.run(until=5 * fast_cfg.sync_period)
+        # Polling drains the lag even though merges appended to logs.
+        assert agent.cycles >= 2
+
+    def test_bad_agent_site_rejected(self, env, net, registries, fast_cfg):
+        with pytest.raises(ValueError):
+            SyncAgent(env, net, registries, fast_cfg, agent_site="mars")
+
+
+class TestReplicationPump:
+    def test_flush_delivers_to_target(self, env, net, registries, fast_cfg):
+        pump = ReplicationPump(
+            env, net, "west-europe", registries, fast_cfg
+        )
+        pump.enqueue(e("f1", "west-europe"), "east-us")
+        env.run(until=5 * fast_cfg.replication_flush_interval)
+        pump.stop()
+        assert "f1" in registries["east-us"]
+        assert pump.entries_replicated == 1
+
+    def test_batching_groups_by_destination(
+        self, env, net, registries, fast_cfg
+    ):
+        pump = ReplicationPump(
+            env, net, "west-europe", registries, fast_cfg
+        )
+        for i in range(6):
+            target = "east-us" if i % 2 == 0 else "north-europe"
+            pump.enqueue(e(f"f{i}", "west-europe"), target)
+        env.run(until=5 * fast_cfg.replication_flush_interval)
+        pump.stop()
+        # 6 entries, 2 destinations -> at most 2 batches for this wave.
+        assert pump.batches_flushed <= 2
+        assert pump.entries_replicated == 6
+
+    def test_batch_size_triggers_early_flush(
+        self, env, net, registries, fast_cfg
+    ):
+        fast_cfg.replication_batch_size = 4
+        fast_cfg.replication_flush_interval = 100.0  # never by timer
+        pump = ReplicationPump(
+            env, net, "west-europe", registries, fast_cfg
+        )
+        for i in range(4):
+            pump.enqueue(e(f"f{i}", "west-europe"), "east-us")
+        env.run(until=1.0)
+        assert pump.entries_replicated == 4
+
+    def test_local_enqueue_rejected(self, env, net, registries, fast_cfg):
+        pump = ReplicationPump(
+            env, net, "west-europe", registries, fast_cfg
+        )
+        with pytest.raises(ValueError):
+            pump.enqueue(e("f", "west-europe"), "west-europe")
+
+    def test_backlog_tracking(self, env, net, registries, fast_cfg):
+        pump = ReplicationPump(
+            env, net, "west-europe", registries, fast_cfg
+        )
+        pump.enqueue(e("f", "west-europe"), "east-us")
+        assert pump.backlog == 1
+        env.run(until=1.0)
+        assert pump.backlog == 0

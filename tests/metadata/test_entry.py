@@ -1,0 +1,102 @@
+"""Tests for RegistryEntry, including semilattice merge properties."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.metadata.entry import RegistryEntry, VersionConflict
+
+
+SITES = ["west-europe", "north-europe", "east-us", "south-central-us"]
+
+entries = st.builds(
+    RegistryEntry,
+    key=st.just("shared-key"),
+    locations=st.frozensets(st.sampled_from(SITES), max_size=4),
+    size=st.integers(min_value=0, max_value=10**9),
+    version=st.integers(min_value=0, max_value=100),
+    origin_site=st.sampled_from(SITES),
+    created_at=st.floats(min_value=0, max_value=1e6, allow_nan=False),
+)
+
+
+class TestBasics:
+    def test_empty_key_rejected(self):
+        with pytest.raises(ValueError):
+            RegistryEntry(key="")
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ValueError):
+            RegistryEntry(key="f", size=-1)
+
+    def test_locations_normalized_to_frozenset(self):
+        e = RegistryEntry(key="f", locations=["a", "b", "a"])
+        assert e.locations == frozenset({"a", "b"})
+
+    def test_with_location(self):
+        e = RegistryEntry(key="f", locations=frozenset({"a"}))
+        e2 = e.with_location("b")
+        assert e2.locations == frozenset({"a", "b"})
+        assert e.locations == frozenset({"a"})  # immutable original
+
+    def test_merge_key_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            RegistryEntry(key="a").merged_with(RegistryEntry(key="b"))
+
+    def test_serialized_size_grows_with_locations(self):
+        small = RegistryEntry(key="f")
+        big = RegistryEntry(key="f", locations=frozenset(SITES))
+        assert big.serialized_size() > small.serialized_size()
+
+    def test_attributes_roundtrip(self):
+        attrs = RegistryEntry.make_attributes({"fmt": "fits", "band": 3})
+        e = RegistryEntry(key="f", attributes=attrs)
+        assert e.get_attribute("fmt") == "fits"
+        assert e.get_attribute("band") == 3
+        assert e.get_attribute("missing", "dflt") == "dflt"
+
+
+class TestMergeSemilattice:
+    """Merge must be a join: commutative, associative, idempotent.
+
+    These three properties are what make the lazy propagation scheme
+    converge regardless of message ordering (Section III-D).
+    """
+
+    @given(a=entries, b=entries)
+    def test_commutative_locations(self, a, b):
+        ab = a.merged_with(b)
+        ba = b.merged_with(a)
+        assert ab.locations == ba.locations
+        assert ab.version == ba.version
+
+    @given(a=entries, b=entries, c=entries)
+    def test_associative_locations(self, a, b, c):
+        left = a.merged_with(b).merged_with(c)
+        right = a.merged_with(b.merged_with(c))
+        assert left.locations == right.locations
+        assert left.version == right.version
+
+    @given(a=entries)
+    def test_idempotent(self, a):
+        aa = a.merged_with(a)
+        assert aa.locations == a.locations
+        assert aa.version == a.version
+
+    @given(a=entries, b=entries)
+    def test_merge_never_loses_locations(self, a, b):
+        merged = a.merged_with(b)
+        assert a.locations <= merged.locations
+        assert b.locations <= merged.locations
+
+    @given(a=entries, b=entries)
+    def test_version_is_max(self, a, b):
+        assert a.merged_with(b).version == max(a.version, b.version)
+
+
+class TestVersionConflict:
+    def test_fields(self):
+        exc = VersionConflict("k", expected=2, actual=5)
+        assert exc.key == "k"
+        assert exc.expected == 2
+        assert exc.actual == 5

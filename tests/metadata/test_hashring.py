@@ -1,0 +1,151 @@
+"""Tests for DHT placement: modulo partitioner and consistent hash ring."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.metadata.hashring import (
+    ConsistentHashRing,
+    ModuloPartitioner,
+    stable_hash,
+)
+
+SITES = ["west-europe", "north-europe", "east-us", "south-central-us"]
+
+
+class TestStableHash:
+    def test_deterministic(self):
+        assert stable_hash("file-1") == stable_hash("file-1")
+
+    def test_salt_changes_hash(self):
+        assert stable_hash("x", salt="a") != stable_hash("x", salt="b")
+
+    def test_64_bit_range(self):
+        h = stable_hash("anything")
+        assert 0 <= h < 2**64
+
+
+class TestModuloPartitioner:
+    def test_deterministic_placement(self):
+        p = ModuloPartitioner(SITES)
+        assert p.site_for("f") == p.site_for("f")
+
+    def test_covers_all_sites(self):
+        p = ModuloPartitioner(SITES)
+        hit = {p.site_for(f"file-{i}") for i in range(1000)}
+        assert hit == set(SITES)
+
+    def test_roughly_uniform(self):
+        p = ModuloPartitioner(SITES)
+        counts = {s: 0 for s in SITES}
+        n = 8000
+        for i in range(n):
+            counts[p.site_for(f"file-{i}")] += 1
+        for c in counts.values():
+            assert abs(c - n / 4) < n / 4 * 0.25
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ModuloPartitioner([])
+        with pytest.raises(ValueError):
+            ModuloPartitioner(["a", "a"])
+
+
+class TestConsistentHashRing:
+    def test_deterministic_placement(self):
+        r1 = ConsistentHashRing(SITES, virtual_nodes=32)
+        r2 = ConsistentHashRing(SITES, virtual_nodes=32)
+        for i in range(100):
+            assert r1.site_for(f"f{i}") == r2.site_for(f"f{i}")
+
+    def test_balance_with_virtual_nodes(self):
+        ring = ConsistentHashRing(SITES, virtual_nodes=128)
+        counts = ring.load_distribution(f"file-{i}" for i in range(8000))
+        for c in counts.values():
+            assert 0.5 * 2000 < c < 1.6 * 2000
+
+    def test_add_site_membership(self):
+        ring = ConsistentHashRing(SITES[:2])
+        ring.add_site("new-dc")
+        assert "new-dc" in ring
+        with pytest.raises(ValueError):
+            ring.add_site("new-dc")
+
+    def test_remove_site(self):
+        ring = ConsistentHashRing(SITES)
+        ring.remove_site("east-us")
+        assert "east-us" not in ring
+        for i in range(200):
+            assert ring.site_for(f"f{i}") != "east-us"
+        with pytest.raises(KeyError):
+            ring.remove_site("east-us")
+
+    def test_minimal_migration_on_join(self):
+        """Consistent hashing's raison d'etre: a join moves ~1/n of keys."""
+        keys = [f"file-{i}" for i in range(4000)]
+        ring = ConsistentHashRing(SITES, virtual_nodes=64)
+        before = {k: ring.site_for(k) for k in keys}
+        ring.add_site("tokyo")
+        moved = sum(1 for k in keys if ring.site_for(k) != before[k])
+        # Ideal is 1/5 = 20 %; allow generous slack but far below the
+        # ~80 % a modulo partitioner would move.
+        assert moved / len(keys) < 0.35
+        # All moved keys landed on the new site.
+        for k in keys:
+            if ring.site_for(k) != before[k]:
+                assert ring.site_for(k) == "tokyo"
+
+    def test_leave_only_reassigns_departed_keys(self):
+        keys = [f"file-{i}" for i in range(4000)]
+        ring = ConsistentHashRing(SITES, virtual_nodes=64)
+        before = {k: ring.site_for(k) for k in keys}
+        ring.remove_site("north-europe")
+        for k in keys:
+            if before[k] != "north-europe":
+                assert ring.site_for(k) == before[k]
+
+    def test_preference_list(self):
+        ring = ConsistentHashRing(SITES, virtual_nodes=64)
+        prefs = ring.preference_list("some-key", 3)
+        assert len(prefs) == 3
+        assert len(set(prefs)) == 3
+        assert prefs[0] == ring.site_for("some-key")
+
+    def test_preference_list_capped_by_sites(self):
+        ring = ConsistentHashRing(["a", "b"], virtual_nodes=8)
+        assert len(ring.preference_list("k", 10)) == 2
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ConsistentHashRing([], virtual_nodes=8)
+        with pytest.raises(ValueError):
+            ConsistentHashRing(SITES, virtual_nodes=0)
+        with pytest.raises(ValueError):
+            ConsistentHashRing(SITES).preference_list("k", 0)
+
+
+class TestRingProperties:
+    @given(
+        keys=st.lists(st.text(min_size=1, max_size=30), min_size=1, max_size=100),
+        vnodes=st.integers(min_value=1, max_value=64),
+    )
+    @settings(max_examples=40)
+    def test_placement_always_valid(self, keys, vnodes):
+        ring = ConsistentHashRing(SITES, virtual_nodes=vnodes)
+        for k in keys:
+            assert ring.site_for(k) in SITES
+
+    @given(
+        keys=st.lists(
+            st.text(min_size=1, max_size=20), min_size=1, max_size=60
+        ),
+        leaver=st.sampled_from(SITES),
+    )
+    @settings(max_examples=40)
+    def test_leave_join_roundtrip_restores_placement(self, keys, leaver):
+        """Removing then re-adding a site restores the exact placement."""
+        ring = ConsistentHashRing(SITES, virtual_nodes=16)
+        before = {k: ring.site_for(k) for k in keys}
+        ring.remove_site(leaver)
+        ring.add_site(leaver)
+        assert {k: ring.site_for(k) for k in keys} == before

@@ -1,0 +1,165 @@
+"""Tests for the per-site registry service (queueing + service time)."""
+
+import pytest
+
+from repro.cloud.network import Network
+from repro.cloud.presets import azure_4dc_topology
+from repro.metadata.config import MetadataConfig
+from repro.metadata.entry import RegistryEntry, VersionConflict
+from repro.metadata.registry import MetadataRegistry
+
+
+@pytest.fixture
+def net(env):
+    return Network(env, azure_4dc_topology(jitter=False))
+
+
+@pytest.fixture
+def registry(env):
+    return MetadataRegistry(
+        env, "west-europe", MetadataConfig(service_time=0.01)
+    )
+
+
+def run(env, gen):
+    return env.run(until=env.process(gen))
+
+
+def e(key="f", site="west-europe"):
+    return RegistryEntry(key=key, locations=frozenset({site}))
+
+
+class TestServerSide:
+    def test_get_put_roundtrip(self, env, registry):
+        def ops():
+            stored = yield from registry.serve_put(e())
+            got = yield from registry.serve_get("f")
+            return stored, got
+
+        stored, got = run(env, ops())
+        assert stored.version == 1
+        assert got == stored
+
+    def test_service_time_charged(self, env, registry):
+        def ops():
+            yield from registry.serve_get("missing")
+
+        run(env, ops())
+        assert env.now == pytest.approx(0.01)
+        assert registry.ops_served == 1
+
+    def test_requests_queue_at_capacity(self, env, registry):
+        """Concurrent ops serialize through the single service slot."""
+        finish = []
+
+        def op():
+            yield from registry.serve_get("x")
+            finish.append(env.now)
+
+        for _ in range(3):
+            env.process(op())
+        env.run()
+        assert finish == pytest.approx([0.01, 0.02, 0.03])
+        assert registry.max_queue_length == 2
+
+    def test_concurrency_config(self, env):
+        reg = MetadataRegistry(
+            env,
+            "west-europe",
+            MetadataConfig(service_time=0.01, service_concurrency=3),
+        )
+        finish = []
+
+        def op():
+            yield from reg.serve_get("x")
+            finish.append(env.now)
+
+        for _ in range(3):
+            env.process(op())
+        env.run()
+        assert finish == pytest.approx([0.01, 0.01, 0.01])
+
+    def test_version_conflict_propagates(self, env, registry):
+        def ops():
+            yield from registry.serve_put(e())
+            yield from registry.serve_put(e(), expected_version=9)
+
+        with pytest.raises(VersionConflict):
+            run(env, ops())
+
+    def test_merge_batch_costs_per_entry(self, env, registry):
+        batch = [e(f"k{i}") for i in range(10)]
+
+        def ops():
+            n = yield from registry.serve_merge_batch(batch)
+            return n
+
+        assert run(env, ops()) == 10
+        assert env.now == pytest.approx(
+            10 * registry.config.merge_entry_time
+        )
+        assert registry.entries_merged == 10
+
+    def test_empty_merge_batch_is_free(self, env, registry):
+        def ops():
+            n = yield from registry.serve_merge_batch([])
+            return n
+
+        assert run(env, ops()) == 0
+        assert env.now == 0.0
+
+    def test_updates_since(self, env, registry):
+        def ops():
+            yield from registry.serve_put(e("a"))
+            yield from registry.serve_put(e("b"))
+            updates, cursor = yield from registry.serve_updates_since(0)
+            return updates, cursor
+
+        updates, cursor = run(env, ops())
+        assert [u.key for u in updates] == ["a", "b"]
+        assert cursor == 2
+
+    def test_delete(self, env, registry):
+        def ops():
+            yield from registry.serve_put(e())
+            first = yield from registry.serve_delete("f")
+            second = yield from registry.serve_delete("f")
+            return first, second
+
+        assert run(env, ops()) == (True, False)
+
+
+class TestClientSide:
+    def test_rpc_get_pays_wan(self, env, net, registry):
+        def ops():
+            yield from registry.rpc_get(net, "east-us", "missing")
+
+        run(env, ops())
+        # Two transatlantic legs dominate.
+        assert env.now >= 2 * 0.040
+
+    def test_rpc_put_stores(self, env, net, registry):
+        def ops():
+            stored = yield from registry.rpc_put(net, "east-us", e())
+            return stored
+
+        stored = run(env, ops())
+        assert registry.cache.get("f") == stored
+
+    def test_rpc_merge_batch(self, env, net, registry):
+        def ops():
+            n = yield from registry.rpc_merge_batch(
+                net, "north-europe", [e("a"), e("b")]
+            )
+            return n
+
+        assert run(env, ops()) == 2
+        assert "a" in registry and "b" in registry
+
+    def test_utilization_accounting(self, env, registry):
+        def ops():
+            yield from registry.serve_get("x")
+
+        env.process(ops())
+        env.run(until=0.02)
+        assert registry.utilization() == pytest.approx(0.5)

@@ -1,0 +1,98 @@
+"""Tests for operation statistics and derived figure metrics."""
+
+import numpy as np
+import pytest
+
+from repro.metadata.stats import OpKind, OpRecord, OpStats
+
+
+def rec(kind=OpKind.READ, key="k", site="s", start=0.0, end=1.0, **kw):
+    return OpRecord(
+        kind=kind,
+        key=key,
+        site=site,
+        started_at=start,
+        finished_at=end,
+        local=kw.pop("local", True),
+        **kw,
+    )
+
+
+class TestOpRecord:
+    def test_latency(self):
+        assert rec(start=1.0, end=3.5).latency == 2.5
+
+    def test_negative_duration_rejected(self):
+        with pytest.raises(ValueError):
+            rec(start=5.0, end=1.0)
+
+
+class TestOpStats:
+    def test_counts_by_kind(self):
+        s = OpStats()
+        s.add(rec(kind=OpKind.READ))
+        s.add(rec(kind=OpKind.WRITE))
+        s.add(rec(kind=OpKind.WRITE))
+        assert s.count == 3
+        assert s.count_by_kind(OpKind.WRITE) == 2
+        assert s.count_by_kind(OpKind.DELETE) == 0
+
+    def test_local_fraction(self):
+        s = OpStats()
+        s.add(rec(local=True))
+        s.add(rec(local=False))
+        assert s.local_fraction == 0.5
+        assert OpStats().local_fraction == 0.0
+
+    def test_latency_stats(self):
+        s = OpStats()
+        s.add(rec(start=0, end=1))
+        s.add(rec(start=0, end=3))
+        assert s.mean_latency() == 2.0
+        assert s.latency_percentile(50) == 2.0
+
+    def test_makespan_and_throughput(self):
+        s = OpStats()
+        s.add(rec(start=1.0, end=2.0))
+        s.add(rec(start=2.0, end=5.0))
+        assert s.makespan() == 4.0
+        assert s.throughput() == pytest.approx(0.5)
+
+    def test_progress_curve(self):
+        s = OpStats()
+        for i in range(10):
+            s.add(rec(start=0.0, end=float(i + 1)))
+        curve = dict(s.progress_curve([10, 50, 100]))
+        assert curve[10] == 1.0
+        assert curve[50] == 5.0
+        assert curve[100] == 10.0
+
+    def test_progress_curve_validates_percent(self):
+        s = OpStats()
+        s.add(rec())
+        with pytest.raises(ValueError):
+            s.progress_curve([0])
+        with pytest.raises(ValueError):
+            s.progress_curve([150])
+
+    def test_per_site_mean_completion(self):
+        s = OpStats()
+        s.add(rec(site="a", start=0, end=2))
+        s.add(rec(site="a", start=0, end=4))
+        s.add(rec(site="b", start=0, end=10))
+        means = s.per_site_mean_completion()
+        assert means["a"] == 3.0
+        assert means["b"] == 10.0
+
+    def test_merge(self):
+        a, b = OpStats(), OpStats()
+        a.add(rec())
+        b.add(rec())
+        assert a.merge(b).count == 2
+        assert a.count == 1  # originals untouched
+
+    def test_total_retries(self):
+        s = OpStats()
+        s.add(rec(retries=3))
+        s.add(rec(retries=1))
+        assert s.total_retries == 4

@@ -1,0 +1,316 @@
+"""Unit tests for the DES kernel: events, processes, ordering, conditions."""
+
+import pytest
+
+from repro.sim import (
+    AllOf,
+    AnyOf,
+    Environment,
+    Event,
+    Interrupt,
+    SimulationError,
+    Timeout,
+)
+
+
+class TestClock:
+    def test_starts_at_zero(self, env):
+        assert env.now == 0.0
+
+    def test_custom_initial_time(self):
+        assert Environment(initial_time=5.0).now == 5.0
+
+    def test_timeout_advances_clock(self, env):
+        env.process(self._wait(env, 3.5))
+        env.run()
+        assert env.now == 3.5
+
+    @staticmethod
+    def _wait(env, delay):
+        yield env.timeout(delay)
+
+    def test_run_until_time_stops_early(self, env):
+        env.process(self._wait(env, 10.0))
+        env.run(until=4.0)
+        assert env.now == 4.0
+
+    def test_run_until_past_raises(self, env):
+        env.process(self._wait(env, 1.0))
+        env.run()
+        with pytest.raises(ValueError):
+            env.run(until=0.5)
+
+    def test_negative_delay_rejected(self, env):
+        with pytest.raises(ValueError):
+            env.timeout(-1)
+
+    def test_peek_empty_queue_is_inf(self, env):
+        assert env.peek() == float("inf")
+
+    def test_step_without_events_raises(self, env):
+        with pytest.raises(SimulationError):
+            env.step()
+
+
+class TestEvents:
+    def test_succeed_delivers_value(self, env):
+        ev = env.event()
+        results = []
+
+        def waiter():
+            results.append((yield ev))
+
+        env.process(waiter())
+        ev.succeed("payload")
+        env.run()
+        assert results == ["payload"]
+
+    def test_double_trigger_raises(self, env):
+        ev = env.event()
+        ev.succeed(1)
+        with pytest.raises(SimulationError):
+            ev.succeed(2)
+
+    def test_fail_throws_into_waiter(self, env):
+        ev = env.event()
+        caught = []
+
+        def waiter():
+            try:
+                yield ev
+            except RuntimeError as exc:
+                caught.append(str(exc))
+
+        env.process(waiter())
+        ev.fail(RuntimeError("boom"))
+        env.run()
+        assert caught == ["boom"]
+
+    def test_fail_with_non_exception_raises(self, env):
+        with pytest.raises(TypeError):
+            env.event().fail("not an exception")
+
+    def test_unhandled_failure_surfaces(self, env):
+        ev = env.event()
+        ev.fail(RuntimeError("lost"))
+        with pytest.raises(RuntimeError, match="lost"):
+            env.run()
+
+    def test_value_before_trigger_raises(self, env):
+        with pytest.raises(SimulationError):
+            env.event().value
+
+    def test_ok_before_trigger_raises(self, env):
+        with pytest.raises(SimulationError):
+            env.event().ok
+
+
+class TestOrdering:
+    def test_simultaneous_events_fifo(self, env):
+        """Events scheduled for the same instant fire in schedule order."""
+        order = []
+
+        def proc(tag):
+            yield env.timeout(1.0)
+            order.append(tag)
+
+        for tag in ("a", "b", "c"):
+            env.process(proc(tag))
+        env.run()
+        assert order == ["a", "b", "c"]
+
+    def test_earlier_timeouts_first(self, env):
+        order = []
+
+        def proc(tag, delay):
+            yield env.timeout(delay)
+            order.append(tag)
+
+        env.process(proc("late", 2.0))
+        env.process(proc("early", 1.0))
+        env.run()
+        assert order == ["early", "late"]
+
+    def test_determinism_across_runs(self):
+        def run_once():
+            env = Environment()
+            trace = []
+
+            def worker(i):
+                for k in range(3):
+                    yield env.timeout(0.5 * (i + 1))
+                    trace.append((env.now, i, k))
+
+            for i in range(4):
+                env.process(worker(i))
+            env.run()
+            return trace
+
+        assert run_once() == run_once()
+
+
+class TestProcesses:
+    def test_return_value(self, env):
+        def compute():
+            yield env.timeout(1)
+            return 42
+
+        proc = env.process(compute())
+        assert env.run(until=proc) == 42
+
+    def test_process_waits_on_process(self, env):
+        def inner():
+            yield env.timeout(2)
+            return "inner-done"
+
+        def outer():
+            result = yield env.process(inner())
+            return result
+
+        assert env.run(until=env.process(outer())) == "inner-done"
+
+    def test_crashing_process_fails_waiters(self, env):
+        def bad():
+            yield env.timeout(1)
+            raise ValueError("crash")
+
+        def waiter():
+            yield env.process(bad())
+
+        with pytest.raises(ValueError, match="crash"):
+            env.run(until=env.process(waiter()))
+
+    def test_yield_non_event_raises(self, env):
+        def bad():
+            yield "not an event"
+
+        env.process(bad())
+        with pytest.raises(SimulationError, match="non-event"):
+            env.run()
+
+    def test_is_alive_lifecycle(self, env):
+        def worker():
+            yield env.timeout(5)
+
+        proc = env.process(worker())
+        assert proc.is_alive
+        env.run()
+        assert not proc.is_alive
+
+    def test_yield_already_processed_event_resumes(self, env):
+        ev = env.event()
+        ev.succeed("early")
+        env.run()  # process the event with no waiters
+
+        def late_waiter():
+            value = yield ev
+            return value
+
+        assert env.run(until=env.process(late_waiter())) == "early"
+
+
+class TestInterrupts:
+    def test_interrupt_delivers_cause(self, env):
+        causes = []
+
+        def victim():
+            try:
+                yield env.timeout(100)
+            except Interrupt as i:
+                causes.append((env.now, i.cause))
+
+        v = env.process(victim())
+
+        def attacker():
+            yield env.timeout(1)
+            v.interrupt(cause="preempted")
+
+        env.process(attacker())
+        env.run(until=v)
+        # The interrupt arrived at t=1, not when the timeout would fire.
+        assert causes == [(1.0, "preempted")]
+
+    def test_interrupted_process_can_continue(self, env):
+        log = []
+
+        def victim():
+            try:
+                yield env.timeout(100)
+            except Interrupt:
+                log.append(("interrupted", env.now))
+            yield env.timeout(1)
+            log.append(("recovered", env.now))
+
+        v = env.process(victim())
+
+        def attacker():
+            yield env.timeout(2)
+            v.interrupt()
+
+        env.process(attacker())
+        env.run(until=v)
+        assert log == [("interrupted", 2.0), ("recovered", 3.0)]
+
+    def test_interrupt_dead_process_raises(self, env):
+        def quick():
+            yield env.timeout(1)
+
+        p = env.process(quick())
+        env.run()
+        with pytest.raises(SimulationError):
+            p.interrupt()
+
+
+class TestConditions:
+    def test_all_of_waits_for_all(self, env):
+        def waiter():
+            yield AllOf(env, [env.timeout(1), env.timeout(5), env.timeout(3)])
+            return env.now
+
+        assert env.run(until=env.process(waiter())) == 5.0
+
+    def test_any_of_fires_on_first(self, env):
+        def waiter():
+            yield AnyOf(env, [env.timeout(7), env.timeout(2)])
+            return env.now
+
+        assert env.run(until=env.process(waiter())) == 2.0
+
+    def test_operator_composition(self, env):
+        def waiter():
+            yield (env.timeout(1) & env.timeout(4)) | env.timeout(10)
+            return env.now
+
+        assert env.run(until=env.process(waiter())) == 4.0
+
+    def test_empty_all_of_fires_immediately(self, env):
+        def waiter():
+            yield AllOf(env, [])
+            return env.now
+
+        assert env.run(until=env.process(waiter())) == 0.0
+
+    def test_all_of_fails_fast(self, env):
+        bad = env.event()
+
+        def failer():
+            yield env.timeout(1)
+            bad.fail(RuntimeError("member failed"))
+
+        def waiter():
+            yield AllOf(env, [bad, env.timeout(100)])
+
+        env.process(failer())
+        with pytest.raises(RuntimeError, match="member failed"):
+            env.run(until=env.process(waiter()))
+        assert env.now == 1.0
+
+    def test_deadlock_detected(self, env):
+        never = env.event()
+
+        def waiter():
+            yield never
+
+        proc = env.process(waiter())
+        with pytest.raises(SimulationError, match="deadlock"):
+            env.run(until=proc)

@@ -1,0 +1,139 @@
+"""Tests for the preemptive priority resource."""
+
+import pytest
+
+from repro.sim import (
+    Environment,
+    Interrupt,
+    Preempted,
+    PreemptivePriorityResource,
+)
+
+
+class TestPreemption:
+    def test_urgent_request_evicts_low_priority_holder(self, env):
+        res = PreemptivePriorityResource(env, capacity=1)
+        log = []
+
+        def background():
+            with res.request(priority=5) as req:
+                yield req
+                log.append(("bg-start", env.now))
+                try:
+                    yield env.timeout(100)
+                    log.append(("bg-finished", env.now))
+                except Interrupt as i:
+                    assert isinstance(i.cause, Preempted)
+                    log.append(("bg-preempted", env.now))
+                    assert i.cause.usage_since == 0.0
+
+        def urgent():
+            yield env.timeout(2)
+            with res.request(priority=0) as req:
+                yield req
+                log.append(("urgent-start", env.now))
+                yield env.timeout(1)
+            log.append(("urgent-done", env.now))
+
+        bg = env.process(background())
+        env.process(urgent())
+        env.run(until=bg)
+        env.run(until=10)
+        assert ("bg-preempted", 2.0) in log
+        assert ("urgent-start", 2.0) in log
+        assert ("urgent-done", 3.0) in log
+
+    def test_non_preempt_request_waits(self, env):
+        res = PreemptivePriorityResource(env, capacity=1)
+        order = []
+
+        def holder():
+            with res.request(priority=5) as req:
+                yield req
+                yield env.timeout(4)
+                order.append(("holder-done", env.now))
+
+        def polite():
+            yield env.timeout(1)
+            with res.request(priority=0, preempt=False) as req:
+                yield req
+                order.append(("polite-start", env.now))
+
+        env.process(holder())
+        env.process(polite())
+        env.run()
+        assert order == [("holder-done", 4.0), ("polite-start", 4.0)]
+
+    def test_equal_priority_never_preempts(self, env):
+        res = PreemptivePriorityResource(env, capacity=1)
+        preempted = []
+
+        def holder():
+            with res.request(priority=3) as req:
+                yield req
+                try:
+                    yield env.timeout(5)
+                except Interrupt:
+                    preempted.append(True)
+
+        def peer():
+            yield env.timeout(1)
+            with res.request(priority=3) as req:
+                yield req
+
+        env.process(holder())
+        env.process(peer())
+        env.run()
+        assert preempted == []
+
+    def test_victim_can_rerequest(self, env):
+        res = PreemptivePriorityResource(env, capacity=1)
+        finished = []
+
+        def persistent():
+            remaining = 6.0
+            while remaining > 0:
+                with res.request(priority=5) as req:
+                    yield req
+                    start = env.now
+                    try:
+                        yield env.timeout(remaining)
+                        remaining = 0.0
+                    except Interrupt:
+                        remaining -= env.now - start
+            finished.append(env.now)
+
+        def vip():
+            yield env.timeout(2)
+            with res.request(priority=0) as req:
+                yield req
+                yield env.timeout(3)
+
+        env.process(persistent())
+        env.process(vip())
+        env.run()
+        # 2 s of work, 3 s preempted, then the remaining 4 s.
+        assert finished == [9.0]
+
+    def test_multi_slot_evicts_worst(self, env):
+        res = PreemptivePriorityResource(env, capacity=2)
+        evicted = []
+
+        def holder(tag, prio):
+            with res.request(priority=prio) as req:
+                yield req
+                try:
+                    yield env.timeout(50)
+                except Interrupt:
+                    evicted.append(tag)
+
+        def vip():
+            yield env.timeout(1)
+            with res.request(priority=0) as req:
+                yield req
+
+        env.process(holder("mid", 3))
+        env.process(holder("low", 7))
+        env.process(vip())
+        env.run(until=2)
+        assert evicted == ["low"]

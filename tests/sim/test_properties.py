@@ -1,0 +1,123 @@
+"""Property-based tests for the DES kernel (hypothesis)."""
+
+import heapq
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim import AllOf, AnyOf, Environment, Resource
+
+
+@given(
+    delays=st.lists(
+        st.floats(min_value=0.0, max_value=1e5, allow_nan=False),
+        min_size=1,
+        max_size=50,
+    )
+)
+def test_completion_times_monotonic(delays):
+    """Process completion order always matches scheduled-delay order."""
+    env = Environment()
+    finished = []
+
+    def proc(d):
+        yield env.timeout(d)
+        finished.append(env.now)
+
+    for d in delays:
+        env.process(proc(d))
+    env.run()
+    assert finished == sorted(finished)
+    assert len(finished) == len(delays)
+    assert env.now == max(delays)
+
+
+@given(
+    delays=st.lists(
+        st.floats(min_value=0.0, max_value=100, allow_nan=False),
+        min_size=1,
+        max_size=30,
+    )
+)
+def test_all_of_equals_max_any_of_equals_min(delays):
+    env = Environment()
+
+    def wait_all():
+        yield AllOf(env, [env.timeout(d) for d in delays])
+        return env.now
+
+    assert env.run(until=env.process(wait_all())) == max(delays)
+
+    env2 = Environment()
+
+    def wait_any():
+        yield AnyOf(env2, [env2.timeout(d) for d in delays])
+        return env2.now
+
+    assert env2.run(until=env2.process(wait_any())) == min(delays)
+
+
+@given(
+    service_times=st.lists(
+        st.floats(min_value=0.01, max_value=10, allow_nan=False),
+        min_size=1,
+        max_size=20,
+    ),
+    capacity=st.integers(min_value=1, max_value=4),
+)
+@settings(max_examples=50)
+def test_resource_conservation(service_times, capacity):
+    """A bounded resource never exceeds its capacity and serves everyone."""
+    env = Environment()
+    res = Resource(env, capacity=capacity)
+    in_service = [0]
+    max_in_service = [0]
+    served = [0]
+
+    def user(d):
+        with res.request() as req:
+            yield req
+            in_service[0] += 1
+            max_in_service[0] = max(max_in_service[0], in_service[0])
+            yield env.timeout(d)
+            in_service[0] -= 1
+        served[0] += 1
+
+    for d in service_times:
+        env.process(user(d))
+    env.run()
+    assert max_in_service[0] <= capacity
+    assert served[0] == len(service_times)
+    # Makespan bounds: at least the longest job, at most the serial sum.
+    assert max(service_times) <= env.now <= sum(service_times) + 1e-9
+
+
+@given(
+    seed_events=st.lists(
+        st.tuples(
+            st.floats(min_value=0, max_value=50, allow_nan=False),
+            st.integers(min_value=0, max_value=5),
+        ),
+        min_size=1,
+        max_size=40,
+    )
+)
+def test_event_loop_matches_reference_heap(seed_events):
+    """The kernel processes events in exactly heap-sorted order."""
+    env = Environment()
+    observed = []
+
+    def proc(delay, tag):
+        yield env.timeout(delay)
+        observed.append((env.now, tag))
+
+    expected_heap = []
+    for i, (delay, _extra) in enumerate(seed_events):
+        env.process(proc(delay, i))
+        heapq.heappush(expected_heap, (delay, i))
+    env.run()
+    expected = []
+    while expected_heap:
+        d, i = heapq.heappop(expected_heap)
+        expected.append((d, i))
+    assert observed == expected

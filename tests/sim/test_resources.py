@@ -1,0 +1,311 @@
+"""Unit tests for Resource, PriorityResource, Store, FilterStore, Container."""
+
+import pytest
+
+from repro.sim import (
+    Container,
+    Environment,
+    FilterStore,
+    PriorityResource,
+    Resource,
+    Store,
+)
+
+
+class TestResource:
+    def test_capacity_validation(self, env):
+        with pytest.raises(ValueError):
+            Resource(env, capacity=0)
+
+    def test_serializes_access(self, env):
+        res = Resource(env, capacity=1)
+        finish_times = []
+
+        def user():
+            with res.request() as req:
+                yield req
+                yield env.timeout(2)
+            finish_times.append(env.now)
+
+        for _ in range(3):
+            env.process(user())
+        env.run()
+        assert finish_times == [2.0, 4.0, 6.0]
+
+    def test_parallel_slots(self, env):
+        res = Resource(env, capacity=3)
+        finish_times = []
+
+        def user():
+            with res.request() as req:
+                yield req
+                yield env.timeout(2)
+            finish_times.append(env.now)
+
+        for _ in range(3):
+            env.process(user())
+        env.run()
+        assert finish_times == [2.0, 2.0, 2.0]
+
+    def test_release_on_exception(self, env):
+        res = Resource(env, capacity=1)
+
+        def crasher():
+            with res.request() as req:
+                yield req
+                yield env.timeout(1)
+                raise RuntimeError("dies holding the slot")
+
+        def follower():
+            with res.request() as req:
+                yield req
+                return env.now
+
+        p1 = env.process(crasher())
+        p2 = env.process(follower())
+
+        def shepherd():
+            try:
+                yield p1
+            except RuntimeError:
+                pass
+            got = yield p2
+            return got
+
+        # The follower acquires as soon as the crasher dies.
+        assert env.run(until=env.process(shepherd())) == 1.0
+
+    def test_queue_statistics(self, env):
+        res = Resource(env, capacity=1)
+
+        def user():
+            with res.request() as req:
+                yield req
+                yield env.timeout(1)
+
+        for _ in range(4):
+            env.process(user())
+        env.run()
+        assert res.total_requests == 4
+        assert res.max_queue_len == 3
+        # Waits: 0 + 1 + 2 + 3 = 6 seconds.
+        assert res.total_wait_time == pytest.approx(6.0)
+
+    def test_cancel_queued_request(self, env):
+        res = Resource(env, capacity=1)
+        acquired = []
+
+        def holder():
+            with res.request() as req:
+                yield req
+                yield env.timeout(10)
+
+        def impatient():
+            req = res.request()
+            result = yield req | env.timeout(1)
+            if req not in result:
+                req.cancel()
+                acquired.append(False)
+            else:
+                acquired.append(True)
+
+        env.process(holder())
+        env.process(impatient())
+        env.run()
+        assert acquired == [False]
+        assert len(res.queue) == 0
+
+
+class TestPriorityResource:
+    def test_priority_order(self, env):
+        res = PriorityResource(env, capacity=1)
+        order = []
+
+        def user(tag, prio):
+            with res.request(priority=prio) as req:
+                yield req
+                order.append(tag)
+                yield env.timeout(1)
+
+        def submit():
+            # Occupy the resource, then enqueue contenders.
+            with res.request(priority=0) as req:
+                yield req
+                env.process(user("low", 5))
+                env.process(user("high", 1))
+                env.process(user("mid", 3))
+                yield env.timeout(1)
+
+        env.process(submit())
+        env.run()
+        assert order == ["high", "mid", "low"]
+
+    def test_fifo_within_priority(self, env):
+        res = PriorityResource(env, capacity=1)
+        order = []
+
+        def user(tag):
+            with res.request(priority=1) as req:
+                yield req
+                order.append(tag)
+                yield env.timeout(1)
+
+        def submit():
+            with res.request(priority=0) as req:
+                yield req
+                for tag in "abc":
+                    env.process(user(tag))
+                yield env.timeout(1)
+
+        env.process(submit())
+        env.run()
+        assert order == list("abc")
+
+
+class TestStore:
+    def test_put_get_fifo(self, env):
+        store = Store(env)
+        got = []
+
+        def producer():
+            for i in range(3):
+                yield store.put(i)
+
+        def consumer():
+            for _ in range(3):
+                item = yield store.get()
+                got.append(item)
+
+        env.process(producer())
+        env.process(consumer())
+        env.run()
+        assert got == [0, 1, 2]
+
+    def test_get_blocks_until_put(self, env):
+        store = Store(env)
+
+        def consumer():
+            item = yield store.get()
+            return (env.now, item)
+
+        def producer():
+            yield env.timeout(5)
+            yield store.put("late")
+
+        c = env.process(consumer())
+        env.process(producer())
+        assert env.run(until=c) == (5.0, "late")
+
+    def test_bounded_capacity_blocks_put(self, env):
+        store = Store(env, capacity=1)
+        times = []
+
+        def producer():
+            for i in range(2):
+                yield store.put(i)
+                times.append(env.now)
+
+        def consumer():
+            yield env.timeout(3)
+            yield store.get()
+
+        env.process(producer())
+        env.process(consumer())
+        env.run()
+        assert times == [0.0, 3.0]
+
+    def test_invalid_capacity(self, env):
+        with pytest.raises(ValueError):
+            Store(env, capacity=0)
+
+
+class TestFilterStore:
+    def test_filter_selects_matching(self, env):
+        store = FilterStore(env)
+        got = []
+
+        def producer():
+            for item in ("apple", "banana", "cherry"):
+                yield store.put(item)
+
+        def consumer():
+            item = yield store.get(lambda x: x.startswith("b"))
+            got.append(item)
+
+        env.process(producer())
+        env.process(consumer())
+        env.run()
+        assert got == ["banana"]
+        assert store.items == ["apple", "cherry"]
+
+    def test_later_getter_can_match_first(self, env):
+        store = FilterStore(env)
+        got = []
+
+        def want(prefix):
+            item = yield store.get(lambda x, p=prefix: x.startswith(p))
+            got.append(item)
+
+        env.process(want("z"))  # never satisfied first in queue
+        env.process(want("a"))
+
+        def producer():
+            yield store.put("avocado")
+
+        env.process(producer())
+        env.run(until=2)
+        assert got == ["avocado"]
+
+
+class TestContainer:
+    def test_levels(self, env):
+        c = Container(env, capacity=10, init=5)
+
+        def ops():
+            yield c.get(3)
+            assert c.level == 2
+            yield c.put(8)
+            assert c.level == 10
+
+        env.run(until=env.process(ops()))
+
+    def test_get_blocks_until_available(self, env):
+        c = Container(env, capacity=10, init=0)
+
+        def consumer():
+            yield c.get(4)
+            return env.now
+
+        def producer():
+            yield env.timeout(2)
+            yield c.put(4)
+
+        p = env.process(consumer())
+        env.process(producer())
+        assert env.run(until=p) == 2.0
+
+    def test_put_blocks_at_capacity(self, env):
+        c = Container(env, capacity=5, init=5)
+
+        def producer():
+            yield c.put(1)
+            return env.now
+
+        def consumer():
+            yield env.timeout(3)
+            yield c.get(2)
+
+        p = env.process(producer())
+        env.process(consumer())
+        assert env.run(until=p) == 3.0
+
+    def test_validation(self, env):
+        with pytest.raises(ValueError):
+            Container(env, capacity=0)
+        with pytest.raises(ValueError):
+            Container(env, capacity=5, init=9)
+        c = Container(env, capacity=5)
+        with pytest.raises(ValueError):
+            c.put(0)
+        with pytest.raises(ValueError):
+            c.get(-1)

@@ -1,0 +1,121 @@
+"""Tests for per-site file stores and the transfer service."""
+
+import pytest
+
+from repro.cloud.network import Network
+from repro.cloud.presets import AZURE_4DC, azure_4dc_topology
+from repro.storage.filestore import FileStore, StoredFile
+from repro.storage.transfer import TransferService
+from repro.util.units import MB
+
+
+@pytest.fixture
+def net(env):
+    return Network(env, azure_4dc_topology(jitter=False))
+
+
+@pytest.fixture
+def svc(env, net):
+    return TransferService(env, net, AZURE_4DC)
+
+
+def drive(env, gen):
+    return env.run(until=env.process(gen))
+
+
+class TestStoredFile:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            StoredFile("", 10)
+        with pytest.raises(ValueError):
+            StoredFile("f", -1)
+
+
+class TestFileStore:
+    def test_put_get(self):
+        store = FileStore("west-europe")
+        f = StoredFile("data.bin", 1024)
+        store.put(f)
+        assert store.get("data.bin") == f
+        assert store.has("data.bin")
+        assert len(store) == 1
+        assert store.total_bytes == 1024
+
+    def test_get_missing(self):
+        assert FileStore("x").get("nope") is None
+
+    def test_idempotent_put_counts_bytes_once(self):
+        store = FileStore("x")
+        store.put(StoredFile("f", 100))
+        store.put(StoredFile("f", 100))
+        assert store.bytes_written == 100
+
+    def test_delete(self):
+        store = FileStore("x")
+        store.put(StoredFile("f", 1))
+        assert store.delete("f") is True
+        assert store.delete("f") is False
+
+
+class TestTransferService:
+    def test_store_and_locations(self, svc):
+        svc.store("west-europe", StoredFile("f", 100))
+        svc.store("east-us", StoredFile("f", 100))
+        assert set(svc.locations_of("f")) == {"west-europe", "east-us"}
+
+    def test_fetch_local_is_instant(self, env, svc):
+        svc.store("west-europe", StoredFile("f", 10 * MB))
+        drive(env, svc.fetch("f", "west-europe"))
+        assert env.now == 0.0
+        assert svc.transfers == 0
+
+    def test_fetch_remote_pays_latency_and_bandwidth(self, env, svc):
+        svc.store("west-europe", StoredFile("big", 50 * MB))
+        drive(env, svc.fetch("big", "east-us"))
+        # 50 MB over a 50 MB/s WAN link plus propagation.
+        assert env.now >= 1.0 + 0.040
+        assert svc.wan_bytes == 50 * MB
+        assert svc.stores["east-us"].has("big")
+
+    def test_fetch_picks_nearest_source(self, env, svc):
+        svc.store("south-central-us", StoredFile("f", 0))
+        svc.store("north-europe", StoredFile("f", 0))
+        drive(env, svc.fetch("f", "west-europe"))
+        # Nearest source for West Europe is North Europe (10 ms not 58).
+        assert env.now < 0.02
+
+    def test_fetch_respects_known_locations(self, env, svc):
+        svc.store("south-central-us", StoredFile("f", 0))
+        svc.store("north-europe", StoredFile("f", 0))
+        # Metadata only knows about the far replica.
+        drive(
+            env,
+            svc.fetch("f", "west-europe", known_locations=["south-central-us"]),
+        )
+        assert env.now >= 0.058
+
+    def test_fetch_missing_raises(self, env, svc):
+        def flow():
+            yield from svc.fetch("ghost", "west-europe")
+
+        from repro.storage.transfer import TransferError
+
+        with pytest.raises(TransferError):
+            drive(env, flow())
+
+    def test_unknown_site_raises(self, svc):
+        with pytest.raises(KeyError):
+            svc.store("atlantis", StoredFile("f", 1))
+
+    def test_stale_known_location_falls_back(self, env, svc):
+        """Metadata may list sites that no longer hold the file."""
+        svc.store("east-us", StoredFile("f", 0))
+        drive(
+            env,
+            svc.fetch(
+                "f",
+                "west-europe",
+                known_locations=["north-europe", "east-us"],
+            ),
+        )
+        assert svc.stores["west-europe"].has("f")

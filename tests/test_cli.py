@@ -1,0 +1,109 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_figures_flags(self):
+        args = build_parser().parse_args(["figures", "--quick", "--only", "fig1"])
+        assert args.quick and args.only == "fig1"
+
+    def test_simulate_defaults(self):
+        args = build_parser().parse_args(["simulate"])
+        assert args.strategy == "hybrid"
+        assert args.nodes == 32
+
+
+class TestCommands:
+    def test_strategies_lists_all(self, capsys):
+        assert main(["strategies"]) == 0
+        out = capsys.readouterr().out
+        for name in (
+            "centralized",
+            "replicated",
+            "decentralized",
+            "hybrid",
+            "subtree",
+            "relational-db",
+            "k-replicated",
+        ):
+            assert name in out
+
+    def test_simulate_small(self, capsys):
+        assert (
+            main(
+                [
+                    "simulate",
+                    "--strategy",
+                    "dn",
+                    "--nodes",
+                    "8",
+                    "--ops",
+                    "10",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "throughput" in out
+        assert "mean node time by site" in out
+
+    def test_advise_montage(self, capsys):
+        assert main(["advise", "--workflow", "montage", "--ops", "1000"]) == 0
+        out = capsys.readouterr().out
+        assert "recommended strategy: decentralized" in out
+
+    def test_figures_single_quick(self, capsys):
+        assert main(["figures", "--quick", "--only", "fig1"]) == 0
+        out = capsys.readouterr().out
+        assert "Fig. 1" in out
+
+    def test_run_with_workflow_file_and_export(self, capsys, tmp_path):
+        from repro.workflow import pipeline, save_workflow
+
+        wf_path = tmp_path / "wf.json"
+        out_path = tmp_path / "run.json"
+        save_workflow(pipeline(3, extra_ops=4), wf_path)
+        assert (
+            main(
+                [
+                    "run",
+                    "--file",
+                    str(wf_path),
+                    "--strategy",
+                    "dr",
+                    "--nodes",
+                    "8",
+                    "--export",
+                    str(out_path),
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "tasks per site" in out
+        import json
+
+        doc = json.loads(out_path.read_text())
+        assert doc["strategy"] == "hybrid"
+
+    def test_advise_from_file(self, capsys, tmp_path):
+        from repro.workflow import pipeline, save_workflow
+
+        wf_path = tmp_path / "wf.json"
+        save_workflow(pipeline(5, extra_ops=1200), wf_path)
+        assert main(["advise", "--file", str(wf_path)]) == 0
+        out = capsys.readouterr().out
+        assert "recommended strategy" in out
+
+    def test_advise_requires_target(self):
+        import pytest
+
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["advise"])
