@@ -22,6 +22,8 @@ from repro.metadata.controller import ArchitectureController
 from repro.workflow.applications import montage
 from repro.workflow.engine import WorkflowEngine
 
+pytestmark = pytest.mark.slow
+
 N_NODES = 32
 
 

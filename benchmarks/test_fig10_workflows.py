@@ -5,15 +5,24 @@ All three Table I scenarios x both workflows x all four strategies over
 metadata-intensive scenarios (paper: 15 % BuzzFlow / 28 % Montage gain
 for DR over the baseline); replicated is competitive on computation-
 intensive runs; strategy spread shrinks at small scale.
+
+Per-task op counts run at half the paper's Table I figures
+(``ops_scale=0.5``): every checked property is a *relative* gain or
+spread between strategies, which the down-scale preserves, and the
+benchmark is the suite's worst offender at full scale.
 """
+
+import pytest
 
 from repro.experiments.fig10_workflows import PAPER_GAINS, run_fig10
 from repro.metadata.controller import StrategyName
 
+pytestmark = pytest.mark.slow
+
 
 def test_fig10_workflows(benchmark, echo):
     result = benchmark.pedantic(
-        lambda: run_fig10(scenarios=("SS", "CI", "MI")),
+        lambda: run_fig10(scenarios=("SS", "CI", "MI"), ops_scale=0.5),
         rounds=1,
         iterations=1,
     )

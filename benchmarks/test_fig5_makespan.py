@@ -5,8 +5,12 @@
 decentralized-vs-centralized gap is already fully developed there.
 """
 
+import pytest
+
 from repro.experiments.fig5_makespan import run_fig5
 from repro.metadata.controller import StrategyName
+
+pytestmark = pytest.mark.slow
 
 
 def test_fig5_makespan(benchmark, echo):

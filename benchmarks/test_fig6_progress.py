@@ -6,7 +6,11 @@ centralized curve decelerates; site centrality ordering (East US best,
 South Central US worst).
 """
 
+import pytest
+
 from repro.experiments.fig6_progress import run_fig6
+
+pytestmark = pytest.mark.slow
 
 
 def test_fig6_progress(benchmark, echo):

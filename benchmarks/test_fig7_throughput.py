@@ -7,8 +7,12 @@ ops/s region; replicated stops scaling past 32 nodes; centralized
 capped by its single instance.
 """
 
+import pytest
+
 from repro.experiments.fig7_throughput import run_fig7
 from repro.metadata.controller import StrategyName
+
+pytestmark = pytest.mark.slow
 
 
 def test_fig7_throughput(benchmark, echo):

@@ -4,7 +4,11 @@ Paper parameters exactly.  Shapes: centralized and decentralized enjoy
 a ~linear time gain as nodes grow; replicated degrades at larger scale.
 """
 
+import pytest
+
 from repro.experiments.fig8_scalability import PAPER_TOTAL_OPS, run_fig8
+
+pytestmark = pytest.mark.slow
 
 
 def test_fig8_scalability(benchmark, echo):

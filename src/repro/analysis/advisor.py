@@ -17,7 +17,7 @@ Codifies the Section VII best-match analysis:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Tuple
+from typing import List, Tuple
 
 from repro.metadata.controller import StrategyName
 from repro.util.units import MB

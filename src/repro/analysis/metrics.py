@@ -3,9 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional
-
-import numpy as np
+from typing import Dict
 
 from repro.metadata.stats import OpKind, OpStats
 

@@ -9,7 +9,7 @@ growing without bound in Fig. 5, or the sync agent falling behind past
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Generator, List, Optional
 
 import numpy as np

@@ -23,7 +23,6 @@ expected outcome (asserted in ``tests/analysis/test_queueing.py``).
 
 from __future__ import annotations
 
-import math
 from typing import Tuple
 
 __all__ = [

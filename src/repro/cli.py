@@ -17,6 +17,7 @@ import sys
 from typing import List, Optional
 
 from repro.analysis.advisor import profile_workflow, recommend_strategy
+from repro.cloud.network import BANDWIDTH_MODELS
 from repro.experiments import (
     run_fig1,
     run_fig3,
@@ -29,6 +30,7 @@ from repro.experiments import (
 from repro.experiments.charts import bar_chart
 from repro.experiments.reporting import render_table
 from repro.experiments.synthetic import run_synthetic_workload
+from repro.metadata.config import MetadataConfig
 from repro.metadata.controller import STRATEGIES, StrategyName
 from repro.workflow.applications import buzzflow, montage
 from repro.workflow.serialization import load_workflow
@@ -92,6 +94,13 @@ def build_parser() -> argparse.ArgumentParser:
     sim.add_argument("--nodes", type=int, default=32)
     sim.add_argument("--ops", type=int, default=1000)
     sim.add_argument("--seed", type=int, default=0)
+    sim.add_argument(
+        "--bandwidth-model",
+        choices=BANDWIDTH_MODELS,
+        default="slots",
+        help="WAN bandwidth sharing: concurrency-capped slots (default) "
+        "or flow-level max-min fair sharing (docs/network-model.md)",
+    )
 
     adv = sub.add_parser(
         "advise", help="characterize a workflow and recommend a strategy"
@@ -141,6 +150,7 @@ def _cmd_simulate(args) -> int:
         n_nodes=args.nodes,
         ops_per_node=args.ops,
         seed=args.seed,
+        config=MetadataConfig(bandwidth_model=args.bandwidth_model),
     )
     print(
         render_table(

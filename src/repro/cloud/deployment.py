@@ -9,7 +9,7 @@ the first place.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional
 
 from repro.sim import Environment
 from repro.cloud.network import Network
@@ -33,6 +33,10 @@ class Deployment:
         paper keeps nodes "evenly distributed in our datacenters").
     seed:
         Master seed for all random streams of this deployment.
+    bandwidth_model:
+        WAN bandwidth sharing model: ``"slots"`` (concurrency-capped,
+        full bandwidth per transfer -- the original model) or ``"fair"``
+        (flow-level max-min fair sharing).  See ``docs/network-model.md``.
     """
 
     def __init__(
@@ -42,13 +46,19 @@ class Deployment:
         vm_size: Optional[VMSize] = None,
         seed: int = 0,
         env: Optional[Environment] = None,
+        bandwidth_model: str = "slots",
     ):
         if n_nodes <= 0:
             raise ValueError("n_nodes must be positive")
         self.env = env or Environment()
         self.topology = topology or azure_4dc_topology()
         self.rng = RngStreams(seed=seed)
-        self.network = Network(self.env, self.topology, rng=self.rng)
+        self.network = Network(
+            self.env,
+            self.topology,
+            rng=self.rng,
+            bandwidth_model=bandwidth_model,
+        )
         self.vm_size = vm_size or AZURE_SMALL_VM
         self.workers: List[VirtualMachine] = []
         self._workers_by_site: Dict[str, List[VirtualMachine]] = {

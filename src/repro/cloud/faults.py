@@ -19,11 +19,10 @@ metadata service behaves through them:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, Generator, List, Optional
+from dataclasses import dataclass
+from typing import Dict, Generator, List
 
 from repro.sim import Environment
-from repro.cloud.network import Network
 from repro.cloud.topology import CloudTopology
 
 __all__ = [

@@ -1,0 +1,280 @@
+"""Flow-level max-min fair bandwidth sharing for inter-site links.
+
+The slot model in :mod:`repro.cloud.network` grants every in-flight
+transfer the *full* link bandwidth and only bounds how many may be in
+flight at once.  Under load that systematically underestimates WAN
+contention -- exactly the regime where the paper's centralized registry
+saturates (Fig. 7) and the decentralized strategies keep scaling
+(Fig. 8).  This module provides the standard DES alternative: each
+directed link has a finite capacity that its *active flows* share
+max-min fairly.
+
+Mechanics
+---------
+
+A :class:`Flow` is ``size`` bytes in transit over one directed link.
+While active it drains at ``flow.rate`` bytes/second; the link computes
+rates by progressive filling (max-min fairness with optional per-flow
+rate caps):
+
+1. sort flows by their rate cap;
+2. offer each flow an equal share of the capacity still unassigned;
+3. a flow that cannot use its share (cap below it) keeps its cap and
+   returns the surplus to the pool for the remaining flows.
+
+With no caps this degenerates to ``capacity / n`` each -- N concurrent
+equal-size transfers each observe ~1/N of the link.
+
+Whenever a flow starts or finishes, the link *rebalances*: every active
+flow's remaining byte count is settled at its old rate, rates are
+recomputed, and each flow's completion event is rescheduled via
+:meth:`~repro.sim.core.Environment.reschedule` (O(log n) per flow thanks
+to the kernel's lazily-deleted calendar entries; no heap rebuilds).
+
+Units: time is seconds, sizes are bytes, rates/capacities are bytes per
+second -- the repo-wide conventions (see ``docs/network-model.md``).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional
+
+from repro.sim import Environment, Event, SimulationError
+
+__all__ = ["FairShareLink", "Flow", "FlowStats"]
+
+
+class Flow:
+    """One transfer's bandwidth share on a directed link.
+
+    Wait on :attr:`done` (an event succeeding with the flow itself) for
+    completion.  ``rate`` is the current fair share, updated on every
+    link rebalance.
+    """
+
+    __slots__ = (
+        "link",
+        "size",
+        "remaining",
+        "rate",
+        "max_rate",
+        "started_at",
+        "last_update",
+        "done",
+        "_timer",
+    )
+
+    def __init__(self, link: "FairShareLink", size: int, max_rate: float):
+        self.link = link
+        self.size = size
+        #: Bytes still to transmit (settled lazily at each rebalance).
+        self.remaining = float(size)
+        self.rate = 0.0
+        self.max_rate = max_rate
+        self.started_at = link.env.now
+        self.last_update = link.env.now
+        #: Fires (with the flow as value) when the last byte is sent.
+        self.done: Event = Event(link.env)
+        #: Internal completion timer, rescheduled on every rebalance.
+        self._timer: Optional[Event] = None
+
+    @property
+    def elapsed(self) -> float:
+        return self.link.env.now - self.started_at
+
+    def __repr__(self) -> str:
+        return (
+            f"<Flow {self.remaining:.0f}/{self.size}B "
+            f"@{self.rate:.0f}B/s>"
+        )
+
+
+class FlowStats:
+    """Aggregate counters of one fair-share link (contention diagnostics)."""
+
+    __slots__ = ("flows", "bytes", "max_concurrent", "rebalances")
+
+    def __init__(self) -> None:
+        self.flows = 0
+        self.bytes = 0
+        self.max_concurrent = 0
+        self.rebalances = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        return {
+            "flows": self.flows,
+            "bytes": self.bytes,
+            "max_concurrent": self.max_concurrent,
+            "rebalances": self.rebalances,
+        }
+
+
+class FairShareLink:
+    """A directed link whose active flows share ``capacity`` max-min fairly.
+
+    Parameters
+    ----------
+    env:
+        Simulation environment.
+    capacity:
+        Link capacity in bytes/second.
+    max_flow_rate:
+        Default per-flow rate cap (e.g. NIC or per-connection TCP limit),
+        bytes/second; ``inf`` disables the cap.
+    """
+
+    def __init__(
+        self,
+        env: Environment,
+        capacity: float,
+        max_flow_rate: float = math.inf,
+    ):
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        if max_flow_rate <= 0:
+            raise ValueError("max_flow_rate must be positive")
+        self.env = env
+        self.capacity = float(capacity)
+        self.max_flow_rate = float(max_flow_rate)
+        #: Active flows in start order (stable -> deterministic filling).
+        self.flows: List[Flow] = []
+        self.stats = FlowStats()
+
+    # -- public API ---------------------------------------------------------
+
+    @property
+    def n_active(self) -> int:
+        return len(self.flows)
+
+    def fair_rate(self, extra_flows: int = 0) -> float:
+        """The rate a prospective flow would get right now (estimator).
+
+        Runs the same progressive filling as the live rate computation
+        (existing flows keep their caps; the probe flows are capped at
+        the link default), so it stays exact with heterogeneous per-flow
+        caps.  Pure function of the current state: no RNG, no side
+        effects -- safe for planning (e.g. source selection in the
+        storage layer).
+        """
+        probes = max(1, extra_flows)
+        entries = sorted(
+            [(f.max_rate, False) for f in self.flows]
+            + [(self.max_flow_rate, True)] * probes,
+            key=lambda e: e[0],
+        )
+        unassigned, left = self.capacity, len(entries)
+        probe_rate = 0.0
+        for cap, is_probe in entries:
+            rate = min(cap, unassigned / left)
+            if is_probe:
+                # Equal-capped flows all receive the same share, so any
+                # probe's rate is THE prospective rate.
+                probe_rate = rate
+            unassigned -= rate
+            left -= 1
+        return probe_rate
+
+    def open(self, size: int, max_rate: Optional[float] = None) -> Flow:
+        """Start transmitting ``size`` bytes; returns the :class:`Flow`.
+
+        The caller waits on ``flow.done``.  Zero-size flows complete at
+        the current instant (the event still goes through the calendar so
+        callback ordering stays deterministic).
+        """
+        if size < 0:
+            raise ValueError(f"size must be >= 0, got {size}")
+        cap = self.max_flow_rate if max_rate is None else float(max_rate)
+        if cap <= 0:
+            raise ValueError("max_rate must be positive")
+        flow = Flow(self, size, cap)
+        self.stats.flows += 1
+        self.stats.bytes += size
+        if size == 0:
+            flow.done.succeed(flow)
+            return flow
+        self.flows.append(flow)
+        self.stats.max_concurrent = max(
+            self.stats.max_concurrent, len(self.flows)
+        )
+        self._rebalance()
+        return flow
+
+    def abort(self, flow: Flow) -> None:
+        """Tear down an in-flight flow (e.g. site failure mid-transfer)."""
+        if flow not in self.flows:
+            raise SimulationError(f"{flow!r} is not active on this link")
+        self._detach(flow)
+        if not flow.done.triggered:
+            flow.done.fail(SimulationError(f"{flow!r} aborted"))
+        self._rebalance()
+
+    # -- internals ----------------------------------------------------------
+
+    def _detach(self, flow: Flow) -> None:
+        self.flows.remove(flow)
+        timer = flow._timer
+        flow._timer = None
+        # Withdraw the pending completion timer so it never fires.
+        if timer is not None and not timer.processed:
+            self.env.cancel(timer)
+
+    def _settle(self, now: float) -> None:
+        """Charge every active flow for bytes sent since its last update."""
+        for flow in self.flows:
+            if flow.rate > 0.0:
+                flow.remaining = max(
+                    0.0, flow.remaining - flow.rate * (now - flow.last_update)
+                )
+            flow.last_update = now
+
+    def _recompute_rates(self) -> None:
+        """Progressive filling: max-min fair shares under per-flow caps."""
+        unassigned = self.capacity
+        left = len(self.flows)
+        # Stable sort by cap: tightest-capped flows settle first; ties keep
+        # start order, so placement is fully deterministic.
+        for flow in sorted(self.flows, key=lambda f: f.max_rate):
+            share = unassigned / left
+            flow.rate = min(flow.max_rate, share)
+            unassigned -= flow.rate
+            left -= 1
+
+    def _rebalance(self) -> None:
+        """Settle, recompute shares, and reschedule affected completions."""
+        now = self.env.now
+        self.stats.rebalances += 1
+        self._settle(now)
+        old_rates = [flow.rate for flow in self.flows]
+        self._recompute_rates()
+        for flow, old_rate in zip(self.flows, old_rates):
+            if flow._timer is not None and flow.rate == old_rate:
+                # Unchanged rate -> the scheduled completion instant is
+                # still exact (e.g. rate-capped flows riding out churn).
+                continue
+            delay = flow.remaining / flow.rate if flow.rate > 0 else math.inf
+            if flow._timer is None:
+                timer = self.env.timeout(delay)
+                timer.callbacks.append(self._make_completion(flow))
+                flow._timer = timer
+            else:
+                self.env.reschedule(flow._timer, delay)
+
+    def _make_completion(self, flow: Flow):
+        def _complete(_event: Event) -> None:
+            # The timer only pops at the (re)scheduled completion instant.
+            flow.remaining = 0.0
+            flow.last_update = self.env.now
+            self.flows.remove(flow)
+            flow._timer = None
+            if self.flows:
+                self._rebalance()
+            flow.done.succeed(flow)
+
+        return _complete
+
+    def __repr__(self) -> str:
+        return (
+            f"<FairShareLink cap={self.capacity:.0f}B/s "
+            f"active={len(self.flows)}>"
+        )

@@ -2,14 +2,27 @@
 
 Every message between two sites pays:
 
-``delay = base_latency + jitter + size / bandwidth``
+``delay = base_latency + jitter + transmission``
 
 where ``base_latency`` comes from the topology's link spec and jitter is
 a truncated-normal perturbation drawn from a dedicated RNG stream (so
-network noise never disturbs workload generation).  Inter-DC links also
-have bounded *concurrency*: a limited number of in-flight transfers
-share the link, which is what makes a hammered centralized registry's
-ingress a real bottleneck rather than an infinitely parallel pipe.
+network noise never disturbs workload generation).  The *transmission*
+term depends on the configured bandwidth model:
+
+- ``"slots"`` (default, the original model): every in-flight transfer
+  gets the full link bandwidth (``size / bandwidth``); inter-DC links
+  bound *concurrency* instead -- a limited number of in-flight transfers
+  share the link.
+- ``"fair"``: flow-level max-min fair sharing (see
+  :mod:`repro.cloud.flow`): each directed inter-site link has finite
+  capacity and all active flows share it, so N concurrent transfers each
+  observe ~1/N of the link.  This is the model to use when WAN
+  contention matters (Fig. 7 saturation, Fig. 8 scalability).
+
+See ``docs/network-model.md`` for when to prefer each model.  Local
+(intra-DC) traffic is never capped in either model: the paper's
+bottlenecks are WAN links and registry service capacity, not top-of-rack
+switches.
 
 Two interaction styles are offered:
 
@@ -18,18 +31,35 @@ Two interaction styles are offered:
   propagation);
 - :meth:`Network.rpc` -- request/response round trip with a server-side
   service callback (used by metadata registry clients).
+
+Accounting notes: per-message latency statistics are *end-to-end*
+(send to arrival, including any queueing for a link slot), and the
+planning estimators (:meth:`Network.round_trip`,
+:meth:`Network.estimated_transfer_time`) are jitter-free and never touch
+the RNG stream, so using them for planning cannot perturb subsequent
+network noise.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Dict, Generator, Optional, Tuple
 
 from repro.sim import Environment, Resource
+from repro.cloud.flow import FairShareLink
 from repro.cloud.topology import CloudTopology
 from repro.util.rng import RngStreams
 
-__all__ = ["Network", "NetworkMessage", "NetworkStats", "RpcError"]
+__all__ = [
+    "BANDWIDTH_MODELS",
+    "Network",
+    "NetworkMessage",
+    "NetworkStats",
+    "RpcError",
+]
+
+#: Recognized values of the ``bandwidth_model`` switch.
+BANDWIDTH_MODELS = ("slots", "fair")
 
 
 class RpcError(Exception):
@@ -49,7 +79,12 @@ class NetworkMessage:
 
 @dataclass
 class NetworkStats:
-    """Aggregate transfer statistics, broken down by distance class."""
+    """Aggregate transfer statistics, broken down by distance class.
+
+    ``total_latency`` is end-to-end: send to arrival, *including* time
+    spent queueing for a link slot under the slot model (or transmitting
+    at a reduced fair share under the flow model).
+    """
 
     messages: int = 0
     bytes: int = 0
@@ -81,9 +116,11 @@ class Network:
     rng:
         Stream registry; the network uses the ``"network"`` stream.
     link_concurrency:
-        Max concurrent transfers per directed inter-DC link pair.  Local
-        (intra-DC) traffic is not capped: the paper's bottlenecks are WAN
-        links and registry service capacity, not top-of-rack switches.
+        Slot model only: max concurrent transfers per directed inter-DC
+        link pair.
+    bandwidth_model:
+        ``"slots"`` (original concurrency-cap model) or ``"fair"``
+        (flow-level max-min fair sharing of link capacity).
     """
 
     #: Per-message fixed processing overhead (serialization, NIC), seconds.
@@ -95,32 +132,87 @@ class Network:
         topology: CloudTopology,
         rng: Optional[RngStreams] = None,
         link_concurrency: int = 64,
+        bandwidth_model: str = "slots",
     ):
+        if bandwidth_model not in BANDWIDTH_MODELS:
+            raise ValueError(
+                f"unknown bandwidth_model {bandwidth_model!r}; "
+                f"expected one of {BANDWIDTH_MODELS}"
+            )
         self.env = env
         self.topology = topology
         self.rng = (rng or RngStreams(seed=0)).get("network")
         self.link_concurrency = link_concurrency
+        self.bandwidth_model = bandwidth_model
         self._link_slots: Dict[Tuple[str, str], Resource] = {}
+        self._flow_links: Dict[Tuple[str, str], FairShareLink] = {}
         self.stats = NetworkStats()
 
     # -- delay model --------------------------------------------------------
 
-    def one_way_delay(self, src: str, dst: str, size: int = 0) -> float:
-        """Sample the one-way delay for a message of ``size`` bytes."""
+    def expected_one_way_delay(
+        self, src: str, dst: str, size: int = 0
+    ) -> float:
+        """Jitter-free expected one-way delay at an *unloaded* link.
+
+        A pure estimator: consumes no randomness and ignores current
+        contention (see :meth:`estimated_transfer_time` for a load-aware
+        variant).
+        """
         link = self.topology.link(src, dst)
         delay = link.latency + self.PER_MESSAGE_OVERHEAD
         if size > 0:
             delay += size / link.bandwidth
-        if link.jitter > 0:
-            # Truncated normal: latency noise can only add, never make the
-            # speed of light faster.
-            noise = self.rng.normal(0.0, link.jitter)
-            delay += max(0.0, noise)
         return delay
 
+    def one_way_delay(self, src: str, dst: str, size: int = 0) -> float:
+        """Sample the one-way delay for a message of ``size`` bytes.
+
+        Draws from the network RNG stream when the link has jitter; use
+        the ``expected_*`` estimators for planning.
+        """
+        link = self.topology.link(src, dst)
+        delay = self.expected_one_way_delay(src, dst, size)
+        return delay + self._jitter(link)
+
+    def _jitter(self, link) -> float:
+        if link.jitter <= 0:
+            return 0.0
+        # Truncated normal: latency noise can only add, never make the
+        # speed of light faster.
+        return max(0.0, self.rng.normal(0.0, link.jitter))
+
     def round_trip(self, src: str, dst: str) -> float:
-        """Expected request/response latency for an empty payload."""
-        return self.one_way_delay(src, dst) + self.one_way_delay(dst, src)
+        """Expected request/response latency for an empty payload.
+
+        Jitter-free planning estimator: calling it does **not** consume
+        the network RNG stream, so planners can probe it freely without
+        perturbing subsequent network noise (run-to-run comparability).
+        """
+        return self.expected_one_way_delay(src, dst) + self.expected_one_way_delay(
+            dst, src
+        )
+
+    def estimated_transfer_time(
+        self, src: str, dst: str, size: int = 0
+    ) -> float:
+        """Expected delivery time of ``size`` bytes *given current load*.
+
+        Under the fair model the transmission term uses the fair share a
+        new flow would receive right now; under the slot model it is the
+        plain full-bandwidth figure.  Jitter-free, RNG-untouched.
+        """
+        if size <= 0 or src == dst or self.bandwidth_model != "fair":
+            return self.expected_one_way_delay(src, dst, size)
+        link = self.topology.link(src, dst)
+        flink = self._flow_links.get((src, dst))
+        rate = (
+            flink.fair_rate() if flink is not None
+            else min(link.bandwidth, link.max_flow_rate)
+        )
+        return link.latency + self.PER_MESSAGE_OVERHEAD + size / rate
+
+    # -- link state ---------------------------------------------------------
 
     def _slots(self, src: str, dst: str) -> Optional[Resource]:
         if src == dst:
@@ -131,6 +223,19 @@ class Network:
                 self.env, capacity=self.link_concurrency
             )
         return self._link_slots[key]
+
+    def _flow_link(self, src: str, dst: str) -> FairShareLink:
+        key = (src, dst)
+        flink = self._flow_links.get(key)
+        if flink is None:
+            spec = self.topology.link(src, dst)
+            flink = FairShareLink(
+                self.env,
+                capacity=spec.bandwidth,
+                max_flow_rate=spec.max_flow_rate,
+            )
+            self._flow_links[key] = flink
+        return flink
 
     def _account(self, src: str, dst: str, size: int, delay: float) -> None:
         self.stats.messages += 1
@@ -152,18 +257,35 @@ class Network:
         """Process: move ``size`` bytes from ``src`` to ``dst``.
 
         Yields until the message has fully arrived; returns the
-        :class:`NetworkMessage` that was delivered.
+        :class:`NetworkMessage` that was delivered.  Latency statistics
+        account the full send-to-arrival interval.
         """
         msg = NetworkMessage(src, dst, size, payload, sent_at=self.env.now)
-        slots = self._slots(src, dst)
-        delay = self.one_way_delay(src, dst, size)
-        if slots is None:
-            yield self.env.timeout(delay)
+        if self.bandwidth_model == "fair" and src != dst and size > 0:
+            # Transmission at the link's max-min fair share, then
+            # propagation (+ jitter): the last byte arrives one link
+            # latency after it was transmitted.
+            flow = self._flow_link(src, dst).open(size)
+            yield flow.done
+            link = self.topology.link(src, dst)
+            yield self.env.timeout(
+                link.latency + self.PER_MESSAGE_OVERHEAD + self._jitter(link)
+            )
         else:
-            with slots.request() as req:
-                yield req
-                yield self.env.timeout(delay)
-        self._account(src, dst, size, delay)
+            slots = self._slots(src, dst)
+            if slots is None:
+                yield self.env.timeout(self.one_way_delay(src, dst, size))
+            else:
+                with slots.request() as req:
+                    yield req
+                    # Sample the delay only once the slot is held: the
+                    # draw order still follows the FIFO grant order, but
+                    # the sampled jitter now belongs to the actual
+                    # transmission, not the enqueue instant.
+                    yield self.env.timeout(
+                        self.one_way_delay(src, dst, size)
+                    )
+        self._account(src, dst, size, self.env.now - msg.sent_at)
         return msg
 
     def rpc(

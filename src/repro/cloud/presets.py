@@ -15,7 +15,7 @@ RTTs halved to one-way figures.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Optional, Sequence, Tuple
+from typing import Dict, Optional, Sequence, Tuple
 
 from repro.cloud.topology import CloudTopology, Datacenter, Region
 from repro.cloud.vm import VMSize

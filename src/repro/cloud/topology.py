@@ -14,8 +14,8 @@ calibrated against the paper's Figure 1 (see ``repro.cloud.presets``).
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Tuple
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Tuple
 
 from repro.util.units import MB
 
@@ -86,11 +86,20 @@ class Datacenter:
 
 @dataclass
 class LinkSpec:
-    """Latency/bandwidth parameters of one directed inter-DC link."""
+    """Latency/bandwidth parameters of one directed inter-DC link.
+
+    ``bandwidth`` is the link's total capacity.  Under the slot
+    bandwidth model every in-flight transfer gets the full figure; under
+    the flow-level fair-share model (``bandwidth_model="fair"``) all
+    active flows split it max-min fairly.  ``max_flow_rate`` optionally
+    caps a *single* flow's share (e.g. per-connection TCP or NIC limits)
+    and only matters to the fair model.
+    """
 
     latency: float  # one-way propagation latency, seconds
     bandwidth: float = 100 * MB  # bytes/second
     jitter: float = 0.0  # std-dev of lognormal-ish latency noise, seconds
+    max_flow_rate: float = float("inf")  # per-flow cap, bytes/second
 
 
 class CloudTopology:
@@ -126,6 +135,7 @@ class CloudTopology:
         bandwidth: float = 100 * MB,
         jitter: float = 0.0,
         symmetric: bool = True,
+        max_flow_rate: float = float("inf"),
     ) -> None:
         """Define the WAN link between sites ``a`` and ``b``."""
         if a not in self._by_name or b not in self._by_name:
@@ -134,9 +144,13 @@ class CloudTopology:
             raise ValueError("Use 'local_link' for intra-DC latency")
         if latency < 0 or bandwidth <= 0:
             raise ValueError("latency must be >=0 and bandwidth > 0")
-        self._links[(a, b)] = LinkSpec(latency, bandwidth, jitter)
+        if max_flow_rate <= 0:
+            raise ValueError("max_flow_rate must be positive")
+        self._links[(a, b)] = LinkSpec(latency, bandwidth, jitter, max_flow_rate)
         if symmetric:
-            self._links[(b, a)] = LinkSpec(latency, bandwidth, jitter)
+            self._links[(b, a)] = LinkSpec(
+                latency, bandwidth, jitter, max_flow_rate
+            )
 
     # -- lookup --------------------------------------------------------------
 

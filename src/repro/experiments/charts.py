@@ -8,7 +8,7 @@ comparisons (Fig. 10-style grouped bars) and line charts for sweeps
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, Optional, Sequence, Tuple
 
 __all__ = ["bar_chart", "line_chart", "sparkline"]
 

@@ -138,12 +138,30 @@ def run_fig10(
     seed: int = 7,
     home_site: str = DEFAULT_HOME_SITE,
     config: Optional[MetadataConfig] = None,
+    ops_scale: float = 1.0,
 ) -> Fig10Result:
+    """Run the Table I scenarios.
+
+    ``ops_scale`` uniformly scales every scenario's per-task metadata
+    operation count (DAGs and compute times stay fixed).  The checked
+    properties are *relative* (gains and spreads between strategies), so
+    they are insensitive to a moderate down-scale; CI uses 0.5 to halve
+    the workload of the heaviest benchmark.
+    """
+    if ops_scale <= 0:
+        raise ValueError("ops_scale must be positive")
     result = Fig10Result(n_nodes=n_nodes, scenarios=tuple(scenarios))
     for wf_name in workflows:
         builder = WORKFLOW_BUILDERS[wf_name]
         for sc_name in scenarios:
             spec: ScenarioSpec = SCENARIOS[sc_name]
+            if ops_scale != 1.0:
+                spec = ScenarioSpec(
+                    spec.name,
+                    spec.label,
+                    ops_per_task=max(1, round(spec.ops_per_task * ops_scale)),
+                    compute_time=spec.compute_time,
+                )
             for strat in StrategyName.all():
                 # Synchronous hybrid replication: the Section IV-D
                 # prototype behaviour, which reproduces the paper's
@@ -157,7 +175,11 @@ def run_fig10(
                         "hybrid_sync_replication": True,
                     }
                 )
-                dep = Deployment(n_nodes=n_nodes, seed=seed)
+                dep = Deployment(
+                    n_nodes=n_nodes,
+                    seed=seed,
+                    bandwidth_model=cfg.bandwidth_model or "slots",
+                )
                 ctrl = ArchitectureController(dep, strategy=strat, config=cfg)
                 engine = WorkflowEngine(dep, ctrl.strategy)
                 wf = builder(

@@ -14,8 +14,10 @@ from __future__ import annotations
 import argparse
 import sys
 import time
-from typing import Callable, List, Tuple
+from typing import Callable, List, Optional, Tuple
 
+from repro.cloud.network import BANDWIDTH_MODELS
+from repro.metadata.config import MetadataConfig
 from repro.experiments.fig1_latency import run_fig1
 from repro.experiments.fig3_replication import run_fig3
 from repro.experiments.fig5_makespan import run_fig5
@@ -27,7 +29,9 @@ from repro.experiments.fig10_workflows import run_fig10
 __all__ = ["main", "run_all"]
 
 
-def _experiments(quick: bool) -> List[Tuple[str, Callable[[], object]]]:
+def _experiments(
+    quick: bool, config: Optional[MetadataConfig] = None
+) -> List[Tuple[str, Callable[[], object]]]:
     if quick:
         return [
             ("Fig. 1", lambda: run_fig1(file_counts=(100, 500, 1000))),
@@ -35,40 +39,58 @@ def _experiments(quick: bool) -> List[Tuple[str, Callable[[], object]]]:
             (
                 "Fig. 5",
                 lambda: run_fig5(
-                    ops_per_node=(100, 250, 500, 1000), n_nodes=32
+                    ops_per_node=(100, 250, 500, 1000),
+                    n_nodes=32,
+                    config=config,
                 ),
             ),
-            ("Fig. 6", lambda: run_fig6(n_nodes=32, ops_per_node=1500)),
+            (
+                "Fig. 6",
+                lambda: run_fig6(
+                    n_nodes=32, ops_per_node=1500, config=config
+                ),
+            ),
             (
                 "Fig. 7",
                 lambda: run_fig7(
-                    node_counts=(8, 16, 32, 64), ops_per_node=500
+                    node_counts=(8, 16, 32, 64),
+                    ops_per_node=500,
+                    config=config,
                 ),
             ),
             (
                 "Fig. 8",
                 lambda: run_fig8(
-                    node_counts=(8, 16, 32, 64), total_ops=8000
+                    node_counts=(8, 16, 32, 64),
+                    total_ops=8000,
+                    config=config,
                 ),
             ),
-            ("Fig. 10 / Table I", lambda: run_fig10(scenarios=("SS", "MI"))),
+            (
+                "Fig. 10 / Table I",
+                lambda: run_fig10(scenarios=("SS", "MI"), config=config),
+            ),
         ]
     return [
         ("Fig. 1", run_fig1),
         ("Fig. 3", run_fig3),
-        ("Fig. 5", run_fig5),
-        ("Fig. 6", run_fig6),
-        ("Fig. 7", run_fig7),
-        ("Fig. 8", run_fig8),
-        ("Fig. 10 / Table I", run_fig10),
+        ("Fig. 5", lambda: run_fig5(config=config)),
+        ("Fig. 6", lambda: run_fig6(config=config)),
+        ("Fig. 7", lambda: run_fig7(config=config)),
+        ("Fig. 8", lambda: run_fig8(config=config)),
+        ("Fig. 10 / Table I", lambda: run_fig10(config=config)),
     ]
 
 
-def run_all(quick: bool = False, stream=None) -> List[object]:
+def run_all(
+    quick: bool = False,
+    stream=None,
+    config: Optional[MetadataConfig] = None,
+) -> List[object]:
     """Run all experiments, printing each report; returns result objects."""
     stream = stream or sys.stdout
     results = []
-    for name, fn in _experiments(quick):
+    for name, fn in _experiments(quick, config=config):
         t0 = time.time()
         result = fn()
         elapsed = time.time() - t0
@@ -85,8 +107,23 @@ def main(argv=None) -> int:
         action="store_true",
         help="reduced workloads (seconds instead of minutes)",
     )
+    parser.add_argument(
+        "--bandwidth-model",
+        choices=BANDWIDTH_MODELS,
+        default=None,
+        help=(
+            "WAN bandwidth sharing model: 'slots' (concurrency-capped, "
+            "the original) or 'fair' (flow-level max-min fair sharing); "
+            "default keeps the deployment default ('slots')"
+        ),
+    )
     args = parser.parse_args(argv)
-    run_all(quick=args.quick)
+    config = (
+        MetadataConfig(bandwidth_model=args.bandwidth_model)
+        if args.bandwidth_model
+        else None
+    )
+    run_all(quick=args.quick, config=config)
     return 0
 
 

@@ -81,7 +81,16 @@ def run_synthetic_workload(
         raise ValueError("need at least one writer and one reader")
     if ops_per_node <= 0:
         raise ValueError("ops_per_node must be positive")
-    dep = deployment or Deployment(n_nodes=n_nodes, seed=seed)
+    # The config may pin the WAN bandwidth-sharing model (slots vs
+    # flow-level fair share); None keeps the deployment default.
+    bandwidth_model = (
+        config.bandwidth_model if config is not None else None
+    )
+    dep = deployment or Deployment(
+        n_nodes=n_nodes,
+        seed=seed,
+        bandwidth_model=bandwidth_model or "slots",
+    )
     ctrl = ArchitectureController(dep, strategy=strategy, config=config)
     strat = ctrl.strategy
     env = dep.env

@@ -10,9 +10,10 @@ falls behind past ~32 nodes (Fig. 7/8).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional
 
+from repro.cloud.network import BANDWIDTH_MODELS
 from repro.util.units import MS
 
 __all__ = ["MetadataConfig"]
@@ -75,6 +76,11 @@ class MetadataConfig:
     home_site:
         Site hosting the centralized registry / the sync agent; default
         (None) is the first site of the deployment.
+    bandwidth_model:
+        WAN bandwidth sharing model used when an experiment builds the
+        deployment from this config: ``None`` (deployment default, i.e.
+        ``"slots"``), ``"slots"`` or ``"fair"``.  See
+        ``docs/network-model.md`` for semantics and trade-offs.
     """
 
     service_time: float = 3 * MS
@@ -98,6 +104,7 @@ class MetadataConfig:
     virtual_nodes: int = 64
     write_lookup: bool = False
     home_site: Optional[str] = None
+    bandwidth_model: Optional[str] = None
 
     def validate(self) -> None:
         if self.service_time <= 0:
@@ -124,3 +131,9 @@ class MetadataConfig:
             )
         if self.virtual_nodes <= 0:
             raise ValueError("virtual_nodes must be positive")
+        if self.bandwidth_model is not None and (
+            self.bandwidth_model not in BANDWIDTH_MODELS
+        ):
+            raise ValueError(
+                f"bandwidth_model must be None or one of {BANDWIDTH_MODELS}"
+            )

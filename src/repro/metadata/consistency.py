@@ -22,8 +22,8 @@ for workflow workloads; EXPERIMENTS.md quantifies it.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, Generator, List, Optional, Tuple
+from dataclasses import dataclass
+from typing import Dict, Generator, List, Optional
 
 from repro.sim import Environment, Store
 from repro.cloud.network import Network

@@ -10,7 +10,7 @@ operation the paper's related-work section warns about, measurable here).
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Generator, List, Optional, Type
+from typing import Dict, Generator, List, Optional, Type
 
 from repro.sim import Environment
 from repro.cloud.deployment import Deployment

@@ -9,7 +9,7 @@ support the cache tier's optimistic concurrency model.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 from typing import Any, Dict, FrozenSet, Optional, Tuple
 
 __all__ = ["RegistryEntry", "VersionConflict"]

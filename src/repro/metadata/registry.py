@@ -16,7 +16,7 @@ response latency.
 
 from __future__ import annotations
 
-from typing import Generator, List, Optional, Tuple
+from typing import Generator, List, Optional
 
 from repro.sim import Environment, Resource
 from repro.cloud.network import Network

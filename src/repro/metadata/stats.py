@@ -9,8 +9,7 @@ time (Fig. 5), completion-progress curves (Fig. 6), aggregate throughput
 
 from __future__ import annotations
 
-import bisect
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 import enum
 from typing import Dict, List, Optional, Sequence, Tuple
 

@@ -24,7 +24,7 @@ All three plug into the :class:`ArchitectureController` registry.
 
 from __future__ import annotations
 
-from typing import Dict, Generator, List, Optional
+from typing import Generator, List, Optional
 
 from repro.sim import Environment
 from repro.cloud.network import Network

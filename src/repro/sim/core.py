@@ -14,6 +14,16 @@ The design mirrors the well-known process-interaction DES architecture:
 Determinism is a hard requirement here (experiments must be exactly
 reproducible), hence the explicit tie-breaking sequence counter and the
 absence of any wall-clock or hash-order dependence.
+
+Two kernel-level optimizations serve high event-churn workloads (the
+flow-level bandwidth model reschedules every affected transfer whenever
+a flow starts or finishes):
+
+- ``Event``/``Timeout``/``Process`` declare ``__slots__``;
+- calendar entries are lazily deleted: :meth:`Environment.reschedule`
+  invalidates the old heap entry in O(1) and pushes a re-keyed one in
+  O(log n), instead of rebuilding the heap.  Dead entries are skipped
+  (and purged) by ``peek``/``step``.
 """
 
 from __future__ import annotations
@@ -95,6 +105,8 @@ class Event:
         after processing (appending then is an error, caught explicitly).
     """
 
+    __slots__ = ("env", "callbacks", "_value", "_ok", "defused", "_entry")
+
     def __init__(self, env: "Environment"):
         self.env = env
         self.callbacks: Optional[List[Callable[["Event"], None]]] = []
@@ -104,6 +116,8 @@ class Event:
         #: waiter (or explicitly defused); undelivered failures surface at
         #: the end of the run so errors cannot vanish silently.
         self.defused = False
+        #: Live calendar entry while scheduled (lazy-deletion handle).
+        self._entry: Optional[list] = None
 
     # -- state inspection -------------------------------------------------
 
@@ -180,6 +194,8 @@ class Event:
 class Timeout(Event):
     """An event that fires after a fixed simulated delay."""
 
+    __slots__ = ("_delay",)
+
     def __init__(self, env: "Environment", delay: float, value: Any = None):
         if delay < 0:
             raise ValueError(f"Negative delay {delay!r}")
@@ -195,6 +211,8 @@ class Timeout(Event):
 
 class Initialize(Event):
     """Kernel event that starts a freshly created process."""
+
+    __slots__ = ()
 
     def __init__(self, env: "Environment", process: "Process"):
         super().__init__(env)
@@ -233,6 +251,8 @@ class Process(Event):
     - ``return value`` (or ``StopIteration``) makes the process event
       succeed with ``value``, waking anything waiting on the process.
     """
+
+    __slots__ = ("_generator", "name", "_target")
 
     def __init__(self, env: "Environment", generator: Generator, name: str = ""):
         if not hasattr(generator, "send") or not hasattr(generator, "throw"):
@@ -378,11 +398,17 @@ class AnyOf(ConditionEvent):
 
 
 class Environment:
-    """The event loop: virtual clock plus a deterministic event calendar."""
+    """The event loop: virtual clock plus a deterministic event calendar.
+
+    Calendar entries are mutable 4-slot lists ``[time, priority, seq,
+    event]``; cancelling or rescheduling an entry sets its event slot to
+    ``None`` (lazy deletion) instead of removing it from the heap.  Dead
+    entries are discarded as they surface at the heap top.
+    """
 
     def __init__(self, initial_time: float = 0.0):
         self._now = float(initial_time)
-        self._queue: List[Tuple[float, int, int, Event]] = []
+        self._queue: List[list] = []
         self._seq = count()
         self._active_process: Optional[Process] = None
 
@@ -423,20 +449,65 @@ class Environment:
     def _schedule(
         self, event: Event, priority: int, delay: float = 0.0
     ) -> None:
-        heapq.heappush(
-            self._queue, (self._now + delay, priority, next(self._seq), event)
-        )
+        entry = [self._now + delay, priority, next(self._seq), event]
+        event._entry = entry
+        heapq.heappush(self._queue, entry)
+
+    def reschedule(
+        self,
+        event: Event,
+        delay: float,
+        priority: Optional[int] = None,
+    ) -> None:
+        """Move a scheduled, not-yet-processed event to fire ``delay`` from now.
+
+        O(log n): the old calendar entry is lazily deleted in place and a
+        re-keyed entry is pushed.  This is the primitive the flow-level
+        bandwidth model leans on -- every fair-share rebalance reschedules
+        the completion of each affected transfer.  The entry's priority
+        is preserved unless a new one is given.
+        """
+        if delay < 0:
+            raise ValueError(f"Negative delay {delay!r}")
+        entry = event._entry
+        if entry is None or entry[3] is None or event.processed:
+            raise SimulationError(f"{event!r} is not scheduled; cannot reschedule")
+        entry[3] = None  # lazy-delete the stale entry
+        self._schedule(event, entry[1] if priority is None else priority, delay)
+
+    def cancel(self, event: Event) -> None:
+        """Withdraw a scheduled, not-yet-processed event from the calendar.
+
+        O(1) lazy deletion: the entry stays in the heap but is skipped
+        (and purged) when it surfaces.  The event will never fire.
+        """
+        entry = event._entry
+        if entry is None or entry[3] is None or event.processed:
+            raise SimulationError(f"{event!r} is not scheduled; cannot cancel")
+        entry[3] = None
+        event._entry = None
 
     def peek(self) -> float:
-        """Time of the next scheduled event, or ``inf`` if none."""
-        return self._queue[0][0] if self._queue else float("inf")
+        """Time of the next scheduled event, or ``inf`` if none.
+
+        Purges lazily-deleted entries from the heap top as a side effect.
+        """
+        queue = self._queue
+        while queue and queue[0][3] is None:
+            heapq.heappop(queue)
+        return queue[0][0] if queue else float("inf")
 
     def step(self) -> None:
-        """Pop and process exactly one event."""
-        if not self._queue:
+        """Pop and process exactly one (live) event."""
+        while self._queue:
+            when, _prio, _seq, event = heapq.heappop(self._queue)
+            if event is None:
+                continue  # lazily-deleted (cancelled or rescheduled)
+            break
+        else:
             raise SimulationError("No scheduled events")
-        when, _prio, _seq, event = heapq.heappop(self._queue)
         self._now = when
+        event._entry = None
         callbacks, event.callbacks = event.callbacks, None
         if callbacks is None:
             return  # cancelled / already processed
@@ -474,7 +545,10 @@ class Environment:
         while self._queue:
             if stop_event is not None and stop_event.processed:
                 break
-            if self.peek() > deadline:
+            horizon = self.peek()  # purges dead entries at the heap top
+            if not self._queue:
+                continue  # only dead entries remained: drained naturally
+            if horizon > deadline:
                 self._now = deadline
                 break
             try:

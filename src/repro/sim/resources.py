@@ -19,11 +19,9 @@ even if the holding process crashes or is interrupted::
 
 from __future__ import annotations
 
-import heapq
-from itertools import count
 from typing import Any, Callable, List, Optional
 
-from repro.sim.core import Environment, Event, SimulationError
+from repro.sim.core import Environment, Event
 
 __all__ = [
     "Container",

@@ -8,7 +8,7 @@ It is a bookkeeping structure (contents are sizes, not bytes); transfer
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterator, List, Optional
+from typing import Dict, Iterator, Optional
 
 __all__ = ["FileStore", "StoredFile"]
 
@@ -49,6 +49,10 @@ class FileStore:
         if f is not None:
             self.bytes_read += f.size
         return f
+
+    def peek(self, name: str) -> Optional[StoredFile]:
+        """Like :meth:`get` but without read accounting (planning only)."""
+        return self._files.get(name)
 
     def has(self, name: str) -> bool:
         return name in self._files

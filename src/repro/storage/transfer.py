@@ -53,7 +53,11 @@ class TransferService:
         (that is the whole point of the registry: learning where the
         data is without broadcasting).  Falls back to ground truth when
         omitted -- useful for tests.  Picks the closest source site by
-        one-way latency.  Returns the :class:`StoredFile`.
+        one-way latency; under the flow-level fair-share bandwidth model
+        the choice is load-aware instead (expected delivery time given
+        the current fair share on each candidate link, via the network's
+        jitter-free estimator -- planning never consumes network RNG).
+        Returns the :class:`StoredFile`.
         """
         dst = self._store_of(to_site)
         existing = dst.get(name)
@@ -67,10 +71,18 @@ class TransferService:
         ]
         if not candidates:
             raise TransferError(f"file {name!r} not found at any site")
-        src_site = min(
-            candidates,
-            key=lambda s: self.network.topology.latency(s, to_site),
-        )
+        if self.network.bandwidth_model == "fair":
+            src_site = min(
+                candidates,
+                key=lambda s: self.network.estimated_transfer_time(
+                    s, to_site, self.stores[s].peek(name).size
+                ),
+            )
+        else:
+            src_site = min(
+                candidates,
+                key=lambda s: self.network.topology.latency(s, to_site),
+            )
         file = self.stores[src_site].get(name)
         assert file is not None  # guarded by candidates filter
         start = self.env.now

@@ -9,7 +9,7 @@ inputs/outputs rather than explicit edges.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set
+from typing import Dict, Iterator, List, Optional, Set
 
 from repro.util.units import KB
 

@@ -27,7 +27,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Generator, List, Optional
 
-from repro.sim import AllOf, Environment, Event, Store
+from repro.sim import AllOf, Environment, Event
 from repro.cloud.deployment import Deployment
 from repro.cloud.vm import VirtualMachine
 from repro.metadata.entry import RegistryEntry

@@ -9,9 +9,9 @@ passing an existing workflow plus input files.
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence
+from typing import List, Optional
 
-from repro.util.units import KB, MB
+from repro.util.units import KB
 from repro.workflow.dag import Task, Workflow, WorkflowFile
 
 __all__ = ["broadcast", "gather", "pipeline", "reduce_tree", "scatter"]

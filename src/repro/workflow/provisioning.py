@@ -17,8 +17,8 @@ execution instead of serializing them after the last one.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, Generator, List, Optional, Set
+from dataclasses import dataclass
+from typing import Dict, Generator, List, Optional
 
 from repro.sim import Environment
 from repro.metadata.strategies.base import MetadataStrategy

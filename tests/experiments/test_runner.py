@@ -29,7 +29,7 @@ class TestRunnerStructure:
         monkeypatch.setattr(
             runner,
             "_experiments",
-            lambda quick: [("Fig. X", lambda: FakeResult())],
+            lambda quick, config=None: [("Fig. X", lambda: FakeResult())],
         )
         buf = io.StringIO()
         results = runner.run_all(quick=True, stream=buf)
@@ -41,10 +41,23 @@ class TestRunnerStructure:
     def test_main_parses_quick_flag(self, monkeypatch):
         called = {}
 
-        def fake_run_all(quick=False, stream=None):
+        def fake_run_all(quick=False, stream=None, config=None):
             called["quick"] = quick
+            called["config"] = config
             return []
 
         monkeypatch.setattr(runner, "run_all", fake_run_all)
         assert runner.main(["--quick"]) == 0
         assert called["quick"] is True
+        assert called["config"] is None
+
+    def test_main_parses_bandwidth_model_flag(self, monkeypatch):
+        called = {}
+
+        def fake_run_all(quick=False, stream=None, config=None):
+            called["config"] = config
+            return []
+
+        monkeypatch.setattr(runner, "run_all", fake_run_all)
+        assert runner.main(["--bandwidth-model", "fair"]) == 0
+        assert called["config"].bandwidth_model == "fair"

@@ -48,6 +48,7 @@ class TestAdvisorEmpirically:
         baseline = run_under(StrategyName.CENTRALIZED, builder)
         assert recommended.makespan < baseline.makespan
 
+    @pytest.mark.slow
     def test_parallel_recommendation_wins(self):
         """Metadata-heavy scatter -> decentralized, and it beats baseline."""
         builder = lambda: scatter(24, compute_time=0.2, extra_ops=700)

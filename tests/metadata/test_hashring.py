@@ -149,3 +149,67 @@ class TestRingProperties:
         ring.remove_site(leaver)
         ring.add_site(leaver)
         assert {k: ring.site_for(k) for k in keys} == before
+
+
+class TestRingBoundaries:
+    """Exact-point and wrap-around placement (bisect right-bias)."""
+
+    @pytest.fixture
+    def ring(self):
+        return ConsistentHashRing(SITES, virtual_nodes=8)
+
+    def _pin_key(self, monkeypatch, key, point):
+        """Make ``key`` hash exactly to ``point`` (others unchanged)."""
+        from repro.metadata import hashring as hr
+
+        real = hr.stable_hash
+        monkeypatch.setattr(
+            hr,
+            "stable_hash",
+            lambda v, salt="": point if v == key else real(v, salt),
+        )
+
+    def test_key_on_vnode_point_goes_to_successor(self, ring, monkeypatch):
+        """bisect.bisect is right-biased: a key hashing *exactly* onto a
+        virtual-node point belongs to the strictly-next vnode's arc."""
+        mid = len(ring._ring) // 2
+        point = ring._hashes[mid]
+        successor_site = ring._ring[mid + 1][1]
+        self._pin_key(monkeypatch, "boundary-key", point)
+        assert ring.site_for("boundary-key") == successor_site
+
+    def test_key_on_last_vnode_point_wraps_to_first(self, ring, monkeypatch):
+        point = ring._hashes[-1]  # exactly on the largest vnode hash
+        self._pin_key(monkeypatch, "wrap-key", point)
+        assert ring.site_for("wrap-key") == ring._ring[0][1]
+
+    def test_key_beyond_last_vnode_wraps_to_first(self, ring, monkeypatch):
+        self._pin_key(monkeypatch, "wrap-key", ring._hashes[-1] + 1)
+        assert ring.site_for("wrap-key") == ring._ring[0][1]
+
+    def test_key_below_first_vnode_maps_to_first(self, ring, monkeypatch):
+        self._pin_key(monkeypatch, "low-key", 0)
+        assert ring.site_for("low-key") == ring._ring[0][1]
+
+    @pytest.mark.parametrize("offset", [-1, 0, 1])
+    def test_preference_list_consistent_at_boundaries(
+        self, ring, monkeypatch, offset
+    ):
+        """preference_list(k, 1)[0] == site_for(k) exactly on, just
+        before and just after a vnode point -- including the wrap arc."""
+        for idx in (0, len(ring._ring) // 2, len(ring._ring) - 1):
+            point = ring._hashes[idx] + offset
+            self._pin_key(monkeypatch, "probe-key", point)
+            assert ring.preference_list("probe-key", 1) == [
+                ring.site_for("probe-key")
+            ]
+
+    def test_preference_list_walks_clockwise_from_wrap(
+        self, ring, monkeypatch
+    ):
+        """Past the last vnode the walk continues at ring start and still
+        yields distinct sites in clockwise order."""
+        self._pin_key(monkeypatch, "wrap-key", ring._hashes[-1])
+        prefs = ring.preference_list("wrap-key", len(SITES))
+        assert prefs[0] == ring._ring[0][1]
+        assert sorted(prefs) == sorted(SITES)

@@ -1,0 +1,83 @@
+"""CI lint step: the source tree must stay free of unused imports.
+
+Backed by :mod:`repro.util.lint` (AST-based; the container ships no
+third-party linter).  Runs as part of the default pytest entry point so
+dead imports cannot creep back in.
+"""
+
+import textwrap
+from pathlib import Path
+
+from repro.util import lint
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def test_src_tree_has_no_unused_imports():
+    findings = lint.check_tree(REPO_ROOT / "src")
+    assert not findings, "\n".join(str(f) for f in findings)
+
+
+class TestChecker:
+    def _check(self, tmp_path, source: str):
+        f = tmp_path / "mod.py"
+        f.write_text(textwrap.dedent(source))
+        return lint.check_file(f)
+
+    def test_flags_unused_from_import(self, tmp_path):
+        findings = self._check(
+            tmp_path,
+            """
+            from os import path, sep
+            print(sep)
+            """,
+        )
+        assert [(f.name, f.line) for f in findings] == [("path", 2)]
+
+    def test_flags_unused_module_import(self, tmp_path):
+        findings = self._check(tmp_path, "import bisect\n")
+        assert [f.name for f in findings] == ["bisect"]
+
+    def test_dotted_import_binds_root(self, tmp_path):
+        assert not self._check(
+            tmp_path,
+            """
+            import os.path
+            print(os.sep)
+            """,
+        )
+
+    def test_alias_binds_alias(self, tmp_path):
+        findings = self._check(tmp_path, "import numpy as np\n")
+        assert [f.name for f in findings] == ["np"]
+
+    def test_name_in_all_counts_as_used(self, tmp_path):
+        assert not self._check(
+            tmp_path,
+            """
+            from os import sep
+            __all__ = ["sep"]
+            """,
+        )
+
+    def test_name_in_string_annotation_counts_as_used(self, tmp_path):
+        assert not self._check(
+            tmp_path,
+            """
+            from typing import Generator
+
+            def f(x: "Generator | None"):
+                return x
+            """,
+        )
+
+    def test_future_imports_exempt(self, tmp_path):
+        assert not self._check(
+            tmp_path, "from __future__ import annotations\n"
+        )
+
+    def test_init_files_exempt(self, tmp_path):
+        pkg = tmp_path / "pkg"
+        pkg.mkdir()
+        (pkg / "__init__.py").write_text("from os import sep\n")
+        assert not lint.check_tree(pkg)
