@@ -1,0 +1,22 @@
+#!/bin/sh
+# Single entry point for the pre-commit checks:
+#   1. fast test profile (everything except the @slow figure
+#      regenerations, ~20 s; see pytest.ini for the profiles);
+#   2. unused-import lint over the source tree.
+#
+# Usage, from the repo root:
+#   scripts/check.sh            # fast profile + lint
+#   FULL=1 scripts/check.sh     # full tier-1 suite + lint (~3.5 min)
+set -eu
+
+cd "$(dirname "$0")/.."
+export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
+
+if [ "${FULL:-0}" = "1" ]; then
+    python -m pytest -x -q
+else
+    python -m pytest -x -q -m "not slow"
+fi
+python -m repro.util.lint src
+
+echo "check: all green"

@@ -99,7 +99,31 @@ def build_parser() -> argparse.ArgumentParser:
         choices=BANDWIDTH_MODELS,
         default="slots",
         help="WAN bandwidth sharing: concurrency-capped slots (default) "
-        "or flow-level max-min fair sharing (docs/network-model.md)",
+        "or flow-level hierarchical max-min fair sharing "
+        "(docs/network-model.md)",
+    )
+    sim.add_argument(
+        "--egress-cap-mb",
+        type=float,
+        default=None,
+        metavar="MB_PER_S",
+        help="fair model only: per-site aggregate outbound WAN cap "
+        "(megabytes/s)",
+    )
+    sim.add_argument(
+        "--ingress-cap-mb",
+        type=float,
+        default=None,
+        metavar="MB_PER_S",
+        help="fair model only: per-site aggregate inbound WAN cap "
+        "(megabytes/s)",
+    )
+    sim.add_argument(
+        "--rpc-flow-weight",
+        type=float,
+        default=1.0,
+        help="fair model only: metadata RPC flow weight vs weight-1 "
+        "bulk transfers",
     )
 
     adv = sub.add_parser(
@@ -145,12 +169,22 @@ def _cmd_figures(args) -> int:
 
 
 def _cmd_simulate(args) -> int:
+    try:
+        config = MetadataConfig.from_network_args(
+            args.bandwidth_model,
+            egress_cap_mb=args.egress_cap_mb,
+            ingress_cap_mb=args.ingress_cap_mb,
+            rpc_flow_weight=args.rpc_flow_weight,
+        )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     res = run_synthetic_workload(
         args.strategy,
         n_nodes=args.nodes,
         ops_per_node=args.ops,
         seed=args.seed,
-        config=MetadataConfig(bandwidth_model=args.bandwidth_model),
+        config=config,
     )
     print(
         render_table(

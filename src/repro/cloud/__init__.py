@@ -15,7 +15,9 @@ from repro.cloud.topology import (
     Datacenter,
     Distance,
     Region,
+    SiteSpec,
 )
+from repro.cloud.flow import FlowAborted, FlowNetwork
 from repro.cloud.network import Network, NetworkMessage, RpcError
 from repro.cloud.vm import VirtualMachine, VMRole, VMSize
 from repro.cloud.deployment import Deployment
@@ -33,10 +35,13 @@ __all__ = [
     "Datacenter",
     "Deployment",
     "Distance",
+    "FlowAborted",
+    "FlowNetwork",
     "Network",
     "NetworkMessage",
     "Region",
     "RpcError",
+    "SiteSpec",
     "VMRole",
     "VMSize",
     "VirtualMachine",

@@ -36,7 +36,21 @@ class Deployment:
     bandwidth_model:
         WAN bandwidth sharing model: ``"slots"`` (concurrency-capped,
         full bandwidth per transfer -- the original model) or ``"fair"``
-        (flow-level max-min fair sharing).  See ``docs/network-model.md``.
+        (flow-level hierarchical max-min fair sharing).  See
+        ``docs/network-model.md``.
+    site_egress_bw / site_ingress_bw:
+        Fair model only: cap every site's aggregate outbound/inbound WAN
+        bandwidth (bytes/second); ``None`` leaves the topology's
+        per-site caps untouched (uncapped by default).  Per-site values
+        can be set directly via
+        :meth:`CloudTopology.set_site_caps <repro.cloud.topology.CloudTopology.set_site_caps>`.
+        Note: like the fault injectors' latency edits, the caps mutate
+        the (possibly caller-supplied) topology *in place* and are read
+        live at every rebalance -- build a fresh topology per deployment
+        when comparing capped vs uncapped runs.
+    rpc_flow_weight:
+        Fair model only: weight of metadata RPC flows relative to bulk
+        transfers (weight 1.0) at shared bottlenecks.
     """
 
     def __init__(
@@ -47,17 +61,28 @@ class Deployment:
         seed: int = 0,
         env: Optional[Environment] = None,
         bandwidth_model: str = "slots",
+        site_egress_bw: Optional[float] = None,
+        site_ingress_bw: Optional[float] = None,
+        rpc_flow_weight: float = 1.0,
     ):
         if n_nodes <= 0:
             raise ValueError("n_nodes must be positive")
         self.env = env or Environment()
         self.topology = topology or azure_4dc_topology()
+        if site_egress_bw is not None or site_ingress_bw is not None:
+            for dc in self.topology:
+                self.topology.set_site_caps(
+                    dc.name,
+                    egress_bw=site_egress_bw,
+                    ingress_bw=site_ingress_bw,
+                )
         self.rng = RngStreams(seed=seed)
         self.network = Network(
             self.env,
             self.topology,
             rng=self.rng,
             bandwidth_model=bandwidth_model,
+            rpc_weight=rpc_flow_weight,
         )
         self.vm_size = vm_size or AZURE_SMALL_VM
         self.workers: List[VirtualMachine] = []

@@ -12,23 +12,32 @@ metadata service behaves through them:
 - :class:`LatencySpikeInjector` -- temporarily inflates one WAN link's
   latency (a transatlantic brown-out), exercising the sensitivity of
   each strategy to a single slow path;
-- :class:`SiteOutage` -- marks a whole site's registry unreachable for
-  a window by inflating its service latency to the outage duration
-  (requests queue and drain when the site returns).
+- :class:`SiteOutage` -- takes a whole site offline for a window: its
+  registry's service slots are held (requests queue and drain when the
+  site returns) and, under the flow-level fair bandwidth model, every
+  in-flight transfer through the site is torn down
+  (:class:`~repro.cloud.flow.FlowAborted` at the waiters; the storage
+  layer retries from the next-best source) while new transfers wait out
+  the window;
+- :class:`LinkFlapInjector` -- transient flaps of one WAN link: each
+  flap kills the link's in-flight fair flows without a down window
+  (connections die, retries reconnect immediately).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Generator, List
+from typing import Dict, Generator, List, Optional, Sequence
 
 from repro.sim import Environment
+from repro.cloud.network import Network
 from repro.cloud.topology import CloudTopology
 
 __all__ = [
     "CacheFailureInjector",
     "FaultEvent",
     "LatencySpikeInjector",
+    "LinkFlapInjector",
     "SiteOutage",
 ]
 
@@ -122,44 +131,144 @@ class LatencySpikeInjector:
 
 
 class SiteOutage:
-    """Take a site's registry offline for a window.
+    """Take a whole site offline for a window.
 
-    Implemented by acquiring *all* service slots of the registry for
-    the outage duration: in-flight requests finish, new ones queue and
-    drain when the outage lifts -- the observable behaviour of a
-    rebooting cache instance behind a connection-retrying client.
+    Control plane: *all* service slots of the site's registry are
+    acquired for the outage duration -- in-flight requests finish, new
+    ones queue and drain when the outage lifts (the observable behaviour
+    of a rebooting cache instance behind a connection-retrying client).
+
+    Data plane (pass ``network``, fair bandwidth model only): at the
+    outage start every in-flight transfer into or out of the site is
+    aborted -- waiters see :class:`~repro.cloud.flow.FlowAborted`, the
+    storage layer retries from the next-best source -- and new transfers
+    touching the site wait out the remaining window.
+
+    ``registry`` may be ``None`` for data-plane-only outages (pass
+    ``site`` explicitly then).
     """
 
     def __init__(
         self,
         env: Environment,
-        registry,
-        start: float,
-        duration: float,
+        registry=None,
+        start: float = 0.0,
+        duration: float = 0.0,
+        network: Optional[Network] = None,
+        site: Optional[str] = None,
     ):
         if duration <= 0:
             raise ValueError("duration must be positive")
+        if registry is None and site is None:
+            raise ValueError("need a registry or an explicit site")
         self.env = env
         self.registry = registry
+        self.network = network
+        self.site = site or registry.site
+        #: Fair flows torn down at the outage start (set by the process).
+        self.aborted_flows = 0
         self.events: List[FaultEvent] = []
         env.process(
             self._outage(start, duration),
-            name=f"fault-outage-{registry.site}",
+            name=f"fault-outage-{self.site}",
         )
 
     def _outage(self, start: float, duration: float) -> Generator:
         yield self.env.timeout(start)
+        if self.network is not None:
+            # Data plane first: connections through the site die at the
+            # instant the site goes dark.
+            self.aborted_flows = self.network.abort_site_flows(
+                self.site, duration
+            )
+        if self.registry is None:
+            self.events.append(
+                FaultEvent(
+                    self.env.now,
+                    "site-outage-start",
+                    self.site,
+                    f"aborted_flows={self.aborted_flows}",
+                )
+            )
+            yield self.env.timeout(duration)
+            self.events.append(
+                FaultEvent(self.env.now, "site-outage-end", self.site)
+            )
+            return
         server = self.registry._server
         requests = [server.request() for _ in range(server.capacity)]
         from repro.sim import AllOf
 
         yield AllOf(self.env, requests)
         self.events.append(
-            FaultEvent(self.env.now, "site-outage-start", self.registry.site)
+            FaultEvent(
+                self.env.now,
+                "site-outage-start",
+                self.site,
+                f"aborted_flows={self.aborted_flows}",
+            )
         )
         yield self.env.timeout(duration)
         for req in requests:
             req.cancel()
         self.events.append(
-            FaultEvent(self.env.now, "site-outage-end", self.registry.site)
+            FaultEvent(self.env.now, "site-outage-end", self.site)
         )
+
+
+class LinkFlapInjector:
+    """Flap one WAN link at scheduled absolute sim times (fair model).
+
+    Each flap aborts every in-flight fair flow on the ``a -> b`` (and,
+    by default, ``b -> a``) link: the connections die, their waiters
+    retry, and the link itself is immediately usable again -- the
+    classic transient-flap failure mode, distinct from a
+    :class:`SiteOutage` window.
+    """
+
+    def __init__(
+        self,
+        env: Environment,
+        network: Network,
+        a: str,
+        b: str,
+        times: Sequence[float],
+        bidirectional: bool = True,
+    ):
+        if not times:
+            raise ValueError("need at least one flap time")
+        if any(t < 0 for t in times):
+            raise ValueError("flap times must be >= 0")
+        network.topology.get(a)
+        network.topology.get(b)
+        self.env = env
+        self.network = network
+        self.a = a
+        self.b = b
+        #: Total fair flows torn down across all flaps.
+        self.aborted_flows = 0
+        self.events: List[FaultEvent] = []
+        env.process(
+            self._run(sorted(times), bidirectional),
+            name=f"fault-flap-{a}-{b}",
+        )
+
+    def _run(
+        self, times: Sequence[float], bidirectional: bool
+    ) -> Generator:
+        for at in times:
+            # Times are absolute sim instants; one already in the past
+            # (injector built mid-run) fires immediately.
+            yield self.env.timeout(max(0.0, at - self.env.now))
+            n = self.network.flap_link(
+                self.a, self.b, bidirectional=bidirectional
+            )
+            self.aborted_flows += n
+            self.events.append(
+                FaultEvent(
+                    self.env.now,
+                    "link-flap",
+                    f"{self.a}<->{self.b}",
+                    f"aborted={n}",
+                )
+            )

@@ -1,35 +1,56 @@
-"""Flow-level max-min fair bandwidth sharing for inter-site links.
+"""Flow-level hierarchical max-min fair bandwidth sharing.
 
 The slot model in :mod:`repro.cloud.network` grants every in-flight
 transfer the *full* link bandwidth and only bounds how many may be in
 flight at once.  Under load that systematically underestimates WAN
 contention -- exactly the regime where the paper's centralized registry
 saturates (Fig. 7) and the decentralized strategies keep scaling
-(Fig. 8).  This module provides the standard DES alternative: each
-directed link has a finite capacity that its *active flows* share
-max-min fairly.
+(Fig. 8).  This module provides the standard DES alternative: finite
+link capacities shared max-min fairly by the *active flows*, with two
+extensions beyond plain per-link sharing:
+
+- **hierarchical constraints**: a flow is simultaneously limited by its
+  directed link's capacity, the source site's total *egress* cap and the
+  destination site's total *ingress* cap (a site NIC/uplink is one pipe
+  no matter how many distinct links leave it).  Links coupled through a
+  site cap are balanced together by a :class:`FlowNetwork`;
+- **weights**: each flow carries a ``weight`` and receives shares
+  proportional to it wherever it is bottlenecked (weighted max-min),
+  so priority traffic (metadata hot path) can be favored over bulk
+  provisioning.
 
 Mechanics
 ---------
 
 A :class:`Flow` is ``size`` bytes in transit over one directed link.
-While active it drains at ``flow.rate`` bytes/second; the link computes
-rates by progressive filling (max-min fairness with optional per-flow
-rate caps):
+While active it drains at ``flow.rate`` bytes/second.  Rates are
+computed by *water-filling over constraint sets* (progressive filling):
 
-1. sort flows by their rate cap;
-2. offer each flow an equal share of the capacity still unassigned;
-3. a flow that cannot use its share (cap below it) keeps its cap and
-   returns the surplus to the pool for the remaining flows.
+1. every constraint (link capacity, site egress, site ingress, and each
+   flow's own rate cap) bounds the sum of the rates of the flows it
+   covers;
+2. raise a common water level ``lambda``; flow ``f`` asks for
+   ``lambda * f.weight``;
+3. the constraint that saturates first freezes its flows at the current
+   level; remove them, subtract their rates, repeat with the rest.
 
-With no caps this degenerates to ``capacity / n`` each -- N concurrent
-equal-size transfers each observe ~1/N of the link.
+With one link, no caps and unit weights this degenerates to
+``capacity / n`` each -- N concurrent equal-size transfers each observe
+~1/N of the link.
 
-Whenever a flow starts or finishes, the link *rebalances*: every active
-flow's remaining byte count is settled at its old rate, rates are
-recomputed, and each flow's completion event is rescheduled via
-:meth:`~repro.sim.core.Environment.reschedule` (O(log n) per flow thanks
-to the kernel's lazily-deleted calendar entries; no heap rebuilds).
+Whenever a flow starts, finishes or is aborted, the affected links
+*rebalance*: every active flow's remaining byte count is settled at its
+old rate, rates are recomputed, and each flow's completion event is
+rescheduled via :meth:`~repro.sim.core.Environment.reschedule` (O(log n)
+per flow thanks to the kernel's lazily-deleted calendar entries; no heap
+rebuilds).
+
+Fault semantics: :meth:`FairShareLink.abort` tears down an in-flight
+flow (site outage, link flap).  The flow's waiter sees
+:class:`FlowAborted`; bytes already transmitted at the abort instant are
+settled and accounted as *delivered*, the rest as *aborted*, so
+``delivered_bytes + aborted_bytes == bytes`` once every flow is closed
+(conservation -- see ``tests/cloud/test_flow_properties.py``).
 
 Units: time is seconds, sizes are bytes, rates/capacities are bytes per
 second -- the repo-wide conventions (see ``docs/network-model.md``).
@@ -38,19 +59,42 @@ second -- the repo-wide conventions (see ``docs/network-model.md``).
 from __future__ import annotations
 
 import math
-from typing import Dict, List, Optional
+from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.sim import Environment, Event, SimulationError
 
-__all__ = ["FairShareLink", "Flow", "FlowStats"]
+__all__ = [
+    "FairShareLink",
+    "Flow",
+    "FlowAborted",
+    "FlowNetwork",
+    "FlowStats",
+]
+
+#: Relative tolerance when deciding which constraints saturate at the
+#: current water level (guards against last-ulp float noise splitting
+#: simultaneous bottlenecks into separate freeze rounds).
+_LEVEL_RTOL = 1e-12
+
+
+class FlowAborted(SimulationError):
+    """An in-flight flow was torn down (site outage, link flap)."""
+
+    def __init__(self, flow: "Flow", reason: str = ""):
+        super().__init__(
+            f"{flow!r} aborted" + (f": {reason}" if reason else "")
+        )
+        self.flow = flow
+        self.reason = reason
 
 
 class Flow:
     """One transfer's bandwidth share on a directed link.
 
     Wait on :attr:`done` (an event succeeding with the flow itself) for
-    completion.  ``rate`` is the current fair share, updated on every
-    link rebalance.
+    completion; an aborted flow fails it with :class:`FlowAborted`.
+    ``rate`` is the current weighted fair share, updated on every
+    rebalance of the owning link (or its :class:`FlowNetwork`).
     """
 
     __slots__ = (
@@ -59,19 +103,28 @@ class Flow:
         "remaining",
         "rate",
         "max_rate",
+        "weight",
         "started_at",
         "last_update",
         "done",
         "_timer",
     )
 
-    def __init__(self, link: "FairShareLink", size: int, max_rate: float):
+    def __init__(
+        self,
+        link: "FairShareLink",
+        size: int,
+        max_rate: float,
+        weight: float = 1.0,
+    ):
         self.link = link
         self.size = size
         #: Bytes still to transmit (settled lazily at each rebalance).
         self.remaining = float(size)
         self.rate = 0.0
         self.max_rate = max_rate
+        #: Relative share this flow receives at any bottleneck it hits.
+        self.weight = weight
         self.started_at = link.env.now
         self.last_update = link.env.now
         #: Fires (with the flow as value) when the last byte is sent.
@@ -83,35 +136,66 @@ class Flow:
     def elapsed(self) -> float:
         return self.link.env.now - self.started_at
 
+    @property
+    def delivered(self) -> float:
+        """Bytes transmitted so far (as of the last settle)."""
+        return self.size - self.remaining
+
     def __repr__(self) -> str:
         return (
             f"<Flow {self.remaining:.0f}/{self.size}B "
-            f"@{self.rate:.0f}B/s>"
+            f"@{self.rate:.0f}B/s w={self.weight:g}>"
         )
 
 
 class FlowStats:
-    """Aggregate counters of one fair-share link (contention diagnostics)."""
+    """Aggregate counters of one fair-share link (contention diagnostics).
 
-    __slots__ = ("flows", "bytes", "max_concurrent", "rebalances")
+    ``bytes`` counts bytes *opened* on the link; ``delivered_bytes`` and
+    ``aborted_bytes`` partition them once flows close: an aborted flow
+    contributes the bytes it had transmitted by the abort instant to
+    ``delivered_bytes`` and the rest to ``aborted_bytes``, so for a
+    drained link ``delivered_bytes + aborted_bytes == bytes``.
+    """
+
+    __slots__ = (
+        "flows",
+        "bytes",
+        "max_concurrent",
+        "rebalances",
+        "aborted_flows",
+        "aborted_bytes",
+        "delivered_bytes",
+    )
 
     def __init__(self) -> None:
         self.flows = 0
         self.bytes = 0
         self.max_concurrent = 0
         self.rebalances = 0
+        self.aborted_flows = 0
+        self.aborted_bytes = 0.0
+        self.delivered_bytes = 0.0
 
-    def as_dict(self) -> Dict[str, int]:
+    def as_dict(self) -> Dict[str, float]:
         return {
             "flows": self.flows,
             "bytes": self.bytes,
             "max_concurrent": self.max_concurrent,
             "rebalances": self.rebalances,
+            "aborted_flows": self.aborted_flows,
+            "aborted_bytes": self.aborted_bytes,
+            "delivered_bytes": self.delivered_bytes,
         }
 
 
 class FairShareLink:
     """A directed link whose active flows share ``capacity`` max-min fairly.
+
+    Standalone (the default), the link balances only its own flows.
+    When created through a :class:`FlowNetwork` the link carries its
+    endpoint site names and every rebalance is delegated to the network,
+    which couples all links through per-site egress/ingress caps.
 
     Parameters
     ----------
@@ -122,6 +206,12 @@ class FairShareLink:
     max_flow_rate:
         Default per-flow rate cap (e.g. NIC or per-connection TCP limit),
         bytes/second; ``inf`` disables the cap.
+    network:
+        Owning :class:`FlowNetwork`, if any (set by
+        :meth:`FlowNetwork.link`).
+    src / dst:
+        Endpoint site names (used by the network's site-cap grouping and
+        fault teardown; optional for standalone links).
     """
 
     def __init__(
@@ -129,6 +219,9 @@ class FairShareLink:
         env: Environment,
         capacity: float,
         max_flow_rate: float = math.inf,
+        network: Optional["FlowNetwork"] = None,
+        src: Optional[str] = None,
+        dst: Optional[str] = None,
     ):
         if capacity <= 0:
             raise ValueError(f"capacity must be positive, got {capacity}")
@@ -137,6 +230,9 @@ class FairShareLink:
         self.env = env
         self.capacity = float(capacity)
         self.max_flow_rate = float(max_flow_rate)
+        self.network = network
+        self.src = src
+        self.dst = dst
         #: Active flows in start order (stable -> deterministic filling).
         self.flows: List[Flow] = []
         self.stats = FlowStats()
@@ -147,50 +243,71 @@ class FairShareLink:
     def n_active(self) -> int:
         return len(self.flows)
 
-    def fair_rate(self, extra_flows: int = 0) -> float:
+    def fair_rate(self, extra_flows: int = 0, weight: float = 1.0) -> float:
         """The rate a prospective flow would get right now (estimator).
 
-        Runs the same progressive filling as the live rate computation
-        (existing flows keep their caps; the probe flows are capped at
-        the link default), so it stays exact with heterogeneous per-flow
-        caps.  Pure function of the current state: no RNG, no side
-        effects -- safe for planning (e.g. source selection in the
-        storage layer).
+        Runs the same weighted progressive filling as the live rate
+        computation (existing flows keep their caps and weights; the
+        probe flows are capped at the link default), so it stays exact
+        with heterogeneous per-flow caps.  A link owned by a
+        :class:`FlowNetwork` delegates to the network estimator so site
+        egress/ingress caps are honored too.  Pure function of the
+        current state: no RNG, no side effects -- safe for planning
+        (e.g. source selection in the storage layer).
         """
+        if self.network is not None:
+            return self.network.estimate_rate(
+                self.src,
+                self.dst,
+                capacity=self.capacity,
+                max_flow_rate=self.max_flow_rate,
+                weight=weight,
+                extra_flows=extra_flows,
+            )
         probes = max(1, extra_flows)
         entries = sorted(
-            [(f.max_rate, False) for f in self.flows]
-            + [(self.max_flow_rate, True)] * probes,
-            key=lambda e: e[0],
+            [(f.max_rate, f.weight, False) for f in self.flows]
+            + [(self.max_flow_rate, weight, True)] * probes,
+            key=lambda e: e[0] / e[1],
         )
-        unassigned, left = self.capacity, len(entries)
+        unassigned = self.capacity
+        weight_left = sum(e[1] for e in entries)
         probe_rate = 0.0
-        for cap, is_probe in entries:
-            rate = min(cap, unassigned / left)
+        for cap, w, is_probe in entries:
+            rate = min(cap, unassigned * w / weight_left)
             if is_probe:
-                # Equal-capped flows all receive the same share, so any
-                # probe's rate is THE prospective rate.
+                # Equal-capped equal-weight flows all receive the same
+                # share, so any probe's rate is THE prospective rate.
                 probe_rate = rate
             unassigned -= rate
-            left -= 1
+            weight_left -= w
         return probe_rate
 
-    def open(self, size: int, max_rate: Optional[float] = None) -> Flow:
+    def open(
+        self,
+        size: int,
+        max_rate: Optional[float] = None,
+        weight: float = 1.0,
+    ) -> Flow:
         """Start transmitting ``size`` bytes; returns the :class:`Flow`.
 
-        The caller waits on ``flow.done``.  Zero-size flows complete at
-        the current instant (the event still goes through the calendar so
-        callback ordering stays deterministic).
+        The caller waits on ``flow.done``.  ``weight`` sets the flow's
+        share at any bottleneck (weighted max-min); zero-size flows
+        complete at the current instant (the event still goes through
+        the calendar so callback ordering stays deterministic).
         """
         if size < 0:
             raise ValueError(f"size must be >= 0, got {size}")
         cap = self.max_flow_rate if max_rate is None else float(max_rate)
         if cap <= 0:
             raise ValueError("max_rate must be positive")
-        flow = Flow(self, size, cap)
+        if weight <= 0:
+            raise ValueError("weight must be positive")
+        flow = Flow(self, size, cap, weight=float(weight))
         self.stats.flows += 1
         self.stats.bytes += size
         if size == 0:
+            self.stats.delivered_bytes += 0.0
             flow.done.succeed(flow)
             return flow
         self.flows.append(flow)
@@ -200,16 +317,31 @@ class FairShareLink:
         self._rebalance()
         return flow
 
-    def abort(self, flow: Flow) -> None:
-        """Tear down an in-flight flow (e.g. site failure mid-transfer)."""
+    def abort(self, flow: Flow, reason: str = "") -> None:
+        """Tear down an in-flight flow (e.g. site failure mid-transfer).
+
+        Bytes already on the wire are settled first: they count as
+        delivered in :attr:`stats`, the unsent remainder as aborted.
+        The flow's ``done`` event fails with :class:`FlowAborted`.
+        """
         if flow not in self.flows:
             raise SimulationError(f"{flow!r} is not active on this link")
-        self._detach(flow)
-        if not flow.done.triggered:
-            flow.done.fail(SimulationError(f"{flow!r} aborted"))
+        # Settle at the abort instant so the delivered/aborted split is
+        # exact (the latent-bug fix: counters used to ignore partials).
+        self._settle(self.env.now)
+        self._close_aborted(flow, reason)
         self._rebalance()
 
     # -- internals ----------------------------------------------------------
+
+    def _close_aborted(self, flow: Flow, reason: str) -> None:
+        """Account, detach and fail one settled flow (no rebalance)."""
+        self.stats.aborted_flows += 1
+        self.stats.aborted_bytes += flow.remaining
+        self.stats.delivered_bytes += flow.delivered
+        self._detach(flow)
+        if not flow.done.triggered:
+            flow.done.fail(FlowAborted(flow, reason))
 
     def _detach(self, flow: Flow) -> None:
         self.flows.remove(flow)
@@ -229,24 +361,31 @@ class FairShareLink:
             flow.last_update = now
 
     def _recompute_rates(self) -> None:
-        """Progressive filling: max-min fair shares under per-flow caps."""
+        """Progressive filling: weighted max-min shares under per-flow caps."""
         unassigned = self.capacity
-        left = len(self.flows)
-        # Stable sort by cap: tightest-capped flows settle first; ties keep
-        # start order, so placement is fully deterministic.
-        for flow in sorted(self.flows, key=lambda f: f.max_rate):
-            share = unassigned / left
+        weight_left = sum(f.weight for f in self.flows)
+        # Stable sort by saturation level: tightest-capped flows settle
+        # first; ties keep start order, so placement is deterministic.
+        for flow in sorted(self.flows, key=lambda f: f.max_rate / f.weight):
+            share = unassigned * flow.weight / weight_left
             flow.rate = min(flow.max_rate, share)
             unassigned -= flow.rate
-            left -= 1
+            weight_left -= flow.weight
 
     def _rebalance(self) -> None:
         """Settle, recompute shares, and reschedule affected completions."""
+        if self.network is not None:
+            self.network.rebalance()
+            return
         now = self.env.now
         self.stats.rebalances += 1
         self._settle(now)
         old_rates = [flow.rate for flow in self.flows]
         self._recompute_rates()
+        self._reschedule(old_rates)
+
+    def _reschedule(self, old_rates: List[float]) -> None:
+        """(Re)schedule completion timers for flows whose rate changed."""
         for flow, old_rate in zip(self.flows, old_rates):
             if flow._timer is not None and flow.rate == old_rate:
                 # Unchanged rate -> the scheduled completion instant is
@@ -267,14 +406,324 @@ class FairShareLink:
             flow.last_update = self.env.now
             self.flows.remove(flow)
             flow._timer = None
-            if self.flows:
+            self.stats.delivered_bytes += flow.size
+            if self.network is not None:
+                # Coupled links may gain headroom even when this one
+                # drained, so the network always rebalances.
+                self.network.rebalance()
+            elif self.flows:
                 self._rebalance()
             flow.done.succeed(flow)
 
         return _complete
 
     def __repr__(self) -> str:
+        where = f" {self.src}->{self.dst}" if self.src else ""
         return (
-            f"<FairShareLink cap={self.capacity:.0f}B/s "
+            f"<FairShareLink{where} cap={self.capacity:.0f}B/s "
             f"active={len(self.flows)}>"
         )
+
+
+class FlowNetwork:
+    """All fair-share links of one deployment, coupled by site caps.
+
+    Owns every :class:`FairShareLink` created through :meth:`link` and
+    recomputes *all* flow rates together whenever any flow starts,
+    finishes or aborts: a flow is bounded by its link's capacity, its
+    source site's egress cap and its destination site's ingress cap
+    simultaneously, so links sharing a capped site cannot be balanced in
+    isolation.
+
+    ``site_caps`` maps a site name to its ``(egress, ingress)`` caps in
+    bytes/second (``inf`` disables a cap); it is consulted live on every
+    rebalance, so topology-level cap changes take effect immediately.
+
+    The network is also the fault-teardown surface: :meth:`site_outage`
+    aborts every in-flight flow touching a site and marks it *down* for
+    the outage window (:meth:`down_remaining` lets the transport delay
+    new flows until recovery); :meth:`flap_link` kills the flows of one
+    link without a down window.
+    """
+
+    def __init__(
+        self,
+        env: Environment,
+        site_caps: Optional[
+            Callable[[str], Tuple[float, float]]
+        ] = None,
+    ):
+        self.env = env
+        self._links: Dict[Tuple[str, str], FairShareLink] = {}
+        self._site_caps = site_caps or (lambda site: (math.inf, math.inf))
+        self._down_until: Dict[str, float] = {}
+        #: Global rebalance count (diagnostics).
+        self.rebalances = 0
+
+    # -- construction -------------------------------------------------------
+
+    def link(
+        self,
+        src: str,
+        dst: str,
+        capacity: float,
+        max_flow_rate: float = math.inf,
+    ) -> FairShareLink:
+        """Get-or-create the directed link ``src -> dst``."""
+        key = (src, dst)
+        flink = self._links.get(key)
+        if flink is None:
+            flink = FairShareLink(
+                self.env,
+                capacity=capacity,
+                max_flow_rate=max_flow_rate,
+                network=self,
+                src=src,
+                dst=dst,
+            )
+            self._links[key] = flink
+        return flink
+
+    @property
+    def links(self) -> Dict[Tuple[str, str], FairShareLink]:
+        return dict(self._links)
+
+    def active_flows(self) -> List[Flow]:
+        """Every in-flight flow, in deterministic (link, start) order."""
+        return [
+            f
+            for key in sorted(self._links)
+            for f in self._links[key].flows
+        ]
+
+    # -- site caps & outage state -------------------------------------------
+
+    def egress_cap(self, site: str) -> float:
+        return self._site_caps(site)[0]
+
+    def ingress_cap(self, site: str) -> float:
+        return self._site_caps(site)[1]
+
+    def down_remaining(self, site: str) -> float:
+        """Seconds until ``site`` recovers from an outage (0 if up)."""
+        return max(0.0, self._down_until.get(site, 0.0) - self.env.now)
+
+    # -- fault teardown -----------------------------------------------------
+
+    def site_outage(self, site: str, duration: float = 0.0) -> int:
+        """Abort every flow into or out of ``site``; mark it down.
+
+        Returns the number of flows torn down.  ``duration`` extends the
+        site's down window (new flows touching the site should wait it
+        out -- the transport consults :meth:`down_remaining`).
+        """
+        if duration > 0:
+            self._down_until[site] = max(
+                self._down_until.get(site, 0.0), self.env.now + duration
+            )
+        return self._abort_where(
+            lambda link: link.src == site or link.dst == site,
+            reason=f"site outage at {site}",
+        )
+
+    def flap_link(
+        self, a: str, b: str, bidirectional: bool = True
+    ) -> int:
+        """Abort the in-flight flows of link ``a -> b`` (and ``b -> a``).
+
+        Models a transient link flap: flows die, their waiters retry;
+        the link itself is immediately usable again.
+        """
+        keys = {(a, b), (b, a)} if bidirectional else {(a, b)}
+        return self._abort_where(
+            lambda link: (link.src, link.dst) in keys,
+            reason=f"link flap {a}<->{b}",
+        )
+
+    def _abort_where(self, pred, reason: str) -> int:
+        doomed = [
+            (self._links[key], flow)
+            for key in sorted(self._links)
+            if pred(self._links[key])
+            for flow in list(self._links[key].flows)
+        ]
+        if not doomed:
+            return 0
+        # Settle every affected link first (exact delivered/aborted
+        # split), close all doomed flows, then rebalance once -- one
+        # global re-solve for the whole teardown instead of one per flow.
+        now = self.env.now
+        for link in {link for link, _ in doomed}:
+            link._settle(now)
+        for link, flow in doomed:
+            link._close_aborted(flow, reason)
+        self.rebalance()
+        return len(doomed)
+
+    # -- rate computation ---------------------------------------------------
+
+    def rebalance(self) -> None:
+        """Settle every active link, re-solve all rates, reschedule."""
+        now = self.env.now
+        self.rebalances += 1
+        links = [
+            self._links[key]
+            for key in sorted(self._links)
+            if self._links[key].flows
+        ]
+        for link in links:
+            link.stats.rebalances += 1
+            link._settle(now)
+        old = {
+            link: [flow.rate for flow in link.flows] for link in links
+        }
+        rates = self._solve(links)
+        for link in links:
+            for flow in link.flows:
+                flow.rate = rates[id(flow)]
+            link._reschedule(old[link])
+
+    def estimate_rate(
+        self,
+        src: str,
+        dst: str,
+        capacity: float,
+        max_flow_rate: float = math.inf,
+        weight: float = 1.0,
+        extra_flows: int = 0,
+    ) -> float:
+        """Rate a prospective ``src -> dst`` flow would get right now.
+
+        Runs the real water-filling with a probe flow added, so site
+        egress/ingress caps and the load of *other* links sharing those
+        caps are all reflected.  Pure: no RNG, no state changes.
+        """
+        links = [
+            self._links[key]
+            for key in sorted(self._links)
+            if self._links[key].flows
+        ]
+        probes = max(1, extra_flows)
+        probe = _Probe(src, dst, max_flow_rate, weight)
+        rates = self._solve(
+            links,
+            extra=[probe] * probes,
+            extra_capacity=((src, dst), capacity),
+        )
+        return rates[id(probe)]
+
+    def _solve(
+        self,
+        links: List[FairShareLink],
+        extra: Optional[List["_Probe"]] = None,
+        extra_capacity: Optional[Tuple[Tuple[str, str], float]] = None,
+    ) -> Dict[int, float]:
+        """Water-filling over constraint sets; returns ``id(flow) -> rate``.
+
+        Constraints are built in a stable order (links by key, then
+        egress sites, then ingress sites, each sorted by name) and every
+        iteration freezes the flows of all constraints saturating at the
+        minimum water level, so the outcome is fully deterministic.
+        """
+        # Each record: (obj, link_key, src, dst, weight, max_rate).
+        recs: List[tuple] = []
+        link_caps: Dict[Tuple[str, str], float] = {}
+        for link in links:
+            key = (link.src, link.dst)
+            link_caps[key] = link.capacity
+            for flow in link.flows:
+                recs.append(
+                    (flow, key, link.src, link.dst, flow.weight,
+                     flow.max_rate)
+                )
+        if extra:
+            key, cap = extra_capacity
+            # A live link's configured capacity wins over the probe's.
+            link_caps.setdefault(key, cap)
+            for probe in extra:
+                recs.append(
+                    (probe, key, probe.src, probe.dst, probe.weight,
+                     probe.max_rate)
+                )
+
+        # Constraint sets: (remaining capacity, member record indices).
+        constraints: List[List] = []
+        for key in sorted(link_caps):
+            members = [i for i, r in enumerate(recs) if r[1] == key]
+            if members:
+                constraints.append([link_caps[key], members])
+        for site in sorted({r[2] for r in recs if r[2] is not None}):
+            cap = self._site_caps(site)[0]
+            if math.isfinite(cap):
+                members = [i for i, r in enumerate(recs) if r[2] == site]
+                constraints.append([cap, members])
+        for site in sorted({r[3] for r in recs if r[3] is not None}):
+            cap = self._site_caps(site)[1]
+            if math.isfinite(cap):
+                members = [i for i, r in enumerate(recs) if r[3] == site]
+                constraints.append([cap, members])
+
+        rates: Dict[int, float] = {}
+        undetermined = set(range(len(recs)))
+        while undetermined:
+            # Water level at which each constraint (or per-flow cap)
+            # saturates, counting only still-undetermined flows.
+            level = math.inf
+            for cap, members in constraints:
+                w = sum(
+                    recs[i][4] for i in members if i in undetermined
+                )
+                if w > 0:
+                    level = min(level, max(0.0, cap) / w)
+            for i in undetermined:
+                level = min(level, recs[i][5] / recs[i][4])
+            if not math.isfinite(level):  # pragma: no cover - every flow
+                # sits on a finite-capacity link, so a finite level must
+                # exist; guard against a degenerate empty constraint set.
+                level = 0.0
+
+            threshold = level * (1.0 + _LEVEL_RTOL)
+            frozen = set()
+            for cap, members in constraints:
+                live = [i for i in members if i in undetermined]
+                w = sum(recs[i][4] for i in live)
+                if w > 0 and max(0.0, cap) / w <= threshold:
+                    frozen.update(live)
+            for i in undetermined:
+                if recs[i][5] / recs[i][4] <= threshold:
+                    frozen.add(i)
+            if not frozen:  # pragma: no cover - the argmin constraint
+                # always has at least one undetermined member.
+                frozen = set(undetermined)
+
+            for i in frozen:
+                rec = recs[i]
+                rates[id(rec[0])] = min(rec[5], level * rec[4])
+            undetermined -= frozen
+            for constraint in constraints:
+                used = sum(
+                    rates[id(recs[i][0])]
+                    for i in constraint[1]
+                    if i in frozen
+                )
+                constraint[0] = max(0.0, constraint[0] - used)
+        return rates
+
+    def __repr__(self) -> str:
+        active = sum(len(l.flows) for l in self._links.values())
+        return (
+            f"<FlowNetwork links={len(self._links)} "
+            f"active_flows={active}>"
+        )
+
+
+class _Probe:
+    """Phantom flow used by :meth:`FlowNetwork.estimate_rate`."""
+
+    __slots__ = ("src", "dst", "max_rate", "weight")
+
+    def __init__(self, src: str, dst: str, max_rate: float, weight: float):
+        self.src = src
+        self.dst = dst
+        self.max_rate = max_rate
+        self.weight = weight

@@ -46,7 +46,7 @@ from dataclasses import dataclass
 from typing import Any, Dict, Generator, Optional, Tuple
 
 from repro.sim import Environment, Resource
-from repro.cloud.flow import FairShareLink
+from repro.cloud.flow import FairShareLink, FlowAborted, FlowNetwork
 from repro.cloud.topology import CloudTopology
 from repro.util.rng import RngStreams
 
@@ -84,6 +84,13 @@ class NetworkStats:
     ``total_latency`` is end-to-end: send to arrival, *including* time
     spent queueing for a link slot under the slot model (or transmitting
     at a reduced fair share under the flow model).
+
+    Fault accounting (fair model only): ``aborted_transfers`` counts
+    transfers torn down mid-flight (site outage, link flap) with
+    ``aborted_bytes`` the bytes they had *not* yet delivered;
+    ``retried_transfers``/``retried_bytes`` count the re-issues the
+    storage layer made to recover (see
+    :meth:`TransferService.fetch <repro.storage.transfer.TransferService.fetch>`).
     """
 
     messages: int = 0
@@ -92,6 +99,10 @@ class NetworkStats:
     same_region_messages: int = 0
     geo_distant_messages: int = 0
     total_latency: float = 0.0
+    aborted_transfers: int = 0
+    aborted_bytes: float = 0.0
+    retried_transfers: int = 0
+    retried_bytes: int = 0
 
     def as_dict(self) -> Dict[str, float]:
         return {
@@ -101,6 +112,10 @@ class NetworkStats:
             "same_region_messages": self.same_region_messages,
             "geo_distant_messages": self.geo_distant_messages,
             "total_latency": self.total_latency,
+            "aborted_transfers": self.aborted_transfers,
+            "aborted_bytes": self.aborted_bytes,
+            "retried_transfers": self.retried_transfers,
+            "retried_bytes": self.retried_bytes,
         }
 
 
@@ -120,7 +135,13 @@ class Network:
         link pair.
     bandwidth_model:
         ``"slots"`` (original concurrency-cap model) or ``"fair"``
-        (flow-level max-min fair sharing of link capacity).
+        (flow-level hierarchical max-min fair sharing: link capacity
+        plus per-site egress/ingress caps, weighted shares).
+    rpc_weight:
+        Fair model only: flow weight of RPC request/response legs
+        (metadata hot path) relative to the default bulk-transfer weight
+        of 1.0 -- weighted max-min gives a weight-w flow w times the
+        share of a weight-1 flow at a shared bottleneck.
     """
 
     #: Per-message fixed processing overhead (serialization, NIC), seconds.
@@ -133,19 +154,29 @@ class Network:
         rng: Optional[RngStreams] = None,
         link_concurrency: int = 64,
         bandwidth_model: str = "slots",
+        rpc_weight: float = 1.0,
     ):
         if bandwidth_model not in BANDWIDTH_MODELS:
             raise ValueError(
                 f"unknown bandwidth_model {bandwidth_model!r}; "
                 f"expected one of {BANDWIDTH_MODELS}"
             )
+        if rpc_weight <= 0:
+            raise ValueError("rpc_weight must be positive")
         self.env = env
         self.topology = topology
         self.rng = (rng or RngStreams(seed=0)).get("network")
         self.link_concurrency = link_concurrency
         self.bandwidth_model = bandwidth_model
+        self.rpc_weight = float(rpc_weight)
         self._link_slots: Dict[Tuple[str, str], Resource] = {}
-        self._flow_links: Dict[Tuple[str, str], FairShareLink] = {}
+        #: Fair model: all links and their site-cap coupling, lazily
+        #: populated per directed pair (None under the slot model).
+        self.flow_net: Optional[FlowNetwork] = (
+            FlowNetwork(env, site_caps=topology.site_caps)
+            if bandwidth_model == "fair"
+            else None
+        )
         self.stats = NetworkStats()
 
     # -- delay model --------------------------------------------------------
@@ -194,23 +225,30 @@ class Network:
         )
 
     def estimated_transfer_time(
-        self, src: str, dst: str, size: int = 0
+        self, src: str, dst: str, size: int = 0, weight: float = 1.0
     ) -> float:
         """Expected delivery time of ``size`` bytes *given current load*.
 
         Under the fair model the transmission term uses the fair share a
-        new flow would receive right now; under the slot model it is the
-        plain full-bandwidth figure.  Jitter-free, RNG-untouched.
+        new flow of ``weight`` would receive right now; under the slot
+        model it is the plain full-bandwidth figure.  Jitter-free,
+        RNG-untouched.
         """
         if size <= 0 or src == dst or self.bandwidth_model != "fair":
             return self.expected_one_way_delay(src, dst, size)
         link = self.topology.link(src, dst)
-        flink = self._flow_links.get((src, dst))
-        rate = (
-            flink.fair_rate() if flink is not None
-            else min(link.bandwidth, link.max_flow_rate)
+        rate = self.flow_net.estimate_rate(
+            src, dst,
+            capacity=link.bandwidth,
+            max_flow_rate=link.max_flow_rate,
+            weight=weight,
         )
-        return link.latency + self.PER_MESSAGE_OVERHEAD + size / rate
+        # A site in an outage window delays new flows until it recovers.
+        down = max(
+            self.flow_net.down_remaining(src),
+            self.flow_net.down_remaining(dst),
+        )
+        return down + link.latency + self.PER_MESSAGE_OVERHEAD + size / rate
 
     # -- link state ---------------------------------------------------------
 
@@ -225,17 +263,42 @@ class Network:
         return self._link_slots[key]
 
     def _flow_link(self, src: str, dst: str) -> FairShareLink:
-        key = (src, dst)
-        flink = self._flow_links.get(key)
-        if flink is None:
-            spec = self.topology.link(src, dst)
-            flink = FairShareLink(
-                self.env,
-                capacity=spec.bandwidth,
-                max_flow_rate=spec.max_flow_rate,
-            )
-            self._flow_links[key] = flink
-        return flink
+        spec = self.topology.link(src, dst)
+        return self.flow_net.link(
+            src,
+            dst,
+            capacity=spec.bandwidth,
+            max_flow_rate=spec.max_flow_rate,
+        )
+
+    # -- fault surface (fair model) ----------------------------------------
+
+    def abort_site_flows(self, site: str, duration: float = 0.0) -> int:
+        """Tear down in-flight fair flows through ``site``; mark it down.
+
+        Fault injectors call this when a whole site fails.  Waiters of
+        the aborted flows see :class:`~repro.cloud.flow.FlowAborted`;
+        new transfers touching the site wait out the remaining
+        ``duration`` before transmitting.  No-op (returns 0) under the
+        slot model, whose outages are modeled at the registry instead.
+        """
+        self.topology.get(site)  # validate the site name
+        if self.flow_net is None:
+            return 0
+        return self.flow_net.site_outage(site, duration)
+
+    def flap_link(self, a: str, b: str, bidirectional: bool = True) -> int:
+        """Abort in-flight fair flows on the ``a <-> b`` link(s)."""
+        self.topology.get(a)
+        self.topology.get(b)
+        if self.flow_net is None:
+            return 0
+        return self.flow_net.flap_link(a, b, bidirectional=bidirectional)
+
+    def count_retry(self, size: int) -> None:
+        """Account one transfer re-issued after an abort (storage layer)."""
+        self.stats.retried_transfers += 1
+        self.stats.retried_bytes += size
 
     def _account(self, src: str, dst: str, size: int, delay: float) -> None:
         self.stats.messages += 1
@@ -252,21 +315,58 @@ class Network:
     # -- primitives -----------------------------------------------------------
 
     def transfer(
-        self, src: str, dst: str, size: int = 0, payload: Any = None
+        self,
+        src: str,
+        dst: str,
+        size: int = 0,
+        payload: Any = None,
+        weight: float = 1.0,
+        retry_on_abort: bool = False,
     ) -> Generator:
         """Process: move ``size`` bytes from ``src`` to ``dst``.
 
         Yields until the message has fully arrived; returns the
         :class:`NetworkMessage` that was delivered.  Latency statistics
         account the full send-to-arrival interval.
+
+        Fair model specifics: ``weight`` sets the flow's share at any
+        shared bottleneck (weighted max-min); a transfer touching a site
+        in an outage window first waits for the site to recover; and a
+        mid-flight teardown (site outage, link flap) is accounted in
+        ``aborted_transfers``/``aborted_bytes`` and then either
+        retransmitted here (``retry_on_abort=True`` -- the
+        connection-retrying client behaviour RPC legs rely on, since the
+        source of an RPC cannot be re-chosen) or re-raised as
+        :class:`~repro.cloud.flow.FlowAborted` to callers that can
+        re-source, like the storage layer.
         """
         msg = NetworkMessage(src, dst, size, payload, sent_at=self.env.now)
         if self.bandwidth_model == "fair" and src != dst and size > 0:
-            # Transmission at the link's max-min fair share, then
-            # propagation (+ jitter): the last byte arrives one link
-            # latency after it was transmitted.
-            flow = self._flow_link(src, dst).open(size)
-            yield flow.done
+            while True:
+                # A down endpoint queues the transfer until recovery
+                # (the behaviour of a connection-retrying client).
+                while True:
+                    down = max(
+                        self.flow_net.down_remaining(src),
+                        self.flow_net.down_remaining(dst),
+                    )
+                    if down <= 0:
+                        break
+                    yield self.env.timeout(down)
+                # Transmission at the link's max-min fair share, then
+                # propagation (+ jitter): the last byte arrives one link
+                # latency after it was transmitted.
+                flow = self._flow_link(src, dst).open(size, weight=weight)
+                try:
+                    yield flow.done
+                except FlowAborted:
+                    self.stats.aborted_transfers += 1
+                    self.stats.aborted_bytes += flow.remaining
+                    if not retry_on_abort:
+                        raise
+                    self.count_retry(size)
+                    continue
+                break
             link = self.topology.link(src, dst)
             yield self.env.timeout(
                 link.latency + self.PER_MESSAGE_OVERHEAD + self._jitter(link)
@@ -303,10 +403,16 @@ class Network:
         value becomes the RPC result, or a plain callable evaluated at the
         server.  Local calls (``src == dst``) still pay the (tiny) local
         link latency both ways -- clients and registries are distinct VMs
-        even within one site.
+        even within one site.  Under the fair model both legs ride flows
+        at the network's ``rpc_weight`` (metadata hot-path priority) and
+        retransmit on fault teardown -- an RPC's endpoints are fixed, so
+        unlike a storage fetch it cannot re-source around a failure.
         """
         # Request leg.
-        yield from self.transfer(src, dst, request_size)
+        yield from self.transfer(
+            src, dst, request_size,
+            weight=self.rpc_weight, retry_on_abort=True,
+        )
         # Server-side processing.
         if hasattr(service, "send"):
             result = yield from service
@@ -315,7 +421,10 @@ class Network:
         else:
             result = service
         # Response leg.
-        yield from self.transfer(dst, src, response_size)
+        yield from self.transfer(
+            dst, src, response_size,
+            weight=self.rpc_weight, retry_on_abort=True,
+        )
         return result
 
     def reset_stats(self) -> None:

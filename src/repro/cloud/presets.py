@@ -66,8 +66,14 @@ _AZURE_JITTER_FRACTION = 0.05
 def azure_4dc_topology(
     jitter: bool = True,
     wan_bandwidth: float = _AZURE_WAN_BANDWIDTH,
+    site_egress_bw: Optional[float] = None,
+    site_ingress_bw: Optional[float] = None,
 ) -> CloudTopology:
     """The paper's 4-datacenter Azure testbed.
+
+    ``site_egress_bw``/``site_ingress_bw`` optionally cap every site's
+    aggregate WAN uplink (bytes/s; enforced by the fair bandwidth model
+    only).
 
     >>> topo = azure_4dc_topology()
     >>> topo.distance("west-europe", "north-europe").value
@@ -90,6 +96,13 @@ def azure_4dc_topology(
             bandwidth=wan_bandwidth,
             jitter=lat * _AZURE_JITTER_FRACTION if jitter else 0.0,
         )
+    if site_egress_bw is not None or site_ingress_bw is not None:
+        for dc in dcs:
+            topo.set_site_caps(
+                dc.name,
+                egress_bw=site_egress_bw,
+                ingress_bw=site_ingress_bw,
+            )
     topo.validate()
     return topo
 

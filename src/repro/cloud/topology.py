@@ -14,12 +14,19 @@ calibrated against the paper's Figure 1 (see ``repro.cloud.presets``).
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass
-from typing import Dict, Iterable, List, Tuple
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple
 
 from repro.util.units import MB
 
-__all__ = ["CloudTopology", "Datacenter", "Distance", "Region"]
+__all__ = [
+    "CloudTopology",
+    "Datacenter",
+    "Distance",
+    "Region",
+    "SiteSpec",
+]
 
 
 class Distance(enum.Enum):
@@ -46,6 +53,30 @@ class Region:
 
 
 @dataclass
+class SiteSpec:
+    """Aggregate WAN capacity of one site's uplink.
+
+    A site talks to every other site through one physical uplink, so the
+    *sum* of its concurrent outbound (egress) and inbound (ingress) WAN
+    traffic is capped regardless of how many distinct inter-DC links it
+    participates in.  Only the flow-level fair-share bandwidth model
+    (``bandwidth_model="fair"``) enforces these caps; ``inf`` (the
+    default) disables them.  Units: bytes/second, like every bandwidth
+    figure in this repo.
+    """
+
+    egress_bw: float = math.inf
+    ingress_bw: float = math.inf
+
+    def validate(self) -> None:
+        if self.egress_bw <= 0 or self.ingress_bw <= 0:
+            raise ValueError(
+                "site egress/ingress caps must be positive "
+                f"(got egress={self.egress_bw}, ingress={self.ingress_bw})"
+            )
+
+
+@dataclass
 class Datacenter:
     """A cloud site: the largest building block of the cloud.
 
@@ -59,12 +90,24 @@ class Datacenter:
         Per-deployment core cap (Azure enforced 300 cores/deployment at
         the time of the paper -- one of the stated reasons workflows
         *must* go multi-site).
+    spec:
+        Aggregate egress/ingress WAN caps of the site's uplink
+        (:class:`SiteSpec`); uncapped by default.
     """
 
     name: str
     region: Region
     core_limit: int = 300
     index: int = -1  # assigned by CloudTopology
+    spec: SiteSpec = field(default_factory=SiteSpec)
+
+    @property
+    def egress_bw(self) -> float:
+        return self.spec.egress_bw
+
+    @property
+    def ingress_bw(self) -> float:
+        return self.spec.ingress_bw
 
     def distance_to(self, other: "Datacenter") -> Distance:
         """Classify the distance to another datacenter."""
@@ -151,6 +194,31 @@ class CloudTopology:
             self._links[(b, a)] = LinkSpec(
                 latency, bandwidth, jitter, max_flow_rate
             )
+
+    def set_site_caps(
+        self,
+        name: str,
+        egress_bw: Optional[float] = None,
+        ingress_bw: Optional[float] = None,
+    ) -> None:
+        """Cap a site's aggregate WAN egress/ingress (bytes/second).
+
+        ``None`` leaves the corresponding cap unchanged; pass
+        ``math.inf`` to lift one.  Enforced only by the flow-level
+        fair-share bandwidth model, which consults the caps live -- a
+        change takes effect at the next rebalance.
+        """
+        spec = self.get(name).spec
+        if egress_bw is not None:
+            spec.egress_bw = float(egress_bw)
+        if ingress_bw is not None:
+            spec.ingress_bw = float(ingress_bw)
+        spec.validate()
+
+    def site_caps(self, name: str) -> Tuple[float, float]:
+        """The ``(egress, ingress)`` caps of a site, bytes/second."""
+        spec = self.get(name).spec
+        return (spec.egress_bw, spec.ingress_bw)
 
     # -- lookup --------------------------------------------------------------
 

@@ -113,16 +113,50 @@ def main(argv=None) -> int:
         default=None,
         help=(
             "WAN bandwidth sharing model: 'slots' (concurrency-capped, "
-            "the original) or 'fair' (flow-level max-min fair sharing); "
-            "default keeps the deployment default ('slots')"
+            "the original) or 'fair' (flow-level hierarchical max-min "
+            "fair sharing); default keeps the deployment default "
+            "('slots')"
+        ),
+    )
+    parser.add_argument(
+        "--egress-cap-mb",
+        type=float,
+        default=None,
+        metavar="MB_PER_S",
+        help=(
+            "fair model only: cap every site's aggregate outbound WAN "
+            "bandwidth (megabytes/s)"
+        ),
+    )
+    parser.add_argument(
+        "--ingress-cap-mb",
+        type=float,
+        default=None,
+        metavar="MB_PER_S",
+        help=(
+            "fair model only: cap every site's aggregate inbound WAN "
+            "bandwidth (megabytes/s)"
+        ),
+    )
+    parser.add_argument(
+        "--rpc-flow-weight",
+        type=float,
+        default=1.0,
+        help=(
+            "fair model only: weight of metadata RPC flows vs weight-1 "
+            "bulk transfers at shared bottlenecks"
         ),
     )
     args = parser.parse_args(argv)
-    config = (
-        MetadataConfig(bandwidth_model=args.bandwidth_model)
-        if args.bandwidth_model
-        else None
-    )
+    try:
+        config = MetadataConfig.from_network_args(
+            args.bandwidth_model,
+            egress_cap_mb=args.egress_cap_mb,
+            ingress_cap_mb=args.ingress_cap_mb,
+            rpc_flow_weight=args.rpc_flow_weight,
+        )
+    except ValueError as exc:
+        parser.error(str(exc))
     run_all(quick=args.quick, config=config)
     return 0
 

@@ -82,7 +82,8 @@ def run_synthetic_workload(
     if ops_per_node <= 0:
         raise ValueError("ops_per_node must be positive")
     # The config may pin the WAN bandwidth-sharing model (slots vs
-    # flow-level fair share); None keeps the deployment default.
+    # flow-level fair share) plus its site caps and flow weights; None
+    # keeps the deployment defaults.
     bandwidth_model = (
         config.bandwidth_model if config is not None else None
     )
@@ -90,6 +91,9 @@ def run_synthetic_workload(
         n_nodes=n_nodes,
         seed=seed,
         bandwidth_model=bandwidth_model or "slots",
+        site_egress_bw=config.site_egress_bw if config else None,
+        site_ingress_bw=config.site_ingress_bw if config else None,
+        rpc_flow_weight=config.rpc_flow_weight if config else 1.0,
     )
     ctrl = ArchitectureController(dep, strategy=strategy, config=config)
     strat = ctrl.strategy

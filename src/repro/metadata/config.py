@@ -14,7 +14,7 @@ from dataclasses import dataclass
 from typing import Optional
 
 from repro.cloud.network import BANDWIDTH_MODELS
-from repro.util.units import MS
+from repro.util.units import MB, MS
 
 __all__ = ["MetadataConfig"]
 
@@ -81,6 +81,19 @@ class MetadataConfig:
         deployment from this config: ``None`` (deployment default, i.e.
         ``"slots"``), ``"slots"`` or ``"fair"``.  See
         ``docs/network-model.md`` for semantics and trade-offs.
+    site_egress_bw / site_ingress_bw:
+        Fair model only: uniform per-site aggregate egress/ingress WAN
+        caps (bytes/second) applied to every site of the deployment an
+        experiment builds from this config; ``None`` leaves sites
+        uncapped.
+    rpc_flow_weight:
+        Fair model only: flow weight of metadata RPC legs (hot path)
+        relative to bulk data transfers.  Weighted max-min gives a
+        weight-w flow w times a weight-1 flow's share at any shared
+        bottleneck.
+    transfer_flow_weight:
+        Fair model only: default flow weight of storage-layer bulk
+        transfers (data provisioning).
     """
 
     service_time: float = 3 * MS
@@ -105,6 +118,53 @@ class MetadataConfig:
     write_lookup: bool = False
     home_site: Optional[str] = None
     bandwidth_model: Optional[str] = None
+    site_egress_bw: Optional[float] = None
+    site_ingress_bw: Optional[float] = None
+    rpc_flow_weight: float = 1.0
+    transfer_flow_weight: float = 1.0
+
+    @classmethod
+    def from_network_args(
+        cls,
+        bandwidth_model: Optional[str],
+        egress_cap_mb: Optional[float] = None,
+        ingress_cap_mb: Optional[float] = None,
+        rpc_flow_weight: float = 1.0,
+    ) -> Optional["MetadataConfig"]:
+        """Build a validated config from CLI-level WAN knobs.
+
+        Caps are given in megabytes/second (the CLI unit) and converted
+        to the repo-wide bytes/second here.  Returns ``None`` when no
+        model is pinned and no knob is set (keep the deployment
+        defaults); raises :class:`ValueError` when fair-only knobs are
+        combined with a non-fair model -- the caps/weights are enforced
+        by the fair model only, and silently producing uncapped slots
+        numbers would masquerade as a capped run.
+        """
+        fair_only_knobs = (
+            egress_cap_mb is not None
+            or ingress_cap_mb is not None
+            or rpc_flow_weight != 1.0
+        )
+        if fair_only_knobs and bandwidth_model != "fair":
+            raise ValueError(
+                "--egress-cap-mb/--ingress-cap-mb/--rpc-flow-weight "
+                "require --bandwidth-model fair"
+            )
+        if bandwidth_model is None:
+            return None
+        config = cls(
+            bandwidth_model=bandwidth_model,
+            site_egress_bw=(
+                egress_cap_mb * MB if egress_cap_mb is not None else None
+            ),
+            site_ingress_bw=(
+                ingress_cap_mb * MB if ingress_cap_mb is not None else None
+            ),
+            rpc_flow_weight=rpc_flow_weight,
+        )
+        config.validate()
+        return config
 
     def validate(self) -> None:
         if self.service_time <= 0:
@@ -137,3 +197,11 @@ class MetadataConfig:
             raise ValueError(
                 f"bandwidth_model must be None or one of {BANDWIDTH_MODELS}"
             )
+        if self.site_egress_bw is not None and self.site_egress_bw <= 0:
+            raise ValueError("site_egress_bw must be positive")
+        if self.site_ingress_bw is not None and self.site_ingress_bw <= 0:
+            raise ValueError("site_ingress_bw must be positive")
+        if self.rpc_flow_weight <= 0:
+            raise ValueError("rpc_flow_weight must be positive")
+        if self.transfer_flow_weight <= 0:
+            raise ValueError("transfer_flow_weight must be positive")

@@ -105,8 +105,14 @@ class WorkflowEngine:
         self.deployment = deployment
         self.env: Environment = deployment.env
         self.strategy = strategy
+        config = getattr(strategy, "config", None)
         self.transfer = transfer or TransferService(
-            self.env, deployment.network, deployment.sites
+            self.env,
+            deployment.network,
+            deployment.sites,
+            default_weight=(
+                config.transfer_flow_weight if config is not None else 1.0
+            ),
         )
         self.locality_scheduling = locality_scheduling
         #: Section III-C: "proactively move data between nodes in

@@ -6,17 +6,31 @@ from repro.cloud.deployment import Deployment
 from repro.cloud.faults import (
     CacheFailureInjector,
     LatencySpikeInjector,
+    LinkFlapInjector,
     SiteOutage,
 )
 from repro.cloud.presets import azure_4dc_topology
 from repro.metadata.controller import ArchitectureController
 from repro.metadata.entry import RegistryEntry
+from repro.storage.filestore import StoredFile
+from repro.storage.transfer import TransferService
+from repro.util.units import MB
 
 
 @pytest.fixture
 def dep():
     return Deployment(
         topology=azure_4dc_topology(jitter=False), n_nodes=8, seed=41
+    )
+
+
+@pytest.fixture
+def fair_dep():
+    return Deployment(
+        topology=azure_4dc_topology(jitter=False),
+        n_nodes=4,
+        seed=41,
+        bandwidth_model="fair",
     )
 
 
@@ -109,3 +123,217 @@ class TestSiteOutage:
         with pytest.raises(ValueError):
             SiteOutage(dep.env, ctrl.strategy.registry, start=0, duration=0)
         ctrl.shutdown()
+
+    def test_needs_registry_or_site(self, dep):
+        with pytest.raises(ValueError, match="registry or an explicit site"):
+            SiteOutage(dep.env, start=0.1, duration=1.0)
+
+
+class TestSiteOutageFlowTeardown:
+    """Data-plane outage semantics under the fair bandwidth model."""
+
+    def test_aborts_in_flight_flows_and_storage_retries(self, fair_dep):
+        dep = fair_dep
+        svc = TransferService(dep.env, dep.network, dep.sites)
+        svc.store("west-europe", StoredFile("big", 50 * MB))
+        svc.store("north-europe", StoredFile("big", 50 * MB))
+        outage = SiteOutage(
+            dep.env,
+            start=0.3,
+            duration=5.0,
+            network=dep.network,
+            site="west-europe",
+        )
+
+        def pull():
+            yield from svc.fetch("big", "east-us")
+
+        dep.env.run(until=dep.env.process(pull()))
+        # The closest source (west-europe) died mid-transfer; the fetch
+        # re-sourced from north-europe instead of waiting out the outage.
+        assert outage.aborted_flows == 1
+        assert svc.retries == 1
+        assert dep.network.stats.aborted_transfers == 1
+        # 0.3 s at 50 MB/s delivered before the cut; the rest aborted.
+        assert dep.network.stats.aborted_bytes == pytest.approx(
+            50 * MB - 0.3 * 50 * MB
+        )
+        assert dep.network.stats.retried_transfers == 1
+        assert dep.network.stats.retried_bytes == 50 * MB
+        assert svc.stores["east-us"].has("big")
+        assert dep.env.now < 5.0  # finished well before the outage lifted
+
+    def test_destination_outage_does_not_blacklist_source(self, fair_dep):
+        """A destination-site outage says nothing about the source: after
+        recovery the fetch retries from the same (nearest) holder rather
+        than being forced onto a worse alternative."""
+        dep = fair_dep
+        svc = TransferService(dep.env, dep.network, dep.sites)
+        # Nearest holder for east-us is west-europe (40 ms) vs
+        # north-europe (42 ms).
+        svc.store("west-europe", StoredFile("big", 50 * MB))
+        svc.store("north-europe", StoredFile("big", 50 * MB))
+        SiteOutage(
+            dep.env,
+            start=0.3,
+            duration=2.0,
+            network=dep.network,
+            site="east-us",
+        )
+
+        def pull():
+            yield from svc.fetch("big", "east-us")
+
+        dep.env.run(until=dep.env.process(pull()))
+        assert svc.retries == 1
+        # Read accounting happens at the *successful* source only: the
+        # healthy nearest holder served the retry, the alternative was
+        # never touched.
+        assert svc.stores["west-europe"].bytes_read == 50 * MB
+        assert svc.stores["north-europe"].bytes_read == 0
+
+    def test_sole_source_waits_out_the_outage(self, fair_dep):
+        dep = fair_dep
+        svc = TransferService(dep.env, dep.network, dep.sites)
+        svc.store("west-europe", StoredFile("big", 50 * MB))
+        SiteOutage(
+            dep.env,
+            start=0.3,
+            duration=5.0,
+            network=dep.network,
+            site="west-europe",
+        )
+
+        def pull():
+            yield from svc.fetch("big", "east-us")
+
+        dep.env.run(until=dep.env.process(pull()))
+        # Only one holder: the retry had to wait for recovery (t=5.3),
+        # then retransmit the whole file (1 s at 50 MB/s) plus the
+        # 40 ms one-way propagation.
+        assert svc.retries == 1
+        assert dep.env.now == pytest.approx(5.3 + 1.0 + 0.040, abs=0.01)
+
+    def test_slots_model_ignores_data_plane(self, dep):
+        # Under the slot model the outage surface is the registry only.
+        assert dep.network.abort_site_flows("west-europe", 1.0) == 0
+        assert dep.network.flap_link("west-europe", "east-us") == 0
+
+    def test_unknown_site_rejected(self, fair_dep):
+        with pytest.raises(KeyError):
+            fair_dep.network.abort_site_flows("mars", 1.0)
+
+
+class TestLinkFlapInjector:
+    def test_flap_kills_flows_and_transfer_retries(self, fair_dep):
+        dep = fair_dep
+        svc = TransferService(dep.env, dep.network, dep.sites)
+        svc.store("west-europe", StoredFile("big", 50 * MB))
+        flap = LinkFlapInjector(
+            dep.env,
+            dep.network,
+            "west-europe",
+            "east-us",
+            times=[0.5],
+        )
+
+        def pull():
+            yield from svc.fetch("big", "east-us")
+
+        dep.env.run(until=dep.env.process(pull()))
+        assert flap.aborted_flows == 1
+        assert [e.kind for e in flap.events] == ["link-flap"]
+        assert svc.retries == 1
+        # No down window: the retry restarts immediately after the flap
+        # (full retransmit at 50 MB/s plus one-way propagation).
+        assert dep.env.now == pytest.approx(0.5 + 1.0 + 0.040, abs=0.01)
+
+    def test_rpc_in_flight_retransmits_through_flap(self, fair_dep):
+        """An RPC cannot re-source around a fault, so its legs retry
+        transparently instead of surfacing FlowAborted to the caller."""
+        dep = fair_dep
+        net = dep.network
+        LinkFlapInjector(
+            dep.env, net, "west-europe", "east-us", times=[0.5]
+        )
+
+        def call():
+            # A bulky request leg: ~1 s in flight, so the flap at 0.5 s
+            # lands mid-transmission.
+            return (
+                yield from net.rpc(
+                    "west-europe",
+                    "east-us",
+                    lambda: 42,
+                    request_size=50 * MB,
+                    response_size=256,
+                )
+            )
+
+        result = dep.env.run(until=dep.env.process(call()))
+        assert result == 42
+        assert net.stats.aborted_transfers == 1
+        assert net.stats.retried_transfers == 1
+        # Retransmit from scratch: flap at 0.5 + full 1 s resend.
+        assert dep.env.now > 1.5
+
+    def test_rpc_waits_out_site_outage(self, fair_dep):
+        """RPC legs to a down site queue until recovery, then deliver."""
+        dep = fair_dep
+        net = dep.network
+        SiteOutage(
+            dep.env,
+            start=0.2,
+            duration=2.0,
+            network=net,
+            site="east-us",
+        )
+
+        def call():
+            return (
+                yield from net.rpc(
+                    "west-europe",
+                    "east-us",
+                    lambda: "ok",
+                    request_size=50 * MB,
+                    response_size=256,
+                )
+            )
+
+        result = dep.env.run(until=dep.env.process(call()))
+        assert result == "ok"
+        # Aborted at 0.2, waited for recovery at 2.2, retransmitted.
+        assert dep.env.now > 2.2 + 1.0
+        assert net.stats.aborted_transfers == 1
+
+    def test_flap_leaves_other_links_alone(self, fair_dep):
+        dep = fair_dep
+        net = dep.network
+
+        def xfer(src, dst):
+            yield from net.transfer(src, dst, size=10 * MB)
+
+        proc = dep.env.process(xfer("north-europe", "east-us"))
+        LinkFlapInjector(
+            dep.env, net, "west-europe", "east-us", times=[0.05]
+        )
+        dep.env.run(until=proc)  # completes unharmed
+        assert net.stats.aborted_transfers == 0
+
+    def test_validation(self, fair_dep):
+        with pytest.raises(ValueError):
+            LinkFlapInjector(
+                fair_dep.env,
+                fair_dep.network,
+                "west-europe",
+                "east-us",
+                times=[],
+            )
+        with pytest.raises(KeyError):
+            LinkFlapInjector(
+                fair_dep.env,
+                fair_dep.network,
+                "west-europe",
+                "atlantis",
+                times=[1.0],
+            )

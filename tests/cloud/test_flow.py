@@ -6,9 +6,11 @@ regressions for the slot model (jitter-free round_trip, end-to-end
 latency under a saturated link).
 """
 
+import math
+
 import pytest
 
-from repro.cloud.flow import FairShareLink
+from repro.cloud.flow import FairShareLink, FlowAborted, FlowNetwork
 from repro.cloud.network import Network
 from repro.cloud.presets import azure_4dc_topology, make_topology
 from repro.sim import Environment
@@ -146,6 +148,135 @@ class TestFairShareLink:
         # 25 bytes at 50 B/s, then 75 bytes at full capacity.
         assert env.now == pytest.approx(0.5 + 0.75)
         assert len(failures) == 1
+        assert isinstance(failures[0], FlowAborted)
+
+    def test_abort_accounts_partial_bytes(self, env):
+        """Regression: abort used to leave the byte counters untouched.
+
+        The doomed flow transmitted 25 bytes before the abort: those
+        count as delivered, the unsent 975 as aborted, and the closed
+        link conserves bytes exactly.
+        """
+        link = FairShareLink(env, capacity=100.0)
+        doomed = link.open(size=1000)
+        survivor = link.open(size=100)
+
+        def waiter():
+            try:
+                yield doomed.done
+            except FlowAborted:
+                pass
+
+        env.process(waiter())
+
+        def aborter():
+            yield env.timeout(0.5)  # both flows at 50 B/s so far
+            link.abort(doomed)
+
+        env.process(aborter())
+        env.run(until=survivor.done)
+        s = link.stats
+        assert s.aborted_flows == 1
+        assert s.aborted_bytes == pytest.approx(975.0)
+        # Delivered: 25 partial bytes of the doomed flow + the survivor.
+        assert s.delivered_bytes == pytest.approx(25.0 + 100.0)
+        assert s.delivered_bytes + s.aborted_bytes == pytest.approx(s.bytes)
+
+    def test_weighted_flows_split_proportionally(self, env):
+        link = FairShareLink(env, capacity=90.0)
+        light = link.open(size=900, weight=1.0)
+        heavy = link.open(size=900, weight=2.0)
+        assert light.rate == pytest.approx(30.0)
+        assert heavy.rate == pytest.approx(60.0)
+        env.run(until=heavy.done)
+        # Heavy finishes first (same size, twice the rate).
+        assert env.now == pytest.approx(15.0)
+
+    def test_invalid_weight_rejected(self, env):
+        link = FairShareLink(env, capacity=10.0)
+        with pytest.raises(ValueError, match="weight"):
+            link.open(size=10, weight=0.0)
+
+
+class TestFlowNetworkHierarchy:
+    """Site egress/ingress caps couple links through a FlowNetwork."""
+
+    @staticmethod
+    def _net(env, egress=None, ingress=None):
+        egress = egress or {}
+        ingress = ingress or {}
+        return FlowNetwork(
+            env,
+            site_caps=lambda s: (
+                egress.get(s, math.inf),
+                ingress.get(s, math.inf),
+            ),
+        )
+
+    def test_egress_cap_shared_by_two_links(self, env):
+        fn = self._net(env, egress={"a": 60.0})
+        f1 = fn.link("a", "b", capacity=100.0).open(600)
+        f2 = fn.link("a", "c", capacity=100.0).open(600)
+        assert f1.rate == pytest.approx(30.0)
+        assert f2.rate == pytest.approx(30.0)
+        env.run(until=f1.done)
+        assert env.now == pytest.approx(20.0)
+
+    def test_finishing_flow_returns_egress_headroom(self, env):
+        fn = self._net(env, egress={"a": 60.0})
+        short = fn.link("a", "b", capacity=100.0).open(300)
+        long = fn.link("a", "c", capacity=100.0).open(600)
+        env.run(until=short.done)
+        assert env.now == pytest.approx(10.0)
+        # The survivor inherits the full egress cap (link allows it).
+        assert long.rate == pytest.approx(60.0)
+        env.run(until=long.done)
+        assert env.now == pytest.approx(10.0 + 300 / 60.0)
+
+    def test_link_tighter_than_site_cap_wins(self, env):
+        fn = self._net(env, egress={"a": 1000.0})
+        flow = fn.link("a", "b", capacity=50.0).open(100)
+        assert flow.rate == pytest.approx(50.0)
+
+    def test_ingress_cap_shared_by_two_senders(self, env):
+        fn = self._net(env, ingress={"c": 80.0})
+        f1 = fn.link("a", "c", capacity=100.0).open(800)
+        f2 = fn.link("b", "c", capacity=100.0).open(800)
+        assert f1.rate == pytest.approx(40.0)
+        assert f2.rate == pytest.approx(40.0)
+
+    def test_weights_apply_at_site_bottleneck(self, env):
+        fn = self._net(env, egress={"a": 90.0})
+        light = fn.link("a", "b", capacity=100.0).open(900, weight=1.0)
+        heavy = fn.link("a", "c", capacity=100.0).open(900, weight=2.0)
+        assert light.rate == pytest.approx(30.0)
+        assert heavy.rate == pytest.approx(60.0)
+
+    def test_site_outage_aborts_and_marks_down(self, env):
+        fn = self._net(env)
+        la_b = fn.link("a", "b", capacity=100.0)
+        lc_b = fn.link("c", "b", capacity=100.0)
+        doomed_out = la_b.open(1000)
+        survivor = lc_b.open(1000)
+        for f in (doomed_out, survivor):
+            f.done.defused = True  # nobody waits in this unit test
+        n = fn.site_outage("a", duration=5.0)
+        assert n == 1
+        assert doomed_out not in la_b.flows
+        assert survivor in lc_b.flows
+        assert fn.down_remaining("a") == pytest.approx(5.0)
+        assert fn.down_remaining("c") == 0.0
+
+    def test_flap_aborts_both_directions(self, env):
+        fn = self._net(env)
+        fwd = fn.link("a", "b", capacity=100.0).open(1000)
+        bwd = fn.link("b", "a", capacity=100.0).open(1000)
+        other = fn.link("a", "c", capacity=100.0).open(1000)
+        for f in (fwd, bwd, other):
+            f.done.defused = True
+        assert fn.flap_link("a", "b") == 2
+        assert other.rate == pytest.approx(100.0)
+        assert fn.down_remaining("a") == 0.0  # flaps have no down window
 
 
 class TestNetworkFairModel:
@@ -202,7 +333,7 @@ class TestNetworkFairModel:
         env.run()
         # LAN is uncapped: both complete as if alone.
         assert done[0] == pytest.approx(done[1])
-        assert net._flow_links == {}
+        assert net.flow_net.links == {}
 
     def test_zero_size_message_pays_latency_only(self, env, topo):
         net = Network(env, topo, bandwidth_model="fair")
@@ -343,4 +474,8 @@ class TestSlotsModelRegressions:
             "same_region_messages",
             "geo_distant_messages",
             "total_latency",
+            "aborted_transfers",
+            "aborted_bytes",
+            "retried_transfers",
+            "retried_bytes",
         }

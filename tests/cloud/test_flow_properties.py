@@ -1,0 +1,249 @@
+"""Property-based tests of the hierarchical fair-share flow model.
+
+Randomized flow arrivals/departures/aborts over a multi-link topology
+with site egress/ingress caps and heterogeneous weights, checking the
+model's structural invariants at every event instead of pinned values:
+
+(a) **link capacity**: the sum of active flow rates on each directed
+    link never exceeds its capacity;
+(b) **site caps**: each site's aggregate egress (ingress) rate never
+    exceeds its cap;
+(c) **weighted max-min**: every active flow is either at its own rate
+    cap or covered by at least one *saturated* constraint -- so no flow
+    could gain rate without a bottlenecked flow losing -- and within a
+    saturated constraint no flow is below the constraint's bottleneck
+    water level (rate/weight) while another sits above it;
+(d) **conservation**: once every flow has closed,
+    ``delivered_bytes + aborted_bytes == bytes opened``, per link and
+    in aggregate.
+
+The scenario generator is seeded (numpy Generator) so failures are
+reproducible; several seeds run as parametrized cases.
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.cloud.flow import FlowAborted, FlowNetwork
+from repro.sim import Environment
+
+RTOL = 1e-9
+SITES = ("a", "b", "c", "d")
+LINK_CAP = 100.0
+
+
+def make_network(env, egress, ingress):
+    """A full mesh over SITES with the given per-site cap maps."""
+    fn = FlowNetwork(
+        env,
+        site_caps=lambda s: (
+            egress.get(s, math.inf),
+            ingress.get(s, math.inf),
+        ),
+    )
+    for src in SITES:
+        for dst in SITES:
+            if src != dst:
+                fn.link(src, dst, capacity=LINK_CAP)
+    return fn
+
+
+def check_invariants(fn, egress, ingress):
+    """Assert (a), (b) and (c) on the current rate assignment."""
+    links = [l for l in fn.links.values() if l.flows]
+    flows = [f for l in links for f in l.flows]
+    if not flows:
+        return
+
+    # -- (a) link capacity --------------------------------------------------
+    saturated = []  # constraint sets whose capacity is (about) used up
+    for link in links:
+        total = sum(f.rate for f in link.flows)
+        assert total <= link.capacity * (1 + RTOL), (
+            f"link {link.src}->{link.dst} oversubscribed: "
+            f"{total} > {link.capacity}"
+        )
+        if total >= link.capacity * (1 - 1e-6):
+            saturated.append(list(link.flows))
+
+    # -- (b) site egress/ingress caps ---------------------------------------
+    for site in SITES:
+        out = [f for f in flows if f.link.src == site]
+        inn = [f for f in flows if f.link.dst == site]
+        cap_out = egress.get(site, math.inf)
+        cap_in = ingress.get(site, math.inf)
+        total_out = sum(f.rate for f in out)
+        total_in = sum(f.rate for f in inn)
+        assert total_out <= cap_out * (1 + RTOL), (
+            f"egress cap of {site} exceeded: {total_out} > {cap_out}"
+        )
+        assert total_in <= cap_in * (1 + RTOL), (
+            f"ingress cap of {site} exceeded: {total_in} > {cap_in}"
+        )
+        if math.isfinite(cap_out) and out and (
+            total_out >= cap_out * (1 - 1e-6)
+        ):
+            saturated.append(out)
+        if math.isfinite(cap_in) and inn and (
+            total_in >= cap_in * (1 - 1e-6)
+        ):
+            saturated.append(inn)
+
+    # -- (c) weighted max-min -----------------------------------------------
+    # Bottleneck characterization of weighted max-min fairness: every
+    # flow is either at its own rate cap, or there is a *saturated*
+    # constraint containing it in which its normalized rate
+    # (rate/weight) is maximal.  Then the flow cannot gain rate without
+    # shrinking a flow of <= its normalized share inside a full
+    # constraint -- i.e. without a bottlenecked, >=-weight-share flow
+    # losing.  A flow satisfying neither condition disproves max-min.
+    for f in flows:
+        if f.rate >= f.max_rate * (1 - 1e-6):
+            continue
+        normalized = f.rate / f.weight
+        bottleneck = any(
+            f in group
+            and normalized
+            >= max(g.rate / g.weight for g in group) * (1 - 1e-6)
+            for group in saturated
+        )
+        assert bottleneck, (
+            f"{f!r} is neither capped nor maximal in any saturated "
+            "constraint -- it could gain rate for free"
+        )
+
+
+def random_scenario(seed, egress, ingress, n_flows=60, horizon=30.0):
+    """Run a randomized open/abort/complete schedule; check invariants."""
+    env = Environment()
+    fn = make_network(env, egress, ingress)
+    rng = np.random.default_rng(seed)
+    opened = []
+    closed = {"delivered": 0.0, "aborted": 0.0, "opened": 0}
+
+    def waiter(flow):
+        try:
+            yield flow.done
+        except FlowAborted:
+            pass
+
+    def driver():
+        active = []
+        for _ in range(n_flows):
+            yield env.timeout(float(rng.uniform(0.0, horizon / n_flows)))
+            src, dst = rng.choice(len(SITES), size=2, replace=False)
+            link = fn.link(SITES[src], SITES[dst], capacity=LINK_CAP)
+            size = int(rng.integers(1, 400))
+            weight = float(rng.choice([0.5, 1.0, 1.0, 2.0, 4.0]))
+            max_rate = (
+                float(rng.uniform(5.0, 60.0))
+                if rng.random() < 0.3
+                else math.inf
+            )
+            flow = link.open(size, max_rate=max_rate, weight=weight)
+            closed["opened"] += size
+            opened.append(flow)
+            env.process(waiter(flow))
+            active.append((link, flow))
+            check_invariants(fn, egress, ingress)
+            # Occasionally tear one active flow down mid-flight.
+            if active and rng.random() < 0.15:
+                idx = int(rng.integers(len(active)))
+                link_i, flow_i = active.pop(idx)
+                if flow_i in link_i.flows:
+                    link_i.abort(flow_i)
+                    check_invariants(fn, egress, ingress)
+            active = [
+                (l, f) for (l, f) in active if f in l.flows
+            ]
+
+    env.process(driver())
+    env.run()
+    # All flows closed: nothing left active anywhere.
+    assert all(not l.flows for l in fn.links.values())
+    return fn, closed
+
+
+CAP_SETS = [
+    ({}, {}),  # uncapped: pure per-link sharing
+    ({"a": 120.0, "b": 80.0}, {}),  # egress-capped senders
+    ({}, {"c": 90.0, "d": 60.0}),  # ingress-capped receivers
+    ({"a": 110.0, "c": 70.0}, {"b": 100.0, "d": 80.0}),  # both
+]
+
+
+@pytest.mark.parametrize("seed", [0, 1, 7])
+@pytest.mark.parametrize("caps", CAP_SETS, ids=["open", "egress", "ingress", "both"])
+def test_random_arrivals_respect_all_invariants(seed, caps):
+    egress, ingress = caps
+    random_scenario(seed, egress, ingress)
+
+
+@pytest.mark.parametrize("seed", [3, 11])
+def test_conservation_delivered_plus_aborted_equals_opened(seed):
+    egress, ingress = {"a": 100.0}, {"b": 90.0}
+    fn, closed = random_scenario(seed, egress, ingress)
+    total_opened = 0
+    total_delivered = 0.0
+    total_aborted = 0.0
+    for link in fn.links.values():
+        s = link.stats
+        # Per-link conservation once the link drained.
+        assert s.delivered_bytes + s.aborted_bytes == pytest.approx(
+            s.bytes, rel=1e-9
+        )
+        total_opened += s.bytes
+        total_delivered += s.delivered_bytes
+        total_aborted += s.aborted_bytes
+    assert total_opened == closed["opened"]
+    assert total_delivered + total_aborted == pytest.approx(
+        total_opened, rel=1e-9
+    )
+
+
+def test_weighted_share_is_proportional_on_shared_bottleneck():
+    """A weight-2 flow sustains twice a weight-1 flow's rate."""
+    env = Environment()
+    fn = make_network(env, {}, {})
+    link = fn.link("a", "b", capacity=LINK_CAP)
+    light = link.open(1000, weight=1.0)
+    heavy = link.open(1000, weight=2.0)
+    assert heavy.rate == pytest.approx(2 * light.rate)
+    assert light.rate + heavy.rate == pytest.approx(LINK_CAP)
+
+
+def test_egress_cap_binds_across_links():
+    """Two links out of one site share that site's egress cap."""
+    env = Environment()
+    egress = {"a": 60.0}
+    fn = make_network(env, egress, {})
+    f1 = fn.link("a", "b", capacity=LINK_CAP).open(1000)
+    f2 = fn.link("a", "c", capacity=LINK_CAP).open(1000)
+    # Egress 60 split two ways; each link alone could do 100.
+    assert f1.rate == pytest.approx(30.0)
+    assert f2.rate == pytest.approx(30.0)
+    check_invariants(fn, egress, {})
+
+
+def test_ingress_cap_binds_across_links():
+    env = Environment()
+    ingress = {"c": 40.0}
+    fn = make_network(env, {}, ingress)
+    f1 = fn.link("a", "c", capacity=LINK_CAP).open(1000)
+    f2 = fn.link("b", "c", capacity=LINK_CAP).open(1000)
+    assert f1.rate + f2.rate == pytest.approx(40.0)
+    check_invariants(fn, {}, ingress)
+
+
+def test_estimator_matches_realized_rate_under_site_caps():
+    """estimate_rate is exact: a new flow gets exactly the estimate."""
+    env = Environment()
+    egress = {"a": 70.0}
+    fn = make_network(env, egress, {})
+    fn.link("a", "b", capacity=LINK_CAP).open(10_000)
+    fn.link("a", "c", capacity=LINK_CAP).open(10_000)
+    est = fn.estimate_rate("a", "b", capacity=LINK_CAP)
+    flow = fn.link("a", "b", capacity=LINK_CAP).open(10_000)
+    assert flow.rate == pytest.approx(est)

@@ -22,6 +22,10 @@ class TestStats:
             "same_region_messages",
             "geo_distant_messages",
             "total_latency",
+            "aborted_transfers",
+            "aborted_bytes",
+            "retried_transfers",
+            "retried_bytes",
         } == set(d)
 
     def test_total_latency_accumulates(self, env):

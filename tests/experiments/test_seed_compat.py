@@ -1,0 +1,83 @@
+"""Seed-compatibility regression: the slot model is frozen bit-for-bit.
+
+``bandwidth_model="slots"`` is the repo's default *because* it
+reproduces the calibrated seed experiments exactly -- same RNG draw
+sequence, same timings.  The golden values below were captured from the
+pre-hierarchical-fair-share code (PR 1 state) on the Fig. 5/Fig. 7
+workload shapes at fast-profile sizes; any drift means the slots path
+picked up an accidental behavioural change and MUST be investigated,
+not re-pinned casually.
+
+Comparisons are exact (``==`` on floats, no approx): the simulator is
+deterministic, so bit-for-bit equality is the contract.
+"""
+
+import pytest
+
+from repro.experiments.synthetic import run_synthetic_workload
+
+# -- Fig. 5 shape: mean node execution time per strategy ------------------
+# 8 nodes, 40 ops/node, seed 0 (fast-profile scale of the 32-node runs).
+FIG5_GOLDEN = {
+    "centralized": {
+        "makespan": 6.984300422220034,
+        "mean_node_time": 4.409804869609512,
+        "throughput": 45.817044035211275,
+    },
+    "decentralized": {
+        "makespan": 4.86966660567183,
+        "mean_node_time": 4.559069175558852,
+        "throughput": 65.71291751827272,
+    },
+    "hybrid": {
+        "makespan": 5.287786898349161,
+        "mean_node_time": 3.3642357982316744,
+        "throughput": 60.516810936519306,
+    },
+}
+
+# -- Fig. 7 shape: centralized throughput vs node count -------------------
+# 40 ops/node, seed 7.
+FIG7_GOLDEN = {
+    8: {"throughput": 45.76507638475873, "makespan": 6.992231309955171},
+    16: {"throughput": 91.02618808692992, "makespan": 7.030943659738894},
+}
+
+
+@pytest.mark.parametrize("strategy", sorted(FIG5_GOLDEN))
+def test_fig5_slots_results_bit_for_bit(strategy):
+    golden = FIG5_GOLDEN[strategy]
+    run = run_synthetic_workload(
+        strategy, n_nodes=8, ops_per_node=40, seed=0
+    )
+    assert run.makespan == golden["makespan"]
+    assert run.mean_node_time == golden["mean_node_time"]
+    assert run.throughput == golden["throughput"]
+
+
+@pytest.mark.parametrize("n_nodes", sorted(FIG7_GOLDEN))
+def test_fig7_slots_results_bit_for_bit(n_nodes):
+    golden = FIG7_GOLDEN[n_nodes]
+    run = run_synthetic_workload(
+        "centralized", n_nodes=n_nodes, ops_per_node=40, seed=7
+    )
+    assert run.throughput == golden["throughput"]
+    assert run.makespan == golden["makespan"]
+
+
+def test_explicit_slots_config_matches_default():
+    """Threading a config must not disturb the slots RNG sequence."""
+    from repro.metadata.config import MetadataConfig
+
+    default = run_synthetic_workload(
+        "hybrid", n_nodes=8, ops_per_node=40, seed=0
+    )
+    pinned = run_synthetic_workload(
+        "hybrid",
+        n_nodes=8,
+        ops_per_node=40,
+        seed=0,
+        config=MetadataConfig(bandwidth_model="slots"),
+    )
+    assert pinned.makespan == default.makespan
+    assert pinned.node_times == default.node_times

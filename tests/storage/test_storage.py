@@ -119,3 +119,62 @@ class TestTransferService:
             ),
         )
         assert svc.stores["west-europe"].has("f")
+
+    def test_validation(self, env, net):
+        with pytest.raises(ValueError):
+            TransferService(env, net, ["west-europe"], default_weight=0.0)
+        with pytest.raises(ValueError):
+            TransferService(env, net, ["west-europe"], max_retries=-1)
+
+
+class TestTransferRetries:
+    """Fault-driven teardown and re-sourcing under the fair model."""
+
+    @pytest.fixture
+    def fair_net(self, env):
+        from repro.cloud.network import Network
+
+        return Network(
+            env, azure_4dc_topology(jitter=False), bandwidth_model="fair"
+        )
+
+    def test_gives_up_after_max_retries(self, env, fair_net):
+        svc = TransferService(
+            env, fair_net, AZURE_4DC, max_retries=1
+        )
+        svc.store("west-europe", StoredFile("big", 50 * MB))
+
+        def keep_flapping():
+            # Kill the transfer shortly after every (re)start.
+            while True:
+                yield env.timeout(0.2)
+                fair_net.flap_link("west-europe", "east-us")
+
+        env.process(keep_flapping())
+
+        from repro.storage.transfer import TransferError
+
+        def pull():
+            yield from svc.fetch("big", "east-us")
+
+        with pytest.raises(TransferError, match="aborted"):
+            drive(env, pull())
+        assert svc.retries == 1  # one re-issue, then gave up
+
+    def test_fetch_weight_reaches_the_flow(self, env, fair_net):
+        svc = TransferService(env, fair_net, AZURE_4DC, default_weight=2.0)
+        svc.store("west-europe", StoredFile("big", 10 * MB))
+
+        seen = {}
+
+        def pull():
+            yield from svc.fetch("big", "east-us", weight=3.0)
+
+        def probe():
+            yield env.timeout(0.01)
+            (flow,) = fair_net.flow_net.active_flows()
+            seen["weight"] = flow.weight
+
+        env.process(probe())
+        drive(env, pull())
+        assert seen["weight"] == 3.0
