@@ -1,0 +1,88 @@
+"""Benchmark: placement policies on the capped-link fan-out.
+
+Acceptance bench of the scheduling subsystem (``docs/scheduling.md``):
+on the heterogeneous fan-out testbed -- nearest spill site behind a
+narrow pipe, distant sites behind wide ones, optionally a hierarchical
+egress cap at the data origin -- bandwidth-aware placement must beat
+(or tie) the paper's locality heuristic, under both bandwidth models:
+
+- ``fair``: staging estimates come from live water-filling probes
+  (``FlowNetwork.estimate_rate``), so the policy sees congestion;
+- ``slots``: the static ``latency + size/bandwidth`` fallback still
+  routes bulk inputs around the thin link.
+
+The makespan table over all five policies is printed for the report.
+"""
+
+import pytest
+
+from repro.experiments.scheduler_compare import run_scheduler_compare
+from repro.scheduling import SCHEDULER_NAMES
+from repro.util.units import MB
+
+pytestmark = pytest.mark.slow
+
+
+@pytest.mark.parametrize("model", ["fair", "slots"])
+def test_bandwidth_aware_beats_locality_on_capped_fanout(benchmark, model):
+    def run():
+        return run_scheduler_compare(
+            bandwidth_model=model,
+            hub_egress_bw=80 * MB if model == "fair" else None,
+        )
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    print("\n" + result.render())
+    assert set(result.makespan) == set(SCHEDULER_NAMES)
+    # The subsystem's acceptance criterion.
+    assert (
+        result.makespan["bandwidth_aware"] <= result.makespan["locality"]
+    )
+    # It wins by routing around the thin pipe, not by moving more data.
+    assert (
+        result.wan_bytes["bandwidth_aware"]
+        <= result.wan_bytes["locality"]
+    )
+    assert (
+        result.transfer_time["bandwidth_aware"]
+        <= result.transfer_time["locality"]
+    )
+    benchmark.extra_info["makespans"] = {
+        p: round(m, 2) for p, m in result.makespan.items()
+    }
+
+
+def test_hybrid_weights_sweep_spans_locality_to_bandwidth(benchmark):
+    """The hybrid coefficients interpolate the design space: a
+    transfer-dominated weighting matches bandwidth-aware placement,
+    and every weighting stays no worse than blind round-robin."""
+    from repro.metadata.config import MetadataConfig
+
+    def run():
+        out = {}
+        for label, knobs in (
+            ("transfer-heavy", dict(hybrid_locality_weight=0.0)),
+            ("balanced", {}),
+            ("locality-heavy", dict(hybrid_locality_weight=50.0,
+                                    hybrid_transfer_weight=0.1)),
+        ):
+            cfg = MetadataConfig(scheduler="hybrid", **knobs)
+            res = run_scheduler_compare(
+                policies=("round_robin", "bandwidth_aware", "hybrid"),
+                bandwidth_model="fair",
+                config=cfg,
+            )
+            out[label] = res
+        return out
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    for label, res in results.items():
+        print(f"\n[{label}]")
+        print(res.render())
+        assert (
+            res.makespan["hybrid"] <= res.makespan["round_robin"] * 1.05
+        )
+    transfer_heavy = results["transfer-heavy"]
+    assert transfer_heavy.makespan["hybrid"] == pytest.approx(
+        transfer_heavy.makespan["bandwidth_aware"], rel=0.10
+    )

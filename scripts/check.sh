@@ -1,7 +1,11 @@
 #!/bin/sh
 # Single entry point for the pre-commit checks:
 #   1. fast test profile (everything except the @slow figure
-#      regenerations, ~20 s; see pytest.ini for the profiles);
+#      regenerations, ~20 s; see pytest.ini for the profiles) --
+#      explicitly including the scheduling-subsystem modules
+#      (tests/scheduling, the seed-compat goldens and the scheduler
+#      CLI/config validation); the slow-marked scheduler-comparison
+#      bench (benchmarks/test_schedulers.py) runs in the FULL profile;
 #   2. unused-import lint over the source tree.
 #
 # Usage, from the repo root:
@@ -13,9 +17,9 @@ cd "$(dirname "$0")/.."
 export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
 
 if [ "${FULL:-0}" = "1" ]; then
-    python -m pytest -x -q
+    python -m pytest -x -q tests benchmarks
 else
-    python -m pytest -x -q -m "not slow"
+    python -m pytest -x -q -m "not slow" tests benchmarks
 fi
 python -m repro.util.lint src
 

@@ -52,6 +52,11 @@ from repro.metadata import (
     ReplicatedStrategy,
     StrategyName,
 )
+from repro.scheduling import (
+    PlacementPolicy,
+    SCHEDULER_NAMES,
+    make_scheduler,
+)
 from repro.sim import Environment
 
 __version__ = "1.0.0"
@@ -75,11 +80,14 @@ __all__ = [
     "Network",
     "OpKind",
     "OpStats",
+    "PlacementPolicy",
     "Region",
     "RegistryEntry",
     "ReplicatedStrategy",
+    "SCHEDULER_NAMES",
     "StrategyName",
     "VirtualMachine",
     "azure_4dc_topology",
+    "make_scheduler",
     "make_topology",
 ]

@@ -32,6 +32,7 @@ from repro.experiments.reporting import render_table
 from repro.experiments.synthetic import run_synthetic_workload
 from repro.metadata.config import MetadataConfig
 from repro.metadata.controller import STRATEGIES, StrategyName
+from repro.scheduling import SCHEDULERS, SCHEDULER_NAMES
 from repro.workflow.applications import buzzflow, montage
 from repro.workflow.serialization import load_workflow
 from repro.workflow.traces import characterize
@@ -148,8 +149,47 @@ def build_parser() -> argparse.ArgumentParser:
     runp.add_argument(
         "--export", metavar="PATH", help="write the run result as JSON"
     )
+    runp.add_argument(
+        "--scheduler",
+        choices=SCHEDULER_NAMES,
+        default=None,
+        help=(
+            "task-placement policy (default: locality, the paper's "
+            "heuristic); see docs/scheduling.md"
+        ),
+    )
+    runp.add_argument(
+        "--hybrid-locality-weight",
+        type=float,
+        default=1.0,
+        help="hybrid scheduler only: locality-term coefficient",
+    )
+    runp.add_argument(
+        "--hybrid-load-weight",
+        type=float,
+        default=1.0,
+        help="hybrid scheduler only: queue-depth-term coefficient",
+    )
+    runp.add_argument(
+        "--hybrid-transfer-weight",
+        type=float,
+        default=1.0,
+        help="hybrid scheduler only: transfer-time-term coefficient",
+    )
+    runp.add_argument(
+        "--bw-pending-penalty",
+        type=float,
+        default=1.0,
+        help=(
+            "bandwidth_aware/hybrid schedulers only: pending-bytes "
+            "staging pessimism (0 disables)"
+        ),
+    )
 
     sub.add_parser("strategies", help="list available strategies")
+    sub.add_parser(
+        "schedulers", help="list available task-placement policies"
+    )
     return parser
 
 
@@ -246,9 +286,20 @@ def _cmd_run(args) -> int:
     from repro.metadata.controller import ArchitectureController
     from repro.workflow.engine import WorkflowEngine
 
+    try:
+        config = MetadataConfig.from_scheduler_args(
+            args.scheduler,
+            hybrid_locality_weight=args.hybrid_locality_weight,
+            hybrid_load_weight=args.hybrid_load_weight,
+            hybrid_transfer_weight=args.hybrid_transfer_weight,
+            bw_pending_penalty=args.bw_pending_penalty,
+        )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     wf = _resolve_workflow(args)
     dep = Deployment(n_nodes=args.nodes, seed=args.seed)
-    ctrl = ArchitectureController(dep, strategy=args.strategy)
+    ctrl = ArchitectureController(dep, strategy=args.strategy, config=config)
     engine = WorkflowEngine(dep, ctrl.strategy)
     res = engine.run(wf)
     ctrl.shutdown()
@@ -258,6 +309,7 @@ def _cmd_run(args) -> int:
             [
                 ["workflow", res.workflow],
                 ["strategy", res.strategy],
+                ["scheduler", engine.policy.name],
                 ["tasks", len(res.task_results)],
                 ["makespan (s)", res.makespan],
                 ["metadata time (s)", res.total_metadata_time],
@@ -292,6 +344,15 @@ def _cmd_strategies(_args) -> int:
     return 0
 
 
+def _cmd_schedulers(_args) -> int:
+    rows = []
+    for name in SCHEDULER_NAMES:
+        doc = (SCHEDULERS[name].__doc__ or "").strip().splitlines()[0]
+        rows.append([name, doc])
+    print(render_table(["name", "summary"], rows))
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     handlers = {
@@ -300,6 +361,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "advise": _cmd_advise,
         "run": _cmd_run,
         "strategies": _cmd_strategies,
+        "schedulers": _cmd_schedulers,
     }
     return handlers[args.command](args)
 

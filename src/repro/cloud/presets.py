@@ -26,7 +26,9 @@ __all__ = [
     "AZURE_SMALL_VM",
     "EUROPE",
     "US",
+    "HETERO_FANOUT_SITES",
     "azure_4dc_topology",
+    "heterogeneous_fanout_topology",
     "make_topology",
 ]
 
@@ -103,6 +105,52 @@ def azure_4dc_topology(
                 egress_bw=site_egress_bw,
                 ingress_bw=site_ingress_bw,
             )
+    topo.validate()
+    return topo
+
+
+#: Site names of the heterogeneous fan-out testbed, in a stable order.
+#: ``hub`` holds the data; ``thin`` is *near but narrow* (the trap a
+#: latency-ordered spill walks into), ``fat-a``/``fat-b`` are *far but
+#: wide*.
+HETERO_FANOUT_SITES: Tuple[str, ...] = ("hub", "thin", "fat-a", "fat-b")
+
+
+def heterogeneous_fanout_topology(
+    thin_bandwidth: float = 4 * MB,
+    fat_bandwidth: float = 50 * MB,
+    hub_egress_bw: Optional[float] = None,
+    cross_bandwidth: float = 25 * MB,
+) -> CloudTopology:
+    """A 4-site WAN where proximity and capacity disagree.
+
+    The scheduler-comparison scenario (``docs/scheduling.md``): ``hub``
+    produces the data; its *nearest* neighbour ``thin`` (5 ms) sits
+    behind a narrow ``thin_bandwidth`` pipe, while the *distant*
+    ``fat-a``/``fat-b`` (40 ms) enjoy ``fat_bandwidth`` links.  A
+    latency-ordered spill (the locality policy) drags bulk inputs over
+    the thin pipe; bandwidth-aware placement routes around it.
+    ``hub_egress_bw`` optionally caps the hub's aggregate egress
+    (enforced by the fair bandwidth model only), making the fan-out
+    congestion hierarchical.  Deterministic: no jitter.
+
+    >>> topo = heterogeneous_fanout_topology()
+    >>> topo.latency("hub", "thin") < topo.latency("hub", "fat-a")
+    True
+    >>> topo.link("hub", "thin").bandwidth < topo.link("hub", "fat-a").bandwidth
+    True
+    """
+    region = Region("hetero")
+    dcs = [Datacenter(name, region) for name in HETERO_FANOUT_SITES]
+    topo = CloudTopology(dcs)
+    topo.set_link("hub", "thin", latency=0.005, bandwidth=thin_bandwidth)
+    topo.set_link("hub", "fat-a", latency=0.040, bandwidth=fat_bandwidth)
+    topo.set_link("hub", "fat-b", latency=0.045, bandwidth=fat_bandwidth)
+    topo.set_link("thin", "fat-a", latency=0.042, bandwidth=cross_bandwidth)
+    topo.set_link("thin", "fat-b", latency=0.047, bandwidth=cross_bandwidth)
+    topo.set_link("fat-a", "fat-b", latency=0.012, bandwidth=cross_bandwidth)
+    if hub_egress_bw is not None:
+        topo.set_site_caps("hub", egress_bw=hub_egress_bw)
     topo.validate()
     return topo
 

@@ -18,6 +18,7 @@ from typing import Callable, List, Optional, Tuple
 
 from repro.cloud.network import BANDWIDTH_MODELS
 from repro.metadata.config import MetadataConfig
+from repro.scheduling import SCHEDULER_NAMES
 from repro.experiments.fig1_latency import run_fig1
 from repro.experiments.fig3_replication import run_fig3
 from repro.experiments.fig5_makespan import run_fig5
@@ -147,6 +148,46 @@ def main(argv=None) -> int:
             "bulk transfers at shared bottlenecks"
         ),
     )
+    parser.add_argument(
+        "--scheduler",
+        choices=SCHEDULER_NAMES,
+        default=None,
+        help=(
+            "task-placement policy for the workflow experiments "
+            "(Fig. 10); default keeps the engine default ('locality') "
+            "-- see docs/scheduling.md"
+        ),
+    )
+    parser.add_argument(
+        "--hybrid-locality-weight",
+        type=float,
+        default=1.0,
+        help="hybrid scheduler only: coefficient of the locality term",
+    )
+    parser.add_argument(
+        "--hybrid-load-weight",
+        type=float,
+        default=1.0,
+        help="hybrid scheduler only: coefficient of the queue-depth term",
+    )
+    parser.add_argument(
+        "--hybrid-transfer-weight",
+        type=float,
+        default=1.0,
+        help=(
+            "hybrid scheduler only: coefficient of the predicted-"
+            "transfer-time term"
+        ),
+    )
+    parser.add_argument(
+        "--bw-pending-penalty",
+        type=float,
+        default=1.0,
+        help=(
+            "bandwidth_aware/hybrid schedulers only: scale of the "
+            "pending-bytes staging pessimism (0 disables)"
+        ),
+    )
     args = parser.parse_args(argv)
     try:
         config = MetadataConfig.from_network_args(
@@ -154,6 +195,14 @@ def main(argv=None) -> int:
             egress_cap_mb=args.egress_cap_mb,
             ingress_cap_mb=args.ingress_cap_mb,
             rpc_flow_weight=args.rpc_flow_weight,
+        )
+        config = MetadataConfig.from_scheduler_args(
+            args.scheduler,
+            hybrid_locality_weight=args.hybrid_locality_weight,
+            hybrid_load_weight=args.hybrid_load_weight,
+            hybrid_transfer_weight=args.hybrid_transfer_weight,
+            bw_pending_penalty=args.bw_pending_penalty,
+            base=config,
         )
     except ValueError as exc:
         parser.error(str(exc))

@@ -14,6 +14,7 @@ from dataclasses import dataclass
 from typing import Optional
 
 from repro.cloud.network import BANDWIDTH_MODELS
+from repro.scheduling import SCHEDULER_NAMES
 from repro.util.units import MB, MS
 
 __all__ = ["MetadataConfig"]
@@ -94,6 +95,20 @@ class MetadataConfig:
     transfer_flow_weight:
         Fair model only: default flow weight of storage-layer bulk
         transfers (data provisioning).
+    scheduler:
+        Task-placement policy the workflow engine uses when an
+        experiment builds it from this config: ``None`` (engine
+        default, i.e. ``"locality"``) or one of
+        ``repro.scheduling.SCHEDULER_NAMES``.  See
+        ``docs/scheduling.md``.
+    hybrid_locality_weight / hybrid_load_weight / hybrid_transfer_weight:
+        ``scheduler="hybrid"`` only: coefficients of the hybrid
+        policy's locality, queue-depth and predicted-transfer-time
+        terms.
+    bw_pending_penalty:
+        ``scheduler="bandwidth_aware"`` or ``"hybrid"`` only: scale of
+        the pending-bytes ledger that pessimises staging estimates for
+        links this policy just committed transfers to (0 disables it).
     """
 
     service_time: float = 3 * MS
@@ -122,6 +137,11 @@ class MetadataConfig:
     site_ingress_bw: Optional[float] = None
     rpc_flow_weight: float = 1.0
     transfer_flow_weight: float = 1.0
+    scheduler: Optional[str] = None
+    hybrid_locality_weight: float = 1.0
+    hybrid_load_weight: float = 1.0
+    hybrid_transfer_weight: float = 1.0
+    bw_pending_penalty: float = 1.0
 
     @classmethod
     def from_network_args(
@@ -166,6 +186,59 @@ class MetadataConfig:
         config.validate()
         return config
 
+    @classmethod
+    def from_scheduler_args(
+        cls,
+        scheduler: Optional[str],
+        hybrid_locality_weight: float = 1.0,
+        hybrid_load_weight: float = 1.0,
+        hybrid_transfer_weight: float = 1.0,
+        bw_pending_penalty: float = 1.0,
+        base: Optional["MetadataConfig"] = None,
+    ) -> Optional["MetadataConfig"]:
+        """Fold validated CLI-level scheduler knobs into a config.
+
+        Mirrors :meth:`from_network_args`: returns ``base`` unchanged
+        (possibly ``None``) when no scheduler is pinned and no knob is
+        set, and raises :class:`ValueError` when policy-specific knobs
+        are combined with a different policy -- the hybrid weights act
+        only under ``--scheduler hybrid`` and the pending penalty only
+        under ``bandwidth_aware``/``hybrid``, so silently accepting
+        them would masquerade as a tuned run.
+        """
+        hybrid_knobs = (
+            hybrid_locality_weight != 1.0
+            or hybrid_load_weight != 1.0
+            or hybrid_transfer_weight != 1.0
+        )
+        if hybrid_knobs and scheduler != "hybrid":
+            raise ValueError(
+                "--hybrid-locality-weight/--hybrid-load-weight/"
+                "--hybrid-transfer-weight require --scheduler hybrid"
+            )
+        if bw_pending_penalty != 1.0 and scheduler not in (
+            "bandwidth_aware",
+            "hybrid",
+        ):
+            raise ValueError(
+                "--bw-pending-penalty requires --scheduler "
+                "bandwidth_aware (or hybrid)"
+            )
+        if scheduler is None:
+            return base
+        config = cls(
+            **{
+                **(base.__dict__ if base is not None else {}),
+                "scheduler": scheduler,
+                "hybrid_locality_weight": hybrid_locality_weight,
+                "hybrid_load_weight": hybrid_load_weight,
+                "hybrid_transfer_weight": hybrid_transfer_weight,
+                "bw_pending_penalty": bw_pending_penalty,
+            }
+        )
+        config.validate()
+        return config
+
     def validate(self) -> None:
         if self.service_time <= 0:
             raise ValueError("service_time must be positive")
@@ -205,3 +278,17 @@ class MetadataConfig:
             raise ValueError("rpc_flow_weight must be positive")
         if self.transfer_flow_weight <= 0:
             raise ValueError("transfer_flow_weight must be positive")
+        if self.scheduler is not None and (
+            self.scheduler not in SCHEDULER_NAMES
+        ):
+            raise ValueError(
+                f"scheduler must be None or one of {SCHEDULER_NAMES}"
+            )
+        for label in (
+            "hybrid_locality_weight",
+            "hybrid_load_weight",
+            "hybrid_transfer_weight",
+            "bw_pending_penalty",
+        ):
+            if getattr(self, label) < 0:
+                raise ValueError(f"{label} must be >= 0")

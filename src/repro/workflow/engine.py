@@ -25,7 +25,7 @@ Task lifecycle on its assigned VM:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Generator, List, Optional
+from typing import Dict, Generator, List, Optional, Union
 
 from repro.sim import AllOf, Environment, Event
 from repro.cloud.deployment import Deployment
@@ -33,6 +33,7 @@ from repro.cloud.vm import VirtualMachine
 from repro.metadata.entry import RegistryEntry
 from repro.metadata.stats import OpStats
 from repro.metadata.strategies.base import MetadataStrategy
+from repro.scheduling import ClusterView, PlacementPolicy, make_scheduler
 from repro.storage.filestore import StoredFile
 from repro.storage.transfer import TransferService
 from repro.workflow.dag import Task, Workflow, WorkflowFile
@@ -91,7 +92,25 @@ class WorkflowResult:
 
 
 class WorkflowEngine:
-    """Schedules a workflow over a deployment using a metadata strategy."""
+    """Schedules a workflow over a deployment using a metadata strategy.
+
+    Task *placement* is delegated to a pluggable
+    :class:`~repro.scheduling.PlacementPolicy` (see
+    ``docs/scheduling.md``).  ``scheduler`` may be a policy instance or
+    a registry name (``"locality"``, ``"round_robin"``,
+    ``"load_balanced"``, ``"bandwidth_aware"``, ``"hybrid"``); when
+    omitted it falls back to the strategy config's ``scheduler``, then
+    the deployment's, then the historical default -- ``"locality"``
+    (or ``"round_robin"`` with ``locality_scheduling=False``, the
+    legacy switch kept for backward compatibility).  Name-built
+    policies pick up their knobs (hybrid weights, pending penalty)
+    from the strategy config.
+
+    ``input_site`` selects the site where the workflow's external
+    inputs are staged before the run (default: the deployment's first
+    site, the historical behaviour), so scheduler experiments can vary
+    the data origin.
+    """
 
     def __init__(
         self,
@@ -101,6 +120,8 @@ class WorkflowEngine:
         locality_scheduling: bool = True,
         proactive_provisioning: bool = False,
         data_provisioning: bool = False,
+        scheduler: Optional[Union[str, PlacementPolicy]] = None,
+        input_site: Optional[str] = None,
     ):
         self.deployment = deployment
         self.env: Environment = deployment.env
@@ -115,6 +136,9 @@ class WorkflowEngine:
             ),
         )
         self.locality_scheduling = locality_scheduling
+        if input_site is not None:
+            deployment.topology.get(input_site)  # validate the site name
+        self.input_site = input_site
         #: Section III-C: "proactively move data between nodes in
         #: distant datacenters before it is needed".  When enabled, a
         #: task resolves and stages all of its inputs *concurrently*
@@ -129,12 +153,50 @@ class WorkflowEngine:
         #: inspection of prefetch hit rates).
         self.last_provisioner = None
         self._rng = deployment.rng.get("engine")
-        # Round-robin cursor for root-task placement.
-        self._rr_cursor = 0
-        # Per-VM pending-task counters for least-loaded selection.
+        # Per-VM pending-task counters for least-loaded selection (the
+        # policies read them through the cluster view).
         self._vm_load: Dict[str, int] = {
             vm.name: 0 for vm in deployment.workers
         }
+        self.cluster = ClusterView(deployment, self.transfer, self._vm_load)
+        self.policy = self._resolve_policy(scheduler, config)
+
+    def _resolve_policy(
+        self,
+        scheduler: Optional[Union[str, PlacementPolicy]],
+        config,
+    ) -> PlacementPolicy:
+        """Turn the ``scheduler`` argument into a policy instance.
+
+        Precedence: explicit argument > strategy config > deployment
+        default > the legacy ``locality_scheduling`` switch.
+        """
+        if scheduler is None:
+            scheduler = getattr(config, "scheduler", None)
+        if scheduler is None:
+            scheduler = getattr(self.deployment, "scheduler", None)
+        if scheduler is None:
+            scheduler = (
+                "locality" if self.locality_scheduling else "round_robin"
+            )
+        if isinstance(scheduler, PlacementPolicy):
+            return scheduler
+        knobs = {}
+        if scheduler in ("bandwidth_aware", "hybrid"):
+            knobs["pending_penalty"] = getattr(
+                config, "bw_pending_penalty", 1.0
+            )
+        if scheduler == "hybrid":
+            knobs.update(
+                locality_weight=getattr(
+                    config, "hybrid_locality_weight", 1.0
+                ),
+                load_weight=getattr(config, "hybrid_load_weight", 1.0),
+                transfer_weight=getattr(
+                    config, "hybrid_transfer_weight", 1.0
+                ),
+            )
+        return make_scheduler(scheduler, **knobs)
 
     # -- public API ---------------------------------------------------------------
 
@@ -196,8 +258,14 @@ class WorkflowEngine:
     # -- internals ---------------------------------------------------------------------
 
     def _materialize_initial_inputs(self, workflow: Workflow) -> None:
-        """Stage external input files at the first site and publish them."""
-        site = self.deployment.sites[0]
+        """Stage external input files at the input site and publish them.
+
+        The staging site defaults to the deployment's first site (the
+        historical behaviour) and can be varied via the engine's
+        ``input_site`` knob -- the data origin matters to the
+        bandwidth-aware placement policies.
+        """
+        site = self.input_site or self.deployment.sites[0]
         for f in workflow.initial_inputs():
             self.transfer.store(
                 site, StoredFile(f.name, f.size, self.env.now, producer="")
@@ -225,6 +293,7 @@ class WorkflowEngine:
             yield AllOf(self.env, parent_events)
         parent_sites = [ev.value for ev in parent_events]
         vm = self._place(workflow, task, parent_sites)
+        self.policy.on_task_placed(task, vm, self.cluster)
         if provisioner is not None:
             provisioner.on_task_placed(task, vm.site)
         self._vm_load[vm.name] += 1
@@ -234,6 +303,7 @@ class WorkflowEngine:
             )
         finally:
             self._vm_load[vm.name] -= 1
+            self.policy.on_task_complete(task, vm, self.cluster)
         results.append(result)
         if provisioner is not None:
             provisioner.on_task_complete(task, vm.site)
@@ -245,61 +315,8 @@ class WorkflowEngine:
         task: Task,
         parent_sites: List[str],
     ) -> VirtualMachine:
-        """Pick the VM for a ready task.
-
-        Locality policy: prefer the site where the most input bytes were
-        produced, but *spill* to other sites (nearest first) when every
-        VM there is already busy -- locality must not serialize a wide
-        parallel stage onto one site's workers.  Root tasks, or with
-        locality disabled, round-robin across the fleet.
-        """
-        if self.locality_scheduling and parent_sites:
-            weight: Dict[str, float] = {}
-            parents = workflow.parents(task)
-            for p, site in zip(parents, parent_sites):
-                produced = sum(f.size for f in p.outputs) or 1
-                weight[site] = weight.get(site, 0.0) + produced
-            home = max(weight.items(), key=lambda kv: kv[1])[0]
-            # Candidate order: data weight desc, then proximity to the
-            # data-heavy site, so spilled tasks stay cheap to feed.
-            candidates = sorted(
-                self.deployment.sites,
-                key=lambda s: (
-                    -weight.get(s, 0.0),
-                    self.deployment.topology.latency(home, s),
-                ),
-            )
-            for site in candidates:
-                vms = self.deployment.workers_at(site)
-                idle = [vm for vm in vms if self._vm_load[vm.name] == 0]
-                if idle:
-                    return min(idle, key=lambda vm: vm.name)
-            # Everyone is busy: queue behind the least-loaded site,
-            # biased toward locality via candidate order.
-            site = min(
-                (s for s in candidates if self.deployment.workers_at(s)),
-                key=lambda s: self._site_load(s)
-                / len(self.deployment.workers_at(s)),
-            )
-            return self._least_loaded_vm(site)
-        vm = self.deployment.workers[
-            self._rr_cursor % len(self.deployment.workers)
-        ]
-        self._rr_cursor += 1
-        return vm
-
-    def _site_load(self, site: str) -> int:
-        return sum(
-            self._vm_load[vm.name]
-            for vm in self.deployment.workers_at(site)
-        )
-
-    def _least_loaded_vm(self, site: str) -> VirtualMachine:
-        vms = self.deployment.workers_at(site)
-        if not vms:
-            # Site hosts no workers (tiny deployments): fall back to any.
-            vms = self.deployment.workers
-        return min(vms, key=lambda vm: (self._vm_load[vm.name], vm.name))
+        """Pick the VM for a ready task (delegates to the policy)."""
+        return self.policy.place(task, workflow, parent_sites, self.cluster)
 
     @staticmethod
     def scratch_keys(task: Task) -> List[str]:
@@ -355,6 +372,7 @@ class WorkflowEngine:
                     f.name, vm.site, known_locations=locations
                 )
                 transfer_time += self.env.now - t0
+        self.policy.on_inputs_staged(task, vm, self.cluster)
 
         # 3. Compute (a sleep, as in the paper).  Tasks with extra
         # registry ops interleave their computation with those ops

@@ -61,3 +61,44 @@ class TestRunnerStructure:
         monkeypatch.setattr(runner, "run_all", fake_run_all)
         assert runner.main(["--bandwidth-model", "fair"]) == 0
         assert called["config"].bandwidth_model == "fair"
+
+    def test_main_parses_scheduler_flag(self, monkeypatch):
+        called = {}
+
+        def fake_run_all(quick=False, stream=None, config=None):
+            called["config"] = config
+            return []
+
+        monkeypatch.setattr(runner, "run_all", fake_run_all)
+        assert (
+            runner.main(
+                ["--scheduler", "bandwidth_aware", "--bandwidth-model", "fair"]
+            )
+            == 0
+        )
+        assert called["config"].scheduler == "bandwidth_aware"
+        assert called["config"].bandwidth_model == "fair"
+
+    def test_scheduler_alone_keeps_network_defaults(self, monkeypatch):
+        called = {}
+
+        def fake_run_all(quick=False, stream=None, config=None):
+            called["config"] = config
+            return []
+
+        monkeypatch.setattr(runner, "run_all", fake_run_all)
+        assert runner.main(["--scheduler", "hybrid"]) == 0
+        assert called["config"].scheduler == "hybrid"
+        assert called["config"].bandwidth_model is None
+
+    def test_hybrid_knobs_rejected_without_hybrid_scheduler(self, capsys):
+        with pytest.raises(SystemExit):
+            runner.main(["--hybrid-locality-weight", "2.0"])
+        assert "require --scheduler hybrid" in capsys.readouterr().err
+
+    def test_pending_penalty_rejected_without_bandwidth_aware(self, capsys):
+        with pytest.raises(SystemExit):
+            runner.main(
+                ["--scheduler", "locality", "--bw-pending-penalty", "0.5"]
+            )
+        assert "--bw-pending-penalty requires" in capsys.readouterr().err

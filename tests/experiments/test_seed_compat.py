@@ -16,6 +16,33 @@ import pytest
 
 from repro.experiments.synthetic import run_synthetic_workload
 
+# -- Engine placement: the default locality scheduler is frozen ------------
+# Captured from the pre-scheduling-subsystem code (PR 2 state): Montage
+# (20 ops/task, compute 0.5 s) on 16 nodes / seed 7 with the Fig. 10
+# config, and a scatter fan-out on 8 nodes / seed 3.  The pluggable
+# scheduler refactor extracted the locality heuristic verbatim, so the
+# default path must keep producing these exact timings.
+ENGINE_GOLDEN = {
+    "centralized": {
+        "makespan": 49.1149125837486,
+        "transfer_time": 13.384527626447177,
+    },
+    "hybrid": {
+        "makespan": 37.09831016257363,
+        "transfer_time": 13.367754402254963,
+    },
+}
+SCATTER_GOLDEN = {
+    "makespan": 3.1646302894735587,
+    "transfer_time": 0.3609876345000347,
+    "tasks_per_site": {
+        "east-us": 3,
+        "north-europe": 3,
+        "south-central-us": 3,
+        "west-europe": 4,
+    },
+}
+
 # -- Fig. 5 shape: mean node execution time per strategy ------------------
 # 8 nodes, 40 ops/node, seed 0 (fast-profile scale of the 32-node runs).
 FIG5_GOLDEN = {
@@ -63,6 +90,56 @@ def test_fig7_slots_results_bit_for_bit(n_nodes):
     )
     assert run.throughput == golden["throughput"]
     assert run.makespan == golden["makespan"]
+
+
+def _run_montage(strategy, scheduler=None):
+    from repro.cloud.deployment import Deployment
+    from repro.metadata.config import MetadataConfig
+    from repro.metadata.controller import ArchitectureController
+    from repro.workflow.applications import montage
+    from repro.workflow.engine import WorkflowEngine
+
+    dep = Deployment(n_nodes=16, seed=7)
+    cfg = MetadataConfig(home_site="east-us", hybrid_sync_replication=True)
+    ctrl = ArchitectureController(dep, strategy=strategy, config=cfg)
+    engine = WorkflowEngine(dep, ctrl.strategy, scheduler=scheduler)
+    res = engine.run(montage(ops_per_task=20, compute_time=0.5))
+    ctrl.shutdown()
+    return res
+
+
+@pytest.mark.parametrize("strategy", sorted(ENGINE_GOLDEN))
+def test_engine_locality_default_bit_for_bit(strategy):
+    golden = ENGINE_GOLDEN[strategy]
+    res = _run_montage(strategy)
+    assert res.makespan == golden["makespan"]
+    assert res.total_transfer_time == golden["transfer_time"]
+
+
+def test_engine_explicit_locality_matches_default():
+    """Pinning scheduler="locality" must equal the unpinned default."""
+    default = _run_montage("hybrid")
+    pinned = _run_montage("hybrid", scheduler="locality")
+    assert pinned.makespan == default.makespan
+    assert [r.vm for r in pinned.task_results] == [
+        r.vm for r in default.task_results
+    ]
+
+
+def test_engine_scatter_placement_bit_for_bit():
+    from repro.cloud.deployment import Deployment
+    from repro.metadata.controller import ArchitectureController
+    from repro.workflow.engine import WorkflowEngine
+    from repro.workflow.patterns import scatter
+
+    dep = Deployment(n_nodes=8, seed=3)
+    ctrl = ArchitectureController(dep, strategy="decentralized")
+    engine = WorkflowEngine(dep, ctrl.strategy)
+    res = engine.run(scatter(12, compute_time=0.25, extra_ops=6))
+    ctrl.shutdown()
+    assert res.makespan == SCATTER_GOLDEN["makespan"]
+    assert res.total_transfer_time == SCATTER_GOLDEN["transfer_time"]
+    assert res.tasks_per_site() == SCATTER_GOLDEN["tasks_per_site"]
 
 
 def test_explicit_slots_config_matches_default():

@@ -32,6 +32,11 @@ class TestDefaultsAreValid:
         ("read_max_retries", -1),
         ("read_retry_backoff", 0.5),
         ("virtual_nodes", 0),
+        ("scheduler", "annealing"),
+        ("hybrid_locality_weight", -1.0),
+        ("hybrid_load_weight", -0.5),
+        ("hybrid_transfer_weight", -2.0),
+        ("bw_pending_penalty", -0.1),
     ],
 )
 def test_invalid_values_rejected(field, value):
@@ -44,6 +49,53 @@ def test_retry_cap_must_cover_interval():
     cfg = MetadataConfig(read_retry_interval=1.0, read_retry_max_delay=0.5)
     with pytest.raises(ValueError):
         cfg.validate()
+
+
+class TestFromSchedulerArgs:
+    def test_none_without_knobs_keeps_base(self):
+        assert MetadataConfig.from_scheduler_args(None) is None
+        base = MetadataConfig(bandwidth_model="fair")
+        assert MetadataConfig.from_scheduler_args(None, base=base) is base
+
+    def test_scheduler_pinned_on_top_of_base(self):
+        base = MetadataConfig(bandwidth_model="fair", rpc_flow_weight=2.0)
+        cfg = MetadataConfig.from_scheduler_args(
+            "bandwidth_aware", bw_pending_penalty=0.5, base=base
+        )
+        assert cfg.scheduler == "bandwidth_aware"
+        assert cfg.bw_pending_penalty == 0.5
+        assert cfg.bandwidth_model == "fair"
+        assert cfg.rpc_flow_weight == 2.0
+
+    def test_valid_schedulers_accepted(self):
+        from repro.scheduling import SCHEDULER_NAMES
+
+        for name in SCHEDULER_NAMES:
+            assert (
+                MetadataConfig.from_scheduler_args(name).scheduler == name
+            )
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(scheduler=None, hybrid_locality_weight=2.0),
+            dict(scheduler="locality", hybrid_load_weight=0.5),
+            dict(scheduler="bandwidth_aware", hybrid_transfer_weight=2.0),
+            dict(scheduler="round_robin", bw_pending_penalty=0.0),
+            dict(scheduler=None, bw_pending_penalty=2.0),
+        ],
+    )
+    def test_mismatched_knobs_rejected(self, kwargs):
+        scheduler = kwargs.pop("scheduler")
+        with pytest.raises(ValueError):
+            MetadataConfig.from_scheduler_args(scheduler, **kwargs)
+
+    def test_pending_penalty_allowed_for_hybrid(self):
+        cfg = MetadataConfig.from_scheduler_args(
+            "hybrid", bw_pending_penalty=0.0, hybrid_locality_weight=3.0
+        )
+        assert cfg.bw_pending_penalty == 0.0
+        assert cfg.hybrid_locality_weight == 3.0
 
 
 def test_config_is_plain_dataclass():

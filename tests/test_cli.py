@@ -107,3 +107,101 @@ class TestCommands:
 
         with pytest.raises(SystemExit):
             build_parser().parse_args(["advise"])
+
+
+class TestSchedulerFlags:
+    def test_schedulers_lists_all_policies(self, capsys):
+        assert main(["schedulers"]) == 0
+        out = capsys.readouterr().out
+        for name in (
+            "locality",
+            "round_robin",
+            "load_balanced",
+            "bandwidth_aware",
+            "hybrid",
+        ):
+            assert name in out
+
+    def test_run_with_scheduler(self, capsys):
+        assert (
+            main(
+                [
+                    "run",
+                    "--workflow",
+                    "montage",
+                    "--strategy",
+                    "dn",
+                    "--nodes",
+                    "8",
+                    "--ops",
+                    "2",
+                    "--scheduler",
+                    "load_balanced",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "load_balanced" in out
+
+    def test_unknown_scheduler_rejected_by_parser(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["run", "--workflow", "montage", "--scheduler", "annealing"]
+            )
+
+    @pytest.mark.parametrize(
+        "flags",
+        [
+            ["--hybrid-locality-weight", "2.0"],
+            ["--hybrid-load-weight", "0.5"],
+            ["--hybrid-transfer-weight", "3.0"],
+            ["--scheduler", "locality", "--hybrid-locality-weight", "2.0"],
+            ["--scheduler", "bandwidth_aware",
+             "--hybrid-transfer-weight", "2.0"],
+        ],
+    )
+    def test_hybrid_knobs_require_hybrid_scheduler(self, flags, capsys):
+        code = main(["run", "--workflow", "montage"] + flags)
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "require --scheduler hybrid" in err
+
+    @pytest.mark.parametrize(
+        "flags",
+        [
+            ["--bw-pending-penalty", "0.0"],
+            ["--scheduler", "locality", "--bw-pending-penalty", "2.0"],
+            ["--scheduler", "load_balanced", "--bw-pending-penalty", "0.5"],
+        ],
+    )
+    def test_pending_penalty_requires_bandwidth_aware(self, flags, capsys):
+        code = main(["run", "--workflow", "montage"] + flags)
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "--bw-pending-penalty requires" in err
+
+    def test_knobs_accepted_with_matching_scheduler(self, capsys):
+        assert (
+            main(
+                [
+                    "run",
+                    "--workflow",
+                    "montage",
+                    "--strategy",
+                    "dn",
+                    "--nodes",
+                    "8",
+                    "--ops",
+                    "2",
+                    "--scheduler",
+                    "hybrid",
+                    "--hybrid-locality-weight",
+                    "2.0",
+                    "--bw-pending-penalty",
+                    "0.5",
+                ]
+            )
+            == 0
+        )
+        assert "hybrid" in capsys.readouterr().out
