@@ -4,8 +4,11 @@
 #      regenerations, ~20 s; see pytest.ini for the profiles) --
 #      explicitly including the scheduling-subsystem modules
 #      (tests/scheduling, the seed-compat goldens and the scheduler
-#      CLI/config validation); the slow-marked scheduler-comparison
-#      bench (benchmarks/test_schedulers.py) runs in the FULL profile;
+#      CLI/config validation) and the workload-subsystem modules
+#      (tests/workload, the engine op-attribution regression and the
+#      workload_compare scenario checks); the slow-marked benches
+#      (benchmarks/test_schedulers.py, benchmarks/test_workloads.py)
+#      run in the FULL profile;
 #   2. unused-import lint over the source tree.
 #
 # Usage, from the repo root:

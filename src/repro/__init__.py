@@ -58,10 +58,17 @@ from repro.scheduling import (
     make_scheduler,
 )
 from repro.sim import Environment
+from repro.workload import (
+    ADMISSION_NAMES,
+    TenantSpec,
+    WorkloadRunner,
+    WorkloadSpec,
+)
 
 __version__ = "1.0.0"
 
 __all__ = [
+    "ADMISSION_NAMES",
     "AZURE_4DC",
     "ArchitectureController",
     "CacheManager",
@@ -86,7 +93,10 @@ __all__ = [
     "ReplicatedStrategy",
     "SCHEDULER_NAMES",
     "StrategyName",
+    "TenantSpec",
     "VirtualMachine",
+    "WorkloadRunner",
+    "WorkloadSpec",
     "azure_4dc_topology",
     "make_scheduler",
     "make_topology",

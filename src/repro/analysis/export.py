@@ -37,6 +37,7 @@ def ops_to_records(stats: OpStats, limit: int = 0) -> List[Dict[str, Any]]:
             "local": r.local,
             "found": r.found,
             "retries": r.retries,
+            "run": r.run,
         }
         for r in records
     ]
@@ -76,10 +77,50 @@ def workflow_result_to_dict(
     return doc
 
 
+def workload_result_to_dict(result: Any) -> Dict[str, Any]:
+    """Flatten a :class:`~repro.workload.result.WorkloadResult`.
+
+    Takes the result duck-typed (no import: the workload layer sits
+    above analysis in the package layering).
+    """
+    return {
+        "name": result.name,
+        "strategy": result.strategy,
+        "scheduler": result.scheduler,
+        "admission": result.admission,
+        "mode": result.mode,
+        "makespan": result.makespan,
+        "peak_in_flight": result.peak_in_flight,
+        "admission_bound": result.admission_bound,
+        "total_ops": result.total_ops,
+        "wan_bytes": result.wan_bytes,
+        "jain_fairness": result.jain_fairness(),
+        "makespan_by_tenant": result.makespan_by_tenant(),
+        "queue_wait_by_tenant": result.queue_wait_by_tenant(),
+        "slowdown_by_tenant": result.slowdown_by_tenant(),
+        "instances": [
+            {
+                "tenant": r.tenant,
+                "application": r.application,
+                "run": r.run,
+                "submitted_at": r.submitted_at,
+                "admitted_at": r.admitted_at,
+                "finished_at": r.finished_at,
+                "queue_wait": r.queue_wait,
+                "makespan": r.makespan,
+                "result": workflow_result_to_dict(r.result),
+            }
+            for r in result.records
+        ],
+    }
+
+
 def export_json(obj: Any, path: Union[str, Path]) -> None:
-    """Write any JSON-compatible document (or WorkflowResult) to disk."""
+    """Write any JSON-compatible document (or a result object) to disk."""
     if isinstance(obj, WorkflowResult):
         obj = workflow_result_to_dict(obj)
+    elif hasattr(obj, "records") and hasattr(obj, "jain_fairness"):
+        obj = workload_result_to_dict(obj)
     Path(path).write_text(
         json.dumps(obj, indent=2, sort_keys=True) + "\n", encoding="utf-8"
     )

@@ -7,7 +7,9 @@
     python -m repro.cli advise --workflow montage --ops 1000
     python -m repro.cli advise --file my_workflow.json
     python -m repro.cli run --workflow montage --strategy dr --export out.json
+    python -m repro.cli run --workflow montage --tenants 8 --admission max_in_flight --max-in-flight 4
     python -m repro.cli strategies
+    python -m repro.cli workloads
 """
 
 from __future__ import annotations
@@ -33,6 +35,12 @@ from repro.experiments.synthetic import run_synthetic_workload
 from repro.metadata.config import MetadataConfig
 from repro.metadata.controller import STRATEGIES, StrategyName
 from repro.scheduling import SCHEDULERS, SCHEDULER_NAMES
+from repro.workload import (
+    ADMISSIONS,
+    ADMISSION_NAMES,
+    APPLICATION_NAMES,
+    APPLICATIONS,
+)
 from repro.workflow.applications import buzzflow, montage
 from repro.workflow.serialization import load_workflow
 from repro.workflow.traces import characterize
@@ -185,10 +193,83 @@ def build_parser() -> argparse.ArgumentParser:
             "staging pessimism (0 disables)"
         ),
     )
+    runp.add_argument(
+        "--tenants",
+        type=int,
+        default=1,
+        help=(
+            "run a multi-tenant workload: this many tenants submit the "
+            "workflow concurrently to one shared deployment (default 1: "
+            "single-workflow mode); see docs/workloads.md"
+        ),
+    )
+    runp.add_argument(
+        "--instances",
+        type=int,
+        default=1,
+        help="workload mode only: workflow instances per tenant",
+    )
+    runp.add_argument(
+        "--mode",
+        choices=("closed", "open"),
+        default="closed",
+        help=(
+            "workload mode only: closed loop (one in flight per tenant, "
+            "think time between) or open loop (Poisson arrivals)"
+        ),
+    )
+    runp.add_argument(
+        "--think-time",
+        type=float,
+        default=0.0,
+        help="closed-loop workloads only: seconds between submissions",
+    )
+    runp.add_argument(
+        "--arrival-rate",
+        type=float,
+        default=None,
+        help="open-loop workloads only: Poisson arrivals per second",
+    )
+    runp.add_argument(
+        "--admission",
+        choices=ADMISSION_NAMES,
+        default=None,
+        help=(
+            "workload mode only: admission control policy "
+            "(default: unbounded)"
+        ),
+    )
+    runp.add_argument(
+        "--max-in-flight",
+        type=int,
+        default=None,
+        help=(
+            "admission max_in_flight only: global cap on concurrently "
+            "executing workflows"
+        ),
+    )
+    runp.add_argument(
+        "--token-rate",
+        type=float,
+        default=None,
+        help=(
+            "admission token_bucket only: per-tenant admissions/second"
+        ),
+    )
+    runp.add_argument(
+        "--token-burst",
+        type=int,
+        default=None,
+        help="admission token_bucket only: per-tenant burst allowance",
+    )
 
     sub.add_parser("strategies", help="list available strategies")
     sub.add_parser(
         "schedulers", help="list available task-placement policies"
+    )
+    sub.add_parser(
+        "workloads",
+        help="list workload applications and admission policies",
     )
     return parser
 
@@ -294,9 +375,39 @@ def _cmd_run(args) -> int:
             hybrid_transfer_weight=args.hybrid_transfer_weight,
             bw_pending_penalty=args.bw_pending_penalty,
         )
+        config = MetadataConfig.from_workload_args(
+            args.admission,
+            max_in_flight=args.max_in_flight,
+            token_rate=args.token_rate,
+            token_burst=args.token_burst,
+            base=config,
+        )
+        if args.tenants <= 0:
+            raise ValueError("--tenants must be positive")
+        if args.tenants > 1 and getattr(args, "file", None):
+            raise ValueError(
+                "--tenants applies to built-in applications only "
+                "(--workflow), not --file"
+            )
+        if args.tenants == 1 and (
+            args.admission is not None
+            or args.instances != 1
+            or args.mode != "closed"
+            or args.think_time != 0.0
+            or args.arrival_rate is not None
+        ):
+            # Mirrors the experiment runner's --with-workloads guard:
+            # silently running a single workflow would masquerade as an
+            # admission-controlled multi-tenant run.
+            raise ValueError(
+                "--admission/--instances/--mode/--think-time/"
+                "--arrival-rate require --tenants > 1"
+            )
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    if args.tenants > 1:
+        return _run_workload(args, config)
     wf = _resolve_workflow(args)
     dep = Deployment(n_nodes=args.nodes, seed=args.seed)
     ctrl = ArchitectureController(dep, strategy=args.strategy, config=config)
@@ -333,6 +444,41 @@ def _cmd_run(args) -> int:
     return 0
 
 
+def _run_workload(args, config) -> int:
+    from repro.cloud.deployment import Deployment
+    from repro.metadata.controller import ArchitectureController
+    from repro.workload import WorkloadRunner, WorkloadSpec
+
+    dep = Deployment(n_nodes=args.nodes, seed=args.seed)
+    try:
+        spec = WorkloadSpec.uniform(
+            args.tenants,
+            applications=(args.workflow,),
+            mode=args.mode,
+            n_instances=args.instances,
+            think_time=args.think_time,
+            arrival_rate=args.arrival_rate,
+            input_sites=dep.sites,
+            ops_per_task=args.ops,
+            seed=args.seed,
+            name=args.workflow,
+        )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    ctrl = ArchitectureController(dep, strategy=args.strategy, config=config)
+    runner = WorkloadRunner(dep, ctrl.strategy)
+    res = runner.run(spec)
+    ctrl.shutdown()
+    print(res.render())
+    if args.export:
+        from repro.analysis.export import export_json
+
+        export_json(res, args.export)
+        print(f"\nresult written to {args.export}")
+    return 0
+
+
 def _cmd_strategies(_args) -> int:
     rows = []
     for name in sorted(STRATEGIES):
@@ -353,6 +499,36 @@ def _cmd_schedulers(_args) -> int:
     return 0
 
 
+def _cmd_workloads(_args) -> int:
+    rows = []
+    for name in APPLICATION_NAMES:
+        # Builders are lambdas; describe via the built DAG's shape.
+        from repro.workload import TenantSpec
+
+        wf = APPLICATIONS[name](TenantSpec(name="probe", application=name))
+        rows.append([name, len(wf), len(wf.levels())])
+    print(
+        render_table(
+            ["application", "tasks", "stages"],
+            rows,
+            title="workload applications",
+        )
+    )
+    print()
+    rows = []
+    for name in ADMISSION_NAMES:
+        doc = (ADMISSIONS[name].__doc__ or "").strip().splitlines()[0]
+        rows.append([name, doc])
+    print(
+        render_table(
+            ["admission policy", "summary"],
+            rows,
+            title="admission control",
+        )
+    )
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     handlers = {
@@ -362,6 +538,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "run": _cmd_run,
         "strategies": _cmd_strategies,
         "schedulers": _cmd_schedulers,
+        "workloads": _cmd_workloads,
     }
     return handlers[args.command](args)
 

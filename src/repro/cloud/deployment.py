@@ -59,6 +59,13 @@ class Deployment:
         engine default (``"locality"``).  An explicit ``scheduler=``
         on the engine, or one pinned in the metadata config, wins over
         this value.  See ``docs/scheduling.md``.
+    admission:
+        Default admission-control policy name for workload runners
+        built on this deployment (one of
+        ``repro.workload.ADMISSION_NAMES``); ``None`` keeps the runner
+        default (``"unbounded"``).  An explicit ``admission=`` on the
+        runner, or one pinned in the metadata config, wins over this
+        value.  See ``docs/workloads.md``.
     """
 
     def __init__(
@@ -73,6 +80,7 @@ class Deployment:
         site_ingress_bw: Optional[float] = None,
         rpc_flow_weight: float = 1.0,
         scheduler: Optional[str] = None,
+        admission: Optional[str] = None,
     ):
         if n_nodes <= 0:
             raise ValueError("n_nodes must be positive")
@@ -82,6 +90,18 @@ class Deployment:
                 f"{SCHEDULER_NAMES}"
             )
         self.scheduler = scheduler
+        if admission is not None:
+            # Lazy import: repro.workload layers above the deployment
+            # (its runner takes one), so validate only when the knob is
+            # actually used.
+            from repro.workload.admission import ADMISSION_NAMES
+
+            if admission not in ADMISSION_NAMES:
+                raise ValueError(
+                    f"unknown admission policy {admission!r}; expected "
+                    f"one of {ADMISSION_NAMES}"
+                )
+        self.admission = admission
         self.env = env or Environment()
         self.topology = topology or azure_4dc_topology()
         if site_egress_bw is not None or site_ingress_bw is not None:

@@ -21,7 +21,11 @@ metadata service behaves through them:
   the window;
 - :class:`LinkFlapInjector` -- transient flaps of one WAN link: each
   flap kills the link's in-flight fair flows without a down window
-  (connections die, retries reconnect immediately).
+  (connections die, retries reconnect immediately);
+- :class:`RegionOutage` -- a *correlated* failure: several sites (an
+  explicit set, or everything tagged with one region) go dark together,
+  with one atomically batched flow teardown and a shared down window --
+  the region-wide incident that per-site independence assumptions miss.
 """
 
 from __future__ import annotations
@@ -38,6 +42,7 @@ __all__ = [
     "FaultEvent",
     "LatencySpikeInjector",
     "LinkFlapInjector",
+    "RegionOutage",
     "SiteOutage",
 ]
 
@@ -213,6 +218,106 @@ class SiteOutage:
             req.cancel()
         self.events.append(
             FaultEvent(self.env.now, "site-outage-end", self.site)
+        )
+
+
+class RegionOutage:
+    """Take a whole *set* of sites offline together (correlated failure).
+
+    Composes :class:`SiteOutage` semantics across every member site,
+    atomically:
+
+    - **data plane** (pass ``network``, fair bandwidth model only): all
+      in-flight transfers touching *any* member die in **one batched
+      teardown** -- a single settle/re-solve pass via
+      :meth:`Network.abort_region_flows
+      <repro.cloud.network.Network.abort_region_flows>`, so survivors
+      never observe intermediate rates between per-site teardowns --
+      and every member shares one down window;
+    - **control plane** (pass ``registries``, e.g.
+      ``strategy.registries``): each member site's registry has all of
+      its service slots held for the window; in-flight requests finish,
+      new ones queue and drain at recovery.
+
+    Membership is an explicit ``sites`` sequence, or every datacenter
+    tagged with ``region`` (resolved through
+    :meth:`CloudTopology.sites_in_region
+    <repro.cloud.topology.CloudTopology.sites_in_region>`; requires
+    ``topology``).
+    """
+
+    def __init__(
+        self,
+        env: Environment,
+        sites: Optional[Sequence[str]] = None,
+        region: Optional[str] = None,
+        topology: Optional[CloudTopology] = None,
+        registries: Optional[Dict[str, "object"]] = None,
+        start: float = 0.0,
+        duration: float = 0.0,
+        network: Optional[Network] = None,
+    ):
+        if duration <= 0:
+            raise ValueError("duration must be positive")
+        if (sites is None) == (region is None):
+            raise ValueError("pass exactly one of sites= or region=")
+        if region is not None:
+            if topology is None:
+                raise ValueError("region= needs a topology to resolve it")
+            sites = topology.sites_in_region(region)
+        if not sites:
+            raise ValueError("need at least one site")
+        self.env = env
+        self.sites = sorted(set(sites))
+        self.network = network
+        self.registries = {
+            site: registries[site]
+            for site in self.sites
+            if registries is not None and site in registries
+        }
+        #: Fair flows torn down at the outage start (set by the process).
+        self.aborted_flows = 0
+        self.events: List[FaultEvent] = []
+        env.process(
+            self._outage(start, duration),
+            name=f"fault-region-{'-'.join(self.sites)}",
+        )
+
+    def _outage(self, start: float, duration: float) -> Generator:
+        yield self.env.timeout(start)
+        label = ",".join(self.sites)
+        if self.network is not None:
+            # Data plane first, in one batch: every connection through
+            # the region dies at the same instant, one global re-solve.
+            self.aborted_flows = self.network.abort_region_flows(
+                self.sites, duration
+            )
+        # Control plane: grab every member registry's full slot set
+        # concurrently (in-flight requests finish first, like a
+        # rebooting cache instance behind a retrying client).
+        requests = [
+            self.registries[site]._server.request()
+            for site in self.sites
+            if site in self.registries
+            for _ in range(self.registries[site]._server.capacity)
+        ]
+        if requests:
+            from repro.sim import AllOf
+
+            yield AllOf(self.env, requests)
+        self.events.append(
+            FaultEvent(
+                self.env.now,
+                "region-outage-start",
+                label,
+                f"aborted_flows={self.aborted_flows}",
+            )
+        )
+        yield self.env.timeout(duration)
+        for req in requests:
+            req.cancel()
+        self.events.append(
+            FaultEvent(self.env.now, "region-outage-end", label)
         )
 
 

@@ -43,7 +43,7 @@ network noise.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Dict, Generator, Optional, Tuple
+from typing import Any, Dict, Generator, Iterable, Optional, Tuple
 
 from repro.sim import Environment, Resource
 from repro.cloud.flow import FairShareLink, FlowAborted, FlowNetwork
@@ -286,6 +286,24 @@ class Network:
         if self.flow_net is None:
             return 0
         return self.flow_net.site_outage(site, duration)
+
+    def abort_region_flows(
+        self, sites: Iterable[str], duration: float = 0.0
+    ) -> int:
+        """Tear down fair flows through *all* ``sites`` in one batch.
+
+        The correlated-failure form of :meth:`abort_site_flows`: every
+        site is marked down for ``duration`` and all affected flows die
+        in a single settle/re-solve pass, so surviving flows never see
+        intermediate rates between the per-site teardowns.  No-op under
+        the slot model.
+        """
+        names = sorted(set(sites))
+        for site in names:
+            self.topology.get(site)  # validate before mutating anything
+        if self.flow_net is None or not names:
+            return 0
+        return self.flow_net.region_outage(names, duration)
 
     def flap_link(self, a: str, b: str, bidirectional: bool = True) -> int:
         """Abort in-flight fair flows on the ``a <-> b`` link(s)."""

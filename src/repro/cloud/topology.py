@@ -257,6 +257,25 @@ class CloudTopology:
     def distance(self, src: str, dst: str) -> Distance:
         return self.get(src).distance_to(self.get(dst))
 
+    def sites_in_region(self, region: str) -> List[str]:
+        """Names of every datacenter whose region tag is ``region``.
+
+        The resolution used by correlated-failure injectors
+        (:class:`~repro.cloud.faults.RegionOutage`): a region-wide
+        event touches all of these sites at once.  Raises ``KeyError``
+        for a region no datacenter belongs to (a silent empty set would
+        make a typo'd fault injection a no-op).
+        """
+        names = [
+            dc.name for dc in self.datacenters if dc.region.name == region
+        ]
+        if not names:
+            regions = sorted({dc.region.name for dc in self.datacenters})
+            raise KeyError(
+                f"Unknown region {region!r}; have {regions}"
+            )
+        return names
+
     def validate(self) -> None:
         """Check every inter-DC pair has a link (raises otherwise)."""
         missing = [

@@ -31,10 +31,25 @@ __all__ = ["main", "run_all"]
 
 
 def _experiments(
-    quick: bool, config: Optional[MetadataConfig] = None
+    quick: bool,
+    config: Optional[MetadataConfig] = None,
+    with_workloads: bool = False,
 ) -> List[Tuple[str, Callable[[], object]]]:
+    extra: List[Tuple[str, Callable[[], object]]] = []
+    if with_workloads:
+        from repro.experiments.workload_compare import run_workload_compare
+
+        extra.append(
+            (
+                "Multi-tenant workloads",
+                lambda: run_workload_compare(
+                    n_tenants=8 if quick else 12,
+                    config=config,
+                ),
+            )
+        )
     if quick:
-        return [
+        return extra + [
             ("Fig. 1", lambda: run_fig1(file_counts=(100, 500, 1000))),
             ("Fig. 3", run_fig3),
             (
@@ -72,7 +87,7 @@ def _experiments(
                 lambda: run_fig10(scenarios=("SS", "MI"), config=config),
             ),
         ]
-    return [
+    return extra + [
         ("Fig. 1", run_fig1),
         ("Fig. 3", run_fig3),
         ("Fig. 5", lambda: run_fig5(config=config)),
@@ -87,11 +102,14 @@ def run_all(
     quick: bool = False,
     stream=None,
     config: Optional[MetadataConfig] = None,
+    with_workloads: bool = False,
 ) -> List[object]:
     """Run all experiments, printing each report; returns result objects."""
     stream = stream or sys.stdout
     results = []
-    for name, fn in _experiments(quick, config=config):
+    for name, fn in _experiments(
+        quick, config=config, with_workloads=with_workloads
+    ):
         t0 = time.time()
         result = fn()
         elapsed = time.time() - t0
@@ -188,6 +206,44 @@ def main(argv=None) -> int:
             "pending-bytes staging pessimism (0 disables)"
         ),
     )
+    parser.add_argument(
+        "--with-workloads",
+        action="store_true",
+        help=(
+            "also run the multi-tenant workload comparison "
+            "(repro.experiments.workload_compare; docs/workloads.md)"
+        ),
+    )
+    parser.add_argument(
+        "--admission",
+        choices=("unbounded", "max_in_flight", "token_bucket"),
+        default=None,
+        help=(
+            "workload comparison only: admission control policy "
+            "(default: the scenario's max_in_flight)"
+        ),
+    )
+    parser.add_argument(
+        "--max-in-flight",
+        type=int,
+        default=None,
+        help=(
+            "admission max_in_flight only: cap on concurrently "
+            "executing workflows"
+        ),
+    )
+    parser.add_argument(
+        "--token-rate",
+        type=float,
+        default=None,
+        help="admission token_bucket only: per-tenant admissions/second",
+    )
+    parser.add_argument(
+        "--token-burst",
+        type=int,
+        default=None,
+        help="admission token_bucket only: per-tenant burst allowance",
+    )
     args = parser.parse_args(argv)
     try:
         config = MetadataConfig.from_network_args(
@@ -204,9 +260,25 @@ def main(argv=None) -> int:
             bw_pending_penalty=args.bw_pending_penalty,
             base=config,
         )
+        config = MetadataConfig.from_workload_args(
+            args.admission,
+            max_in_flight=args.max_in_flight,
+            token_rate=args.token_rate,
+            token_burst=args.token_burst,
+            base=config,
+        )
+        if (
+            args.admission is not None or args.max_in_flight is not None
+        ) and not args.with_workloads:
+            raise ValueError(
+                "--admission/--max-in-flight/--token-* require "
+                "--with-workloads"
+            )
     except ValueError as exc:
         parser.error(str(exc))
-    run_all(quick=args.quick, config=config)
+    run_all(
+        quick=args.quick, config=config, with_workloads=args.with_workloads
+    )
     return 0
 
 

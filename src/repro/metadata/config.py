@@ -109,6 +109,17 @@ class MetadataConfig:
         ``scheduler="bandwidth_aware"`` or ``"hybrid"`` only: scale of
         the pending-bytes ledger that pessimises staging estimates for
         links this policy just committed transfers to (0 disables it).
+    admission:
+        Admission-control policy the workload runner uses when built
+        from this config: ``None`` (runner default, i.e.
+        ``"unbounded"``) or one of
+        ``repro.workload.ADMISSION_NAMES``.  See ``docs/workloads.md``.
+    max_in_flight:
+        ``admission="max_in_flight"`` only: the global cap on
+        concurrently executing workflows.
+    token_rate / token_burst:
+        ``admission="token_bucket"`` only: per-tenant admission rate
+        (workflows/second) and burst allowance.
     """
 
     service_time: float = 3 * MS
@@ -142,6 +153,10 @@ class MetadataConfig:
     hybrid_load_weight: float = 1.0
     hybrid_transfer_weight: float = 1.0
     bw_pending_penalty: float = 1.0
+    admission: Optional[str] = None
+    max_in_flight: Optional[int] = None
+    token_rate: Optional[float] = None
+    token_burst: int = 1
 
     @classmethod
     def from_network_args(
@@ -239,6 +254,50 @@ class MetadataConfig:
         config.validate()
         return config
 
+    @classmethod
+    def from_workload_args(
+        cls,
+        admission: Optional[str],
+        max_in_flight: Optional[int] = None,
+        token_rate: Optional[float] = None,
+        token_burst: Optional[int] = None,
+        base: Optional["MetadataConfig"] = None,
+    ) -> Optional["MetadataConfig"]:
+        """Fold validated CLI-level workload knobs into a config.
+
+        Mirrors :meth:`from_scheduler_args`: returns ``base`` unchanged
+        (possibly ``None``) when no admission policy is pinned and no
+        knob is set, and raises :class:`ValueError` when policy-specific
+        knobs are combined with a different policy -- ``max_in_flight``
+        acts only under ``--admission max_in_flight`` and the token
+        knobs only under ``token_bucket``, so silently accepting them
+        would masquerade as an admission-controlled run.
+        """
+        if max_in_flight is not None and admission != "max_in_flight":
+            raise ValueError(
+                "--max-in-flight requires --admission max_in_flight"
+            )
+        if (
+            token_rate is not None or token_burst is not None
+        ) and admission != "token_bucket":
+            raise ValueError(
+                "--token-rate/--token-burst require "
+                "--admission token_bucket"
+            )
+        if admission is None:
+            return base
+        config = cls(
+            **{
+                **(base.__dict__ if base is not None else {}),
+                "admission": admission,
+                "max_in_flight": max_in_flight,
+                "token_rate": token_rate,
+                "token_burst": token_burst if token_burst is not None else 1,
+            }
+        )
+        config.validate()
+        return config
+
     def validate(self) -> None:
         if self.service_time <= 0:
             raise ValueError("service_time must be positive")
@@ -292,3 +351,19 @@ class MetadataConfig:
         ):
             if getattr(self, label) < 0:
                 raise ValueError(f"{label} must be >= 0")
+        if self.admission is not None:
+            # Imported lazily: repro.workload sits above this module in
+            # the layering (its runner imports the engine, which imports
+            # this config), so a top-level import would be circular.
+            from repro.workload.admission import ADMISSION_NAMES
+
+            if self.admission not in ADMISSION_NAMES:
+                raise ValueError(
+                    f"admission must be None or one of {ADMISSION_NAMES}"
+                )
+        if self.max_in_flight is not None and self.max_in_flight <= 0:
+            raise ValueError("max_in_flight must be positive")
+        if self.token_rate is not None and self.token_rate <= 0:
+            raise ValueError("token_rate must be positive")
+        if self.token_burst < 1:
+            raise ValueError("token_burst must be >= 1")

@@ -155,14 +155,22 @@ class ArchitectureController:
 
     # -- convenience proxies ----------------------------------------------------------
 
-    def write(self, site: str, entry: RegistryEntry) -> Generator:
-        result = yield from self._active.write(site, entry)
+    def write(
+        self, site: str, entry: RegistryEntry, run: str = ""
+    ) -> Generator:
+        result = yield from self._active.write(site, entry, run=run)
         return result
 
     def read(
-        self, site: str, key: str, require_found: bool = False
+        self,
+        site: str,
+        key: str,
+        require_found: bool = False,
+        run: str = "",
     ) -> Generator:
-        result = yield from self._active.read(site, key, require_found)
+        result = yield from self._active.read(
+            site, key, require_found, run=run
+        )
         return result
 
     def shutdown(self) -> None:

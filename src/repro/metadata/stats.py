@@ -39,6 +39,11 @@ class OpRecord:
     found: bool = True
     #: Number of retries performed before completion (replicated reads).
     retries: int = 0
+    #: Originating workflow run tag ("" for ops issued outside a run).
+    #: Concurrent workflows interleave their records in one shared
+    #: strategy, so per-run attribution must be carried on the record
+    #: itself rather than recovered from list positions.
+    run: str = ""
 
     @property
     def latency(self) -> float:
@@ -140,6 +145,25 @@ class OpStats:
         for r in self.records:
             by_site.setdefault(r.site, []).append(r.finished_at)
         return {s: float(np.mean(v)) for s, v in by_site.items()}
+
+    def for_run(self, run: str) -> "OpStats":
+        """The sub-collection of records tagged with workflow ``run``.
+
+        This is the concurrency-safe replacement for slicing
+        ``records[ops_before:]``: interleaved workflows append to one
+        shared list, so positional slices misattribute ops while tag
+        filtering cannot lose or double-count them.
+        """
+        out = OpStats()
+        out.records = [r for r in self.records if r.run == run]
+        return out
+
+    def runs(self) -> Dict[str, int]:
+        """Record count per run tag (untagged ops under ``""``)."""
+        out: Dict[str, int] = {}
+        for r in self.records:
+            out[r.run] = out.get(r.run, 0) + 1
+        return out
 
     def merge(self, other: "OpStats") -> "OpStats":
         merged = OpStats()

@@ -72,12 +72,14 @@ class MetadataStrategy:
     # -- public API ----------------------------------------------------------------
 
     def write(
-        self, site: str, entry: RegistryEntry
+        self, site: str, entry: RegistryEntry, run: str = ""
     ) -> Generator:
         """Process: publish ``entry`` from a node at ``site``.
 
         Returns the stored entry.  Implemented via ``_do_write`` in
-        subclasses; this wrapper does the op accounting.
+        subclasses; this wrapper does the op accounting.  ``run`` tags
+        the record with the originating workflow run so concurrent
+        workflows sharing this strategy can attribute their ops.
         """
         start = self.env.now
         if self.config.client_overhead > 0:
@@ -92,12 +94,17 @@ class MetadataStrategy:
                 finished_at=self.env.now,
                 local=local,
                 found=True,
+                run=run,
             )
         )
         return stored
 
     def read(
-        self, site: str, key: str, require_found: bool = False
+        self,
+        site: str,
+        key: str,
+        require_found: bool = False,
+        run: str = "",
     ) -> Generator:
         """Process: look up ``key`` from a node at ``site``.
 
@@ -134,11 +141,12 @@ class MetadataStrategy:
                 local=local,
                 found=entry is not None,
                 retries=retries,
+                run=run,
             )
         )
         return entry
 
-    def delete(self, site: str, key: str) -> Generator:
+    def delete(self, site: str, key: str, run: str = "") -> Generator:
         """Process: remove ``key``'s metadata (rarely used by workflows)."""
         start = self.env.now
         existed, local = yield from self._do_delete(site, key)
@@ -151,6 +159,7 @@ class MetadataStrategy:
                 finished_at=self.env.now,
                 local=local,
                 found=existed,
+                run=run,
             )
         )
         return existed

@@ -133,6 +133,39 @@ class Workflow:
             self._producer[f.name] = task.task_id
         return task
 
+    def namespaced(self, prefix: str) -> "Workflow":
+        """A copy of this workflow with every key under ``prefix``.
+
+        Task ids and file names are rewritten to ``{prefix}/{original}``
+        (the workflow name to ``{prefix}:{name}``), so two concurrent
+        instances of the same application submitted to one shared
+        deployment touch disjoint :class:`~repro.storage.filestore.FileStore`
+        keys, registry entries and scheduler bookkeeping (scratch keys
+        and placement-ledger claims derive from task ids).  Structure,
+        sizes, compute times and op counts are preserved, as is task
+        insertion order -- the namespaced DAG schedules identically to
+        the original.
+        """
+        if not prefix:
+            raise ValueError("namespace prefix must be non-empty")
+        clone = Workflow(f"{prefix}:{self.name}")
+
+        def rename(f: WorkflowFile) -> WorkflowFile:
+            return WorkflowFile(f"{prefix}/{f.name}", size=f.size)
+
+        for task in self.tasks.values():
+            clone.add_task(
+                Task(
+                    task_id=f"{prefix}/{task.task_id}",
+                    inputs=[rename(f) for f in task.inputs],
+                    outputs=[rename(f) for f in task.outputs],
+                    compute_time=task.compute_time,
+                    extra_ops=task.extra_ops,
+                    stage=task.stage,
+                )
+            )
+        return clone
+
     # -- graph queries ------------------------------------------------------------
 
     def producer_of(self, file_name: str) -> Optional[Task]:

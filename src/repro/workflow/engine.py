@@ -67,8 +67,14 @@ class WorkflowResult:
     strategy: str
     makespan: float
     task_results: List[TaskResult] = field(default_factory=list)
-    #: Snapshot of strategy op stats over this run only.
+    #: Snapshot of strategy op stats over this run only (tag-filtered,
+    #: so results stay exact when workflows execute concurrently).
     ops: Optional[OpStats] = None
+    #: The run tag this execution's op records carry.
+    run: str = ""
+    #: Absolute simulation times bracketing the execution.
+    started_at: float = 0.0
+    finished_at: float = 0.0
 
     @property
     def total_metadata_time(self) -> float:
@@ -153,6 +159,9 @@ class WorkflowEngine:
         #: inspection of prefetch hit rates).
         self.last_provisioner = None
         self._rng = deployment.rng.get("engine")
+        # Monotonic run counter: every execute() call gets a unique op
+        # attribution tag even when runs interleave on one engine.
+        self._run_seq = 0
         # Per-VM pending-task counters for least-loaded selection (the
         # policies read them through the cluster view).
         self._vm_load: Dict[str, int] = {
@@ -213,11 +222,33 @@ class WorkflowEngine:
         )
         return self.env.run(until=done)
 
-    def execute(self, workflow: Workflow) -> Generator:
-        """Process form of :meth:`run`, for composition with other load."""
-        ops_before = len(self.strategy.stats.records)
+    def execute(
+        self,
+        workflow: Workflow,
+        input_site: Optional[str] = None,
+        run: Optional[str] = None,
+    ) -> Generator:
+        """Process form of :meth:`run`, for composition with other load.
+
+        Many ``execute`` processes may be in flight concurrently on one
+        engine (the workload layer's whole purpose): each call gets a
+        unique ``run`` tag carried on every op record it issues, and the
+        result's op snapshot is filtered by that tag -- interleaved runs
+        can neither lose nor double-attribute operations.  ``input_site``
+        optionally stages *this* workflow's external inputs at a
+        different site than the engine default (per-tenant data
+        origins); ``run`` overrides the auto-generated tag.
+        """
+        self._run_seq += 1
+        if run is None:
+            run = f"{workflow.name}#{self._run_seq}"
         start = self.env.now
-        self._materialize_initial_inputs(workflow)
+        # Records appended before this instant cannot carry this run's
+        # tag, so the completion-time filter only scans the run's own
+        # window of the shared record list (keeps a long workload's
+        # attribution linear instead of quadratic in total op count).
+        ops_before = len(self.strategy.stats.records)
+        self._materialize_initial_inputs(workflow, input_site)
 
         provisioner = None
         if self.data_provisioning:
@@ -239,33 +270,45 @@ class WorkflowEngine:
             self.env.process(
                 self._task_lifecycle(
                     workflow, task, parent_events, completion[task.task_id],
-                    results, provisioner,
+                    results, provisioner, run,
                 ),
                 name=f"task-{task.task_id}",
             )
         yield AllOf(self.env, list(completion.values()))
 
         ops = OpStats()
-        ops.records = self.strategy.stats.records[ops_before:]
+        ops.records = [
+            r
+            for r in self.strategy.stats.records[ops_before:]
+            if r.run == run
+        ]
         return WorkflowResult(
             workflow=workflow.name,
             strategy=self.strategy.name,
             makespan=self.env.now - start,
             task_results=sorted(results, key=lambda r: r.started_at),
             ops=ops,
+            run=run,
+            started_at=start,
+            finished_at=self.env.now,
         )
 
     # -- internals ---------------------------------------------------------------------
 
-    def _materialize_initial_inputs(self, workflow: Workflow) -> None:
+    def _materialize_initial_inputs(
+        self, workflow: Workflow, input_site: Optional[str] = None
+    ) -> None:
         """Stage external input files at the input site and publish them.
 
         The staging site defaults to the deployment's first site (the
-        historical behaviour) and can be varied via the engine's
-        ``input_site`` knob -- the data origin matters to the
+        historical behaviour) and can be varied per engine via the
+        ``input_site`` knob or per run via ``execute(input_site=...)``
+        (per-tenant data origins) -- the origin matters to the
         bandwidth-aware placement policies.
         """
-        site = self.input_site or self.deployment.sites[0]
+        if input_site is not None:
+            self.deployment.topology.get(input_site)  # validate
+        site = input_site or self.input_site or self.deployment.sites[0]
         for f in workflow.initial_inputs():
             self.transfer.store(
                 site, StoredFile(f.name, f.size, self.env.now, producer="")
@@ -288,6 +331,7 @@ class WorkflowEngine:
         done: Event,
         results: List[TaskResult],
         provisioner=None,
+        run: str = "",
     ) -> Generator:
         if parent_events:
             yield AllOf(self.env, parent_events)
@@ -299,7 +343,7 @@ class WorkflowEngine:
         self._vm_load[vm.name] += 1
         try:
             result = yield from self._execute_task(
-                task, vm, workflow.parents(task)
+                task, vm, workflow.parents(task), run
             )
         finally:
             self._vm_load[vm.name] -= 1
@@ -336,6 +380,7 @@ class WorkflowEngine:
         task: Task,
         vm: VirtualMachine,
         parents: Optional[List[Task]] = None,
+        run: str = "",
     ) -> Generator:
         start = self.env.now
         metadata_time = 0.0
@@ -347,7 +392,7 @@ class WorkflowEngine:
             t0 = self.env.now
             staged = [
                 self.env.process(
-                    self._stage_input(f, vm.site),
+                    self._stage_input(f, vm.site, run),
                     name=f"stage-{task.task_id}-{f.name}",
                 )
                 for f in task.inputs
@@ -363,7 +408,7 @@ class WorkflowEngine:
             for f in task.inputs:
                 t0 = self.env.now
                 entry = yield from self.strategy.read(
-                    vm.site, f.name, require_found=True
+                    vm.site, f.name, require_found=True, run=run
                 )
                 metadata_time += self.env.now - t0
                 locations = entry.locations if entry is not None else ()
@@ -400,6 +445,7 @@ class WorkflowEngine:
                 RegistryEntry(
                     key=f.name, locations=frozenset({vm.site}), size=f.size
                 ),
+                run=run,
             )
             metadata_time += self.env.now - t0
 
@@ -424,13 +470,14 @@ class WorkflowEngine:
                 yield from self.strategy.write(
                     vm.site,
                     RegistryEntry(key=key, locations=frozenset({vm.site})),
+                    run=run,
                 )
                 own_written.append(key)
             else:
                 pool = parent_keys or own_written
                 key = pool[int(self._rng.integers(len(pool)))]
                 yield from self.strategy.read(
-                    vm.site, key, require_found=True
+                    vm.site, key, require_found=True, run=run
                 )
             metadata_time += self.env.now - t0
 
@@ -445,7 +492,9 @@ class WorkflowEngine:
             compute_time=compute_time,
         )
 
-    def _stage_input(self, f: WorkflowFile, site: str) -> Generator:
+    def _stage_input(
+        self, f: WorkflowFile, site: str, run: str = ""
+    ) -> Generator:
         """Process: resolve one input's metadata and fetch its data.
 
         Returns ``(metadata_seconds, transfer_seconds)`` so the caller
@@ -453,7 +502,7 @@ class WorkflowEngine:
         """
         t0 = self.env.now
         entry = yield from self.strategy.read(
-            site, f.name, require_found=True
+            site, f.name, require_found=True, run=run
         )
         meta_t = self.env.now - t0
         locations = entry.locations if entry is not None else ()

@@ -1,0 +1,52 @@
+"""Multi-tenant workload execution over one shared deployment.
+
+The workload layer composes the rest of the stack: many tenants submit
+streams of workflow instances (closed-loop with think time, or open-loop
+Poisson/trace arrivals) against one deployment, one metadata strategy
+and one placement policy, with pluggable admission control and
+per-tenant fairness accounting.  See ``docs/workloads.md``.
+"""
+
+from repro.workload.admission import (
+    ADMISSIONS,
+    ADMISSION_NAMES,
+    AdmissionController,
+    MaxInFlightAdmission,
+    TokenBucketAdmission,
+    UnboundedAdmission,
+    make_admission,
+)
+from repro.workload.generators import (
+    WorkflowInstance,
+    arrival_offsets,
+    generate_instances,
+)
+from repro.workload.result import InstanceRecord, WorkloadResult, jain_index
+from repro.workload.runner import WorkloadRunner
+from repro.workload.spec import (
+    APPLICATIONS,
+    APPLICATION_NAMES,
+    TenantSpec,
+    WorkloadSpec,
+)
+
+__all__ = [
+    "ADMISSIONS",
+    "ADMISSION_NAMES",
+    "APPLICATIONS",
+    "APPLICATION_NAMES",
+    "AdmissionController",
+    "InstanceRecord",
+    "MaxInFlightAdmission",
+    "TenantSpec",
+    "TokenBucketAdmission",
+    "UnboundedAdmission",
+    "WorkflowInstance",
+    "WorkloadResult",
+    "WorkloadRunner",
+    "WorkloadSpec",
+    "arrival_offsets",
+    "generate_instances",
+    "jain_index",
+    "make_admission",
+]

@@ -1,0 +1,100 @@
+"""Deterministic workflow-instance generation from a workload spec.
+
+The generator is the bridge between a declarative
+:class:`~repro.workload.spec.WorkloadSpec` and the runnable plan the
+:class:`~repro.workload.runner.WorkloadRunner` drives: one
+:class:`WorkflowInstance` per submission, carrying the namespaced DAG,
+the tenant's data origin and -- in open-loop mode -- the precomputed
+arrival offset.
+
+Determinism contract (property-tested in ``tests/workload``): the same
+spec and seed produce the same arrival times, the same
+tenant -> application assignment and, downstream, bit-for-bit identical
+:class:`~repro.workload.result.WorkloadResult` metrics.  Arrival draws
+use one named RNG stream *per tenant* (``workload/<tenant>``), so adding
+a tenant never shifts another tenant's arrivals.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.util.rng import RngStreams
+from repro.workload.spec import TenantSpec, WorkloadSpec
+from repro.workflow.dag import Workflow
+
+__all__ = ["WorkflowInstance", "arrival_offsets", "generate_instances"]
+
+
+@dataclass(frozen=True)
+class WorkflowInstance:
+    """One planned workflow submission."""
+
+    tenant: str
+    application: str
+    index: int
+    #: Run tag and key namespace (``tenant/index``): prefixes every
+    #: file/task key and tags every op record of this instance.
+    namespace: str
+    #: The namespaced DAG to execute.
+    workflow: Workflow
+    #: Input staging site (``None``: engine default).
+    input_site: Optional[str]
+    #: Seconds from workload start to arrival (open-loop); ``None`` in
+    #: closed-loop mode, where the tenant's completion drives the next
+    #: submission.
+    arrival_offset: Optional[float] = None
+
+
+def arrival_offsets(
+    tenant: TenantSpec, mode: str, rng: np.random.Generator
+) -> List[Optional[float]]:
+    """Per-instance arrival offsets for one tenant.
+
+    Closed-loop: all ``None`` (completion-driven).  Open-loop: the
+    explicit trace when given, otherwise the cumulative sum of
+    exponential inter-arrival gaps at ``arrival_rate`` -- a Poisson
+    process drawn from the tenant's own RNG stream.
+    """
+    if mode == "closed":
+        return [None] * tenant.n_instances
+    if tenant.arrival_times is not None:
+        return [float(t) for t in sorted(tenant.arrival_times)]
+    gaps = rng.exponential(
+        scale=1.0 / tenant.arrival_rate, size=tenant.n_instances
+    )
+    return [float(t) for t in np.cumsum(gaps)]
+
+
+def generate_instances(
+    spec: WorkloadSpec,
+) -> Dict[str, List[WorkflowInstance]]:
+    """The full submission plan: tenant name -> ordered instances.
+
+    Workflows are built (and namespaced) eagerly so the plan is
+    inspectable before anything runs; building touches no RNG, so plan
+    construction itself never perturbs simulation streams.
+    """
+    spec.validate()
+    streams = RngStreams(seed=spec.seed)
+    plan: Dict[str, List[WorkflowInstance]] = {}
+    for tenant in spec.tenants:
+        offsets = arrival_offsets(
+            tenant, spec.mode, streams.get(f"workload/{tenant.name}")
+        )
+        plan[tenant.name] = [
+            WorkflowInstance(
+                tenant=tenant.name,
+                application=tenant.application,
+                index=i,
+                namespace=f"{tenant.name}/{i}",
+                workflow=tenant.build_workflow(i),
+                input_site=tenant.input_site,
+                arrival_offset=offset,
+            )
+            for i, offset in enumerate(offsets)
+        ]
+    return plan

@@ -1,0 +1,242 @@
+"""The workload runner: many workflows, one shared deployment.
+
+A :class:`WorkloadRunner` owns one
+:class:`~repro.workflow.engine.WorkflowEngine` and drives every workflow
+instance of a :class:`~repro.workload.spec.WorkloadSpec` through
+``engine.execute()`` *concurrently* -- one environment, one network, one
+metadata strategy, one placement policy.  That sharing is the point:
+
+- the placement policy is a single instance, so cluster-scoped state
+  (the bandwidth-aware pending-bytes ledger, round-robin cursors) sees
+  *all* tenants' placements, while per-run bookkeeping stays
+  workflow-scoped because task ids are namespaced per instance;
+- per-VM load counters aggregate every tenant's tasks, so policies
+  queue-balance against the real cluster load;
+- op attribution relies on the engine's run tags (one per ``execute``),
+  not list positions, so interleaved runs report exact per-workflow op
+  snapshots.
+
+Admission control sits between submission and execution; the wait is
+accounted per instance (``queue_wait``) and never consumes RNG.
+"""
+
+from __future__ import annotations
+
+from typing import Generator, List, Optional, Union
+
+from repro.sim import AllOf
+from repro.cloud.deployment import Deployment
+from repro.metadata.strategies.base import MetadataStrategy
+from repro.scheduling import PlacementPolicy
+from repro.storage.transfer import TransferService
+from repro.workflow.engine import WorkflowEngine
+from repro.workload.admission import (
+    AdmissionController,
+    make_admission,
+)
+from repro.workload.generators import WorkflowInstance, generate_instances
+from repro.workload.result import InstanceRecord, WorkloadResult
+from repro.workload.spec import TenantSpec, WorkloadSpec
+
+__all__ = ["WorkloadRunner"]
+
+
+class WorkloadRunner:
+    """Concurrent multi-workflow execution over one shared deployment.
+
+    Parameters
+    ----------
+    deployment / strategy:
+        The shared substrate every tenant contends for.
+    scheduler:
+        Placement policy name or instance for the shared engine
+        (default: the engine's usual resolution -- config, deployment,
+        then ``"locality"``).
+    admission:
+        Admission controller instance, registry name, or ``None`` to
+        resolve from the strategy config's ``admission`` knob, then the
+        deployment's ``admission`` default, then ``"unbounded"``.
+        Name-built controllers pick up their knobs (``max_in_flight``,
+        ``token_rate``/``token_burst``) from the strategy config.
+    transfer:
+        Optional shared :class:`~repro.storage.transfer.TransferService`
+        (the engine builds one otherwise).
+    """
+
+    def __init__(
+        self,
+        deployment: Deployment,
+        strategy: MetadataStrategy,
+        scheduler: Optional[Union[str, PlacementPolicy]] = None,
+        admission: Optional[Union[str, AdmissionController]] = None,
+        transfer: Optional[TransferService] = None,
+    ):
+        self.deployment = deployment
+        self.env = deployment.env
+        self.strategy = strategy
+        self.engine = WorkflowEngine(
+            deployment, strategy, transfer=transfer, scheduler=scheduler
+        )
+        self.admission = self._resolve_admission(admission)
+        self._in_flight = 0
+        self._peak_in_flight = 0
+        # run() call counter: sequential specs on one runner get their
+        # instances re-namespaced per epoch, so neither file/task keys
+        # nor op-run tags ever collide with an earlier spec's.
+        self._epoch = 0
+
+    def _resolve_admission(
+        self, admission: Optional[Union[str, AdmissionController]]
+    ) -> AdmissionController:
+        config = getattr(self.strategy, "config", None)
+        if admission is None:
+            admission = getattr(config, "admission", None)
+        if admission is None:
+            admission = getattr(self.deployment, "admission", None)
+        if admission is None:
+            admission = "unbounded"
+        if isinstance(admission, AdmissionController):
+            return admission
+        knobs = {}
+        if admission == "max_in_flight":
+            limit = getattr(config, "max_in_flight", None)
+            if limit is not None:
+                knobs["limit"] = limit
+        elif admission == "token_bucket":
+            rate = getattr(config, "token_rate", None)
+            if rate is not None:
+                knobs["rate"] = rate
+            knobs["burst"] = getattr(config, "token_burst", 1) or 1
+        return make_admission(admission, self.env, **knobs)
+
+    # -- public API --------------------------------------------------------
+
+    def run(self, spec: WorkloadSpec) -> WorkloadResult:
+        """Execute the whole workload; returns its result.
+
+        Drives the deployment's environment until every tenant's last
+        instance completes.  One runner may execute several specs
+        sequentially: each ``run`` call is an *epoch*, and repeat
+        epochs re-namespace their instances (``r<epoch>/...``) so a
+        later spec never reuses an earlier one's file/task keys or
+        op-run tags -- metrics windows never overlap and attribution
+        stays exact.
+        """
+        spec.validate()
+        self._epoch += 1
+        plan = generate_instances(spec)
+        records: List[InstanceRecord] = []
+        ops_before = len(self.strategy.stats.records)
+        wan_before = self.engine.transfer.wan_bytes
+        self._peak_in_flight = 0
+        started = self.env.now
+
+        procs = []
+        for tenant in spec.tenants:
+            instances = plan[tenant.name]
+            if spec.mode == "closed":
+                procs.append(
+                    self.env.process(
+                        self._closed_loop(tenant, instances, records),
+                        name=f"tenant-{tenant.name}",
+                    )
+                )
+            else:
+                procs.extend(
+                    self.env.process(
+                        self._open_arrival(
+                            tenant, inst, started, records
+                        ),
+                        name=f"workload-{inst.namespace}",
+                    )
+                    for inst in instances
+                )
+        self.env.run(until=AllOf(self.env, procs))
+
+        return WorkloadResult(
+            name=spec.name,
+            strategy=self.strategy.name,
+            scheduler=self.engine.policy.name,
+            admission=self.admission.name,
+            mode=spec.mode,
+            records=sorted(
+                records, key=lambda r: (r.submitted_at, r.run)
+            ),
+            started_at=started,
+            finished_at=self.env.now,
+            peak_in_flight=self._peak_in_flight,
+            admission_bound=self.admission.bound,
+            total_ops=len(self.strategy.stats.records) - ops_before,
+            wan_bytes=self.engine.transfer.wan_bytes - wan_before,
+        )
+
+    # -- tenant processes --------------------------------------------------
+
+    def _closed_loop(
+        self,
+        tenant: TenantSpec,
+        instances: List[WorkflowInstance],
+        records: List[InstanceRecord],
+    ) -> Generator:
+        """One workflow in flight per tenant, think time between them."""
+        for i, inst in enumerate(instances):
+            yield from self._submit(tenant, inst, records)
+            if tenant.think_time > 0 and i + 1 < len(instances):
+                yield self.env.timeout(tenant.think_time)
+
+    def _open_arrival(
+        self,
+        tenant: TenantSpec,
+        inst: WorkflowInstance,
+        started: float,
+        records: List[InstanceRecord],
+    ) -> Generator:
+        """Submit one instance at its precomputed arrival offset."""
+        at = started + (inst.arrival_offset or 0.0)
+        if at > self.env.now:
+            yield self.env.timeout(at - self.env.now)
+        yield from self._submit(tenant, inst, records)
+
+    def _submit(
+        self,
+        tenant: TenantSpec,
+        inst: WorkflowInstance,
+        records: List[InstanceRecord],
+    ) -> Generator:
+        workflow, run_tag = inst.workflow, inst.namespace
+        if self._epoch > 1:
+            # Repeat epoch on a deployment that already saw these keys:
+            # push the whole instance under a fresh prefix.
+            workflow = workflow.namespaced(f"r{self._epoch}")
+            run_tag = f"r{self._epoch}/{inst.namespace}"
+        submitted = self.env.now
+        token = yield from self.admission.admit(tenant.name)
+        admitted = self.env.now
+        self._in_flight += 1
+        self._peak_in_flight = max(self._peak_in_flight, self._in_flight)
+        try:
+            result = yield from self.engine.execute(
+                workflow,
+                input_site=inst.input_site,
+                run=run_tag,
+            )
+        finally:
+            self._in_flight -= 1
+            self.admission.release(token)
+        records.append(
+            InstanceRecord(
+                tenant=tenant.name,
+                application=inst.application,
+                run=run_tag,
+                submitted_at=submitted,
+                admitted_at=admitted,
+                finished_at=self.env.now,
+                result=result,
+            )
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"<WorkloadRunner {self.strategy.name}/"
+            f"{self.engine.policy.name}/{self.admission.name}>"
+        )

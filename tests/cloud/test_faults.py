@@ -7,6 +7,7 @@ from repro.cloud.faults import (
     CacheFailureInjector,
     LatencySpikeInjector,
     LinkFlapInjector,
+    RegionOutage,
     SiteOutage,
 )
 from repro.cloud.presets import azure_4dc_topology
@@ -337,3 +338,133 @@ class TestLinkFlapInjector:
                 "atlantis",
                 times=[1.0],
             )
+
+
+class TestRegionOutage:
+    """Correlated outage: several sites die together, atomically."""
+
+    def test_region_tag_resolution(self, fair_dep):
+        sites = fair_dep.topology.sites_in_region("europe")
+        assert sorted(sites) == ["north-europe", "west-europe"]
+        with pytest.raises(KeyError, match="Unknown region"):
+            fair_dep.topology.sites_in_region("oceania")
+
+    def test_validation(self, fair_dep):
+        with pytest.raises(ValueError, match="duration"):
+            RegionOutage(fair_dep.env, sites=["east-us"], duration=0.0)
+        with pytest.raises(ValueError, match="exactly one"):
+            RegionOutage(
+                fair_dep.env,
+                sites=["east-us"],
+                region="europe",
+                topology=fair_dep.topology,
+                duration=1.0,
+            )
+        with pytest.raises(ValueError, match="exactly one"):
+            RegionOutage(fair_dep.env, duration=1.0)
+        with pytest.raises(ValueError, match="topology"):
+            RegionOutage(fair_dep.env, region="europe", duration=1.0)
+
+    def test_batched_teardown_single_resolve(self, fair_dep):
+        """Both sites' flows die in ONE rebalance pass, not one each."""
+        from repro.sim import AllOf
+        from repro.cloud.flow import FlowAborted
+
+        dep = fair_dep
+        net = dep.network
+        failures = []
+
+        def watch(src, dst):
+            try:
+                yield from net.transfer(src, dst, 500 * MB)
+            except FlowAborted:
+                failures.append((src, dst))
+
+        # Open one long transfer out of each European site.
+        procs = [
+            dep.env.process(watch("west-europe", "east-us")),
+            dep.env.process(watch("north-europe", "south-central-us")),
+        ]
+        dep.env.run(until=dep.env.timeout(0.2))
+        before = net.flow_net.rebalances
+        aborted = net.abort_region_flows(
+            ["west-europe", "north-europe"], duration=1.0
+        )
+        assert aborted == 2
+        # One global re-solve for the whole region, the atomicity the
+        # per-site loop cannot give.
+        assert net.flow_net.rebalances == before + 1
+        assert net.flow_net.down_remaining("west-europe") == pytest.approx(1.0)
+        assert net.flow_net.down_remaining("north-europe") == pytest.approx(1.0)
+        dep.env.run(until=AllOf(dep.env, procs))
+        assert sorted(failures) == [
+            ("north-europe", "south-central-us"),
+            ("west-europe", "east-us"),
+        ]
+
+    def test_fair_model_integration_retry_after_window(self, fair_dep):
+        """A region-wide EU outage kills the transfer; with no replica
+        outside the region the fetch waits out the shared window."""
+        dep = fair_dep
+        svc = TransferService(dep.env, dep.network, dep.sites)
+        svc.store("west-europe", StoredFile("big", 50 * MB))
+        svc.store("north-europe", StoredFile("big", 50 * MB))
+        ctrl = ArchitectureController(dep, strategy="decentralized")
+        outage = RegionOutage(
+            dep.env,
+            region="europe",
+            topology=dep.topology,
+            registries=ctrl.strategy.registries,
+            network=dep.network,
+            start=0.3,
+            duration=4.0,
+        )
+
+        def pull():
+            yield from svc.fetch("big", "east-us")
+
+        dep.env.run(until=dep.env.process(pull()))
+        ctrl.shutdown()
+        # The in-flight flow died; both candidate sources sat in the
+        # same down window, so recovery gated completion.
+        assert outage.aborted_flows == 1
+        assert svc.retries >= 1
+        assert dep.env.now > 4.3
+        assert svc.stores["east-us"].has("big")
+        kinds = [e.kind for e in outage.events]
+        assert kinds == ["region-outage-start", "region-outage-end"]
+        assert outage.events[1].at - outage.events[0].at == pytest.approx(4.0)
+
+    def test_control_plane_requests_stall_and_drain(self, dep, fast_config):
+        """Member registries queue new requests until the window lifts."""
+        ctrl = ArchitectureController(
+            dep, strategy="decentralized", config=fast_config
+        )
+        strat = ctrl.strategy
+        RegionOutage(
+            dep.env,
+            region="europe",
+            topology=dep.topology,
+            registries=strat.registries,
+            start=0.2,
+            duration=3.0,
+        )
+
+        # A key homed inside the dark region (the DHT assigns homes by
+        # hash, so probe for one).
+        key = next(
+            k
+            for k in (f"key-{i}" for i in range(200))
+            if strat.home_of(k) in ("west-europe", "north-europe")
+        )
+
+        def flow():
+            yield dep.env.timeout(1.0)  # mid-outage
+            got = yield from strat.write("west-europe", RegistryEntry(key=key))
+            return got
+
+        got = dep.env.run(until=dep.env.process(flow()))
+        ctrl.shutdown()
+        assert got is not None
+        # The write could only complete after the shared window lifted.
+        assert dep.env.now > 3.2

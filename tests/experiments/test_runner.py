@@ -29,7 +29,9 @@ class TestRunnerStructure:
         monkeypatch.setattr(
             runner,
             "_experiments",
-            lambda quick, config=None: [("Fig. X", lambda: FakeResult())],
+            lambda quick, config=None, with_workloads=False: [
+                ("Fig. X", lambda: FakeResult())
+            ],
         )
         buf = io.StringIO()
         results = runner.run_all(quick=True, stream=buf)
@@ -41,7 +43,9 @@ class TestRunnerStructure:
     def test_main_parses_quick_flag(self, monkeypatch):
         called = {}
 
-        def fake_run_all(quick=False, stream=None, config=None):
+        def fake_run_all(
+            quick=False, stream=None, config=None, with_workloads=False
+        ):
             called["quick"] = quick
             called["config"] = config
             return []
@@ -54,7 +58,9 @@ class TestRunnerStructure:
     def test_main_parses_bandwidth_model_flag(self, monkeypatch):
         called = {}
 
-        def fake_run_all(quick=False, stream=None, config=None):
+        def fake_run_all(
+            quick=False, stream=None, config=None, with_workloads=False
+        ):
             called["config"] = config
             return []
 
@@ -65,7 +71,9 @@ class TestRunnerStructure:
     def test_main_parses_scheduler_flag(self, monkeypatch):
         called = {}
 
-        def fake_run_all(quick=False, stream=None, config=None):
+        def fake_run_all(
+            quick=False, stream=None, config=None, with_workloads=False
+        ):
             called["config"] = config
             return []
 
@@ -82,7 +90,9 @@ class TestRunnerStructure:
     def test_scheduler_alone_keeps_network_defaults(self, monkeypatch):
         called = {}
 
-        def fake_run_all(quick=False, stream=None, config=None):
+        def fake_run_all(
+            quick=False, stream=None, config=None, with_workloads=False
+        ):
             called["config"] = config
             return []
 

@@ -142,6 +142,51 @@ def test_engine_scatter_placement_bit_for_bit():
     assert res.tasks_per_site() == SCATTER_GOLDEN["tasks_per_site"]
 
 
+def test_engine_run_tagging_is_timing_neutral():
+    """Op-run tagging and the tag-filtered ops snapshot (the multi-
+    tenant attribution refactor) must not perturb a single run: an
+    explicitly tagged execute() reproduces the locality goldens
+    bit-for-bit, and its snapshot covers the whole run."""
+    from repro.cloud.deployment import Deployment
+    from repro.metadata.config import MetadataConfig
+    from repro.metadata.controller import ArchitectureController
+    from repro.workflow.applications import montage
+    from repro.workflow.engine import WorkflowEngine
+
+    dep = Deployment(n_nodes=16, seed=7)
+    cfg = MetadataConfig(home_site="east-us", hybrid_sync_replication=True)
+    ctrl = ArchitectureController(dep, strategy="hybrid", config=cfg)
+    engine = WorkflowEngine(dep, ctrl.strategy)
+    wf = montage(ops_per_task=20, compute_time=0.5)
+    proc = dep.env.process(engine.execute(wf, run="golden-run"))
+    res = dep.env.run(until=proc)
+    ctrl.shutdown()
+    golden = ENGINE_GOLDEN["hybrid"]
+    assert res.makespan == golden["makespan"]
+    assert res.total_transfer_time == golden["transfer_time"]
+    assert res.run == "golden-run"
+    # The tag-filtered snapshot is exactly the global record list (one
+    # run, nothing lost to the filter).
+    assert len(res.ops.records) == len(ctrl.strategy.stats.records)
+
+
+def test_namespaced_workflow_preserves_structure_exactly():
+    """File-key namespacing rewrites names only: DAG shape, sizes, op
+    counts and compute times are untouched (what the concurrent-tenant
+    isolation relies on)."""
+    from repro.workflow.applications import montage
+
+    wf = montage(ops_per_task=20, compute_time=0.5)
+    ns = wf.namespaced("tenant-x/0")
+    assert len(ns) == len(wf)
+    assert ns.total_metadata_ops == wf.total_metadata_ops
+    assert ns.total_compute_time == wf.total_compute_time
+    assert ns.critical_path_time() == wf.critical_path_time()
+    assert [t.task_id for t in ns.topological_order()] == [
+        f"tenant-x/0/{t.task_id}" for t in wf.topological_order()
+    ]
+
+
 def test_explicit_slots_config_matches_default():
     """Threading a config must not disturb the slots RNG sequence."""
     from repro.metadata.config import MetadataConfig

@@ -205,3 +205,77 @@ class TestSchedulerFlags:
             == 0
         )
         assert "hybrid" in capsys.readouterr().out
+
+
+class TestWorkloadFlags:
+    def test_workloads_lists_applications_and_policies(self, capsys):
+        assert main(["workloads"]) == 0
+        out = capsys.readouterr().out
+        for name in ("montage-small", "ingest", "max_in_flight"):
+            assert name in out
+
+    def test_run_multi_tenant_closed_loop(self, capsys):
+        assert (
+            main(
+                [
+                    "run", "--workflow", "montage", "--tenants", "3",
+                    "--admission", "max_in_flight",
+                    "--max-in-flight", "2", "--ops", "8", "--nodes", "8",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "tenant-02" in out
+        assert "peak in-flight 2 (bound 2)" in out
+        assert "Jain fairness" in out
+
+    @pytest.mark.parametrize(
+        "flags",
+        [
+            ["--admission", "unbounded"],
+            ["--instances", "2"],
+            ["--mode", "open"],
+            ["--think-time", "1.5"],
+            ["--arrival-rate", "0.5"],
+        ],
+    )
+    def test_workload_flags_require_tenants(self, flags, capsys):
+        """Single-workflow mode must reject workload-only knobs instead
+        of silently ignoring them (masquerade guard)."""
+        rc = main(["run", "--workflow", "montage"] + flags)
+        assert rc == 2
+        assert "--tenants" in capsys.readouterr().err
+
+    def test_admission_knobs_require_policy(self, capsys):
+        rc = main(
+            [
+                "run", "--workflow", "montage", "--tenants", "2",
+                "--max-in-flight", "2",
+            ]
+        )
+        assert rc == 2
+        assert "max_in_flight" in capsys.readouterr().err
+
+    def test_tenants_incompatible_with_file(self, capsys, tmp_path):
+        from repro.workflow.patterns import scatter
+        from repro.workflow.serialization import save_workflow
+
+        path = tmp_path / "wf.json"
+        save_workflow(scatter(2), path)
+        rc = main(["run", "--file", str(path), "--tenants", "2"])
+        assert rc == 2
+        assert "--workflow" in capsys.readouterr().err
+
+    def test_open_loop_run(self, capsys):
+        assert (
+            main(
+                [
+                    "run", "--workflow", "buzzflow", "--tenants", "2",
+                    "--mode", "open", "--arrival-rate", "1.0",
+                    "--ops", "4", "--nodes", "8",
+                ]
+            )
+            == 0
+        )
+        assert "open loop" in capsys.readouterr().out

@@ -1,0 +1,118 @@
+"""Regression: per-run op attribution under interleaved workflows.
+
+The engine used to snapshot a run's ops by slicing
+``strategy.stats.records[ops_before:]`` -- correct for sequential runs,
+wrong the moment two ``execute`` processes interleave on one shared
+strategy: each run's slice swallowed the other's records.  Ops are now
+tagged with the originating run and filtered by tag; these tests pin
+the contract with two concurrently executing workflows.
+"""
+
+import pytest
+
+from repro.sim import AllOf
+from repro.cloud.deployment import Deployment
+from repro.metadata.controller import ArchitectureController
+from repro.workflow.engine import WorkflowEngine
+from repro.workflow.patterns import pipeline, scatter
+
+
+def run_interleaved(strategy="hybrid", seed=5):
+    """Execute two workflows concurrently on one engine; returns results."""
+    dep = Deployment(n_nodes=8, seed=seed)
+    ctrl = ArchitectureController(dep, strategy=strategy)
+    engine = WorkflowEngine(dep, ctrl.strategy)
+    wf_a = scatter(6, compute_time=0.3, extra_ops=4, name="wf-a")
+    wf_b = pipeline(5, compute_time=0.3, extra_ops=4, name="wf-b")
+    procs = {
+        "a": dep.env.process(engine.execute(wf_a), name="run-a"),
+        "b": dep.env.process(engine.execute(wf_b), name="run-b"),
+    }
+    dep.env.run(until=AllOf(dep.env, list(procs.values())))
+    ctrl.shutdown()
+    return (
+        procs["a"].value,
+        procs["b"].value,
+        (wf_a, wf_b),
+        ctrl.strategy,
+    )
+
+
+class TestInterleavedAttribution:
+    def test_runs_actually_interleave(self):
+        res_a, res_b, _, _ = run_interleaved()
+        # Both started at t=0 and overlapped for their whole lives --
+        # the scenario the positional slice misattributed.
+        assert res_a.started_at == res_b.started_at == 0.0
+        assert res_a.finished_at > res_b.started_at
+        assert res_b.finished_at > res_a.started_at
+
+    @pytest.mark.parametrize(
+        "strategy", ["centralized", "decentralized", "hybrid"]
+    )
+    def test_each_run_gets_exactly_its_own_ops(self, strategy):
+        res_a, res_b, (wf_a, wf_b), strat = run_interleaved(strategy)
+        # Each snapshot carries exactly its DAG's client op count...
+        assert len(res_a.ops.records) == wf_a.total_metadata_ops
+        assert len(res_b.ops.records) == wf_b.total_metadata_ops
+        # ...tagged with its own run...
+        assert {r.run for r in res_a.ops.records} == {res_a.run}
+        assert {r.run for r in res_b.ops.records} == {res_b.run}
+        assert res_a.run != res_b.run
+        # ...and together they partition the strategy's global record
+        # list: nothing lost, nothing double-attributed.
+        assert (
+            len(res_a.ops.records) + len(res_b.ops.records)
+            == len(strat.stats.records)
+        )
+        ids_a = {id(r) for r in res_a.ops.records}
+        ids_b = {id(r) for r in res_b.ops.records}
+        assert not ids_a & ids_b
+        assert ids_a | ids_b == {id(r) for r in strat.stats.records}
+
+    def test_positional_slice_would_have_misattributed(self):
+        """The old ``records[ops_before:]`` scheme is provably wrong here."""
+        res_a, res_b, _, strat = run_interleaved()
+        # Both runs saw ops_before == 0, so each old-style snapshot
+        # would have claimed *every* record finished before its own
+        # completion -- more than the run actually issued.
+        finished_before_a = [
+            r
+            for r in strat.stats.records
+            if r.finished_at <= res_a.finished_at
+        ]
+        assert len(finished_before_a) > len(res_a.ops.records)
+
+    def test_sequential_runs_unchanged(self):
+        """Tag filtering reproduces the sequential contract exactly."""
+        dep = Deployment(n_nodes=8, seed=5)
+        ctrl = ArchitectureController(dep, strategy="hybrid")
+        engine = WorkflowEngine(dep, ctrl.strategy)
+        first = engine.run(scatter(6, compute_time=0.3, extra_ops=4))
+        second = engine.run(pipeline(5, compute_time=0.3, extra_ops=4))
+        ctrl.shutdown()
+        assert (
+            len(first.ops.records) + len(second.ops.records)
+            == len(ctrl.strategy.stats.records)
+        )
+        assert first.run != second.run
+
+    def test_stats_runs_breakdown(self):
+        res_a, res_b, _, strat = run_interleaved()
+        by_run = strat.stats.runs()
+        assert by_run == {
+            res_a.run: len(res_a.ops.records),
+            res_b.run: len(res_b.ops.records),
+        }
+
+    def test_explicit_run_tag_respected(self):
+        dep = Deployment(n_nodes=8, seed=5)
+        ctrl = ArchitectureController(dep, strategy="hybrid")
+        engine = WorkflowEngine(dep, ctrl.strategy)
+        proc = dep.env.process(
+            engine.execute(scatter(4, extra_ops=2), run="custom-tag")
+        )
+        res = dep.env.run(until=proc)
+        ctrl.shutdown()
+        assert res.run == "custom-tag"
+        assert {r.run for r in res.ops.records} == {"custom-tag"}
