@@ -4,12 +4,18 @@
 #      regenerations, ~20 s; see pytest.ini for the profiles) --
 #      explicitly including the scheduling-subsystem modules
 #      (tests/scheduling, the seed-compat goldens and the scheduler
-#      CLI/config validation) and the workload-subsystem modules
+#      CLI/config validation), the workload-subsystem modules
 #      (tests/workload, the engine op-attribution regression and the
-#      workload_compare scenario checks); the slow-marked benches
+#      workload_compare scenario checks) and the declarative scenario
+#      API (tests/scenario: spec validation/round-trip/sweeps, plus
+#      the spec-vs-direct golden equivalence in
+#      tests/experiments/test_seed_compat.py and the --dump-spec/--spec
+#      CLI smoke checks in tests/test_cli.py); the slow-marked benches
 #      (benchmarks/test_schedulers.py, benchmarks/test_workloads.py)
 #      run in the FULL profile;
-#   2. unused-import lint over the source tree.
+#   2. a --dump-spec smoke run (flags must keep compiling to a valid
+#      JSON scenario artifact);
+#   3. unused-import lint over the source tree.
 #
 # Usage, from the repo root:
 #   scripts/check.sh            # fast profile + lint
@@ -24,6 +30,7 @@ if [ "${FULL:-0}" = "1" ]; then
 else
     python -m pytest -x -q -m "not slow" tests benchmarks
 fi
+python -m repro.cli run --workflow montage --dump-spec - > /dev/null
 python -m repro.util.lint src
 
 echo "check: all green"

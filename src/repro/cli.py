@@ -8,13 +8,22 @@
     python -m repro.cli advise --file my_workflow.json
     python -m repro.cli run --workflow montage --strategy dr --export out.json
     python -m repro.cli run --workflow montage --tenants 8 --admission max_in_flight --max-in-flight 4
+    python -m repro.cli run --workflow montage --dump-spec scenario.json
+    python -m repro.cli run --spec scenario.json
+    python -m repro.cli sweep --scenario paper_synthetic --set "strategy.name=centralized,hybrid"
+    python -m repro.cli scenarios
     python -m repro.cli strategies
     python -m repro.cli workloads
+
+Every ``run`` invocation compiles its flags into a declarative
+``repro.scenario.ScenarioSpec`` first; ``--dump-spec`` writes that spec
+as a JSON artifact and ``--spec`` replays one (see ``docs/scenarios.md``).
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import List, Optional
 
@@ -29,19 +38,26 @@ from repro.experiments import (
     run_fig8,
     run_fig10,
 )
-from repro.experiments.charts import bar_chart
 from repro.experiments.reporting import render_table
-from repro.experiments.synthetic import run_synthetic_workload
-from repro.metadata.config import MetadataConfig
 from repro.metadata.controller import STRATEGIES, StrategyName
+from repro.scenario import (
+    SCENARIOS,
+    WORKFLOW_BUILDERS,
+    NetworkSpec,
+    ScenarioSpec,
+    SchedulerSpec,
+    StrategySpec,
+    get_scenario,
+    run_sweep,
+)
 from repro.scheduling import SCHEDULERS, SCHEDULER_NAMES
 from repro.workload import (
     ADMISSIONS,
     ADMISSION_NAMES,
     APPLICATION_NAMES,
     APPLICATIONS,
+    WorkloadSpec,
 )
-from repro.workflow.applications import buzzflow, montage
 from repro.workflow.serialization import load_workflow
 from repro.workflow.traces import characterize
 
@@ -72,7 +88,9 @@ FIGURES = {
     ),
 }
 
-WORKFLOWS = {"montage": montage, "buzzflow": buzzflow}
+#: The workflow-surface applications (one shared name -> builder map,
+#: see ``repro.scenario.spec.WORKFLOW_BUILDERS``).
+WORKFLOWS = WORKFLOW_BUILDERS
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -150,6 +168,22 @@ def build_parser() -> argparse.ArgumentParser:
     rtarget = runp.add_mutually_exclusive_group(required=True)
     rtarget.add_argument("--workflow", choices=sorted(WORKFLOWS))
     rtarget.add_argument("--file", help="path to a workflow JSON document")
+    rtarget.add_argument(
+        "--spec",
+        metavar="FILE",
+        help=(
+            "run a declarative scenario spec (JSON, as written by "
+            "--dump-spec or repro.scenario); replaces the direct flags"
+        ),
+    )
+    runp.add_argument(
+        "--dump-spec",
+        metavar="PATH",
+        help=(
+            "compile the flags into a scenario spec, write it as JSON "
+            "('-' for stdout) and exit without running"
+        ),
+    )
     runp.add_argument("--strategy", default="hybrid")
     runp.add_argument("--nodes", type=int, default=32)
     runp.add_argument("--ops", type=int, default=100)
@@ -262,6 +296,43 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="admission token_bucket only: per-tenant burst allowance",
     )
+    _RUN_FLAG_DEFAULTS.update(
+        {name: runp.get_default(name) for name in _RUN_SPEC_CLASH_FLAGS}
+    )
+
+    sweep = sub.add_parser(
+        "sweep",
+        help="run a cartesian grid of scenario-spec overrides",
+    )
+    source = sweep.add_mutually_exclusive_group(required=True)
+    source.add_argument(
+        "--spec", metavar="FILE", help="base scenario spec (JSON file)"
+    )
+    source.add_argument(
+        "--scenario",
+        metavar="NAME",
+        help="base scenario from the named registry (repro.cli scenarios)",
+    )
+    sweep.add_argument(
+        "--set",
+        dest="overrides",
+        action="append",
+        default=[],
+        metavar="PATH=V1,V2",
+        help=(
+            "one sweep axis: a dotted spec path with comma-separated "
+            "values, e.g. --set strategy.name=centralized,hybrid "
+            "(repeatable; axes combine as a cartesian product)"
+        ),
+    )
+    sweep.add_argument(
+        "--quick",
+        action="store_true",
+        help="run each cell at CI-friendly op volumes",
+    )
+    sweep.add_argument(
+        "--export", metavar="PATH", help="write the sweep table as JSON"
+    )
 
     sub.add_parser("strategies", help="list available strategies")
     sub.add_parser(
@@ -270,6 +341,10 @@ def build_parser() -> argparse.ArgumentParser:
     sub.add_parser(
         "workloads",
         help="list workload applications and admission policies",
+    )
+    sub.add_parser(
+        "scenarios",
+        help="list the named scenario registry (docs/scenarios.md)",
     )
     return parser
 
@@ -290,47 +365,26 @@ def _cmd_figures(args) -> int:
 
 
 def _cmd_simulate(args) -> int:
-    try:
-        config = MetadataConfig.from_network_args(
-            args.bandwidth_model,
+    spec = ScenarioSpec(
+        name=f"cli-simulate-{args.strategy}",
+        surface="synthetic",
+        strategy=StrategySpec(name=args.strategy),
+        network=NetworkSpec(
+            bandwidth_model=args.bandwidth_model,
             egress_cap_mb=args.egress_cap_mb,
             ingress_cap_mb=args.ingress_cap_mb,
             rpc_flow_weight=args.rpc_flow_weight,
-        )
+        ),
+        ops_per_node=args.ops,
+        n_nodes=args.nodes,
+        seed=args.seed,
+    )
+    try:
+        result = spec.run()
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
-    res = run_synthetic_workload(
-        args.strategy,
-        n_nodes=args.nodes,
-        ops_per_node=args.ops,
-        seed=args.seed,
-        config=config,
-    )
-    print(
-        render_table(
-            ["metric", "value"],
-            [
-                ["strategy", res.strategy],
-                ["nodes", res.n_nodes],
-                ["total ops", res.total_ops],
-                ["makespan (s)", res.makespan],
-                ["throughput (ops/s)", res.throughput],
-                ["mean node time (s)", res.mean_node_time],
-                ["local fraction", f"{res.ops.local_fraction:.0%}"],
-                ["read retries", res.ops.total_retries],
-            ],
-            title="synthetic reader/writer benchmark",
-        )
-    )
-    print()
-    print(
-        bar_chart(
-            sorted(res.node_time_by_site().items()),
-            title="mean node time by site (s)",
-            width=40,
-        )
-    )
+    print(result.render())
     return 0
 
 
@@ -361,120 +415,153 @@ def _cmd_advise(args) -> int:
     return 0
 
 
-def _cmd_run(args) -> int:
-    from repro.analysis.export import export_json
-    from repro.cloud.deployment import Deployment
-    from repro.metadata.controller import ArchitectureController
-    from repro.workflow.engine import WorkflowEngine
+#: ``run`` flags that ``--spec`` replaces; every one must be left at
+#: its parser default when a spec file is given (the spec is the
+#: single source of truth).  Defaults are captured from the parser
+#: itself in :func:`build_parser`, so they can never desync.
+_RUN_SPEC_CLASH_FLAGS = (
+    "strategy",
+    "nodes",
+    "ops",
+    "seed",
+    "scheduler",
+    "hybrid_locality_weight",
+    "hybrid_load_weight",
+    "hybrid_transfer_weight",
+    "bw_pending_penalty",
+    "tenants",
+    "instances",
+    "mode",
+    "think_time",
+    "arrival_rate",
+    "admission",
+    "max_in_flight",
+    "token_rate",
+    "token_burst",
+)
+_RUN_FLAG_DEFAULTS: dict = {}
 
-    try:
-        config = MetadataConfig.from_scheduler_args(
-            args.scheduler,
-            hybrid_locality_weight=args.hybrid_locality_weight,
-            hybrid_load_weight=args.hybrid_load_weight,
-            hybrid_transfer_weight=args.hybrid_transfer_weight,
-            bw_pending_penalty=args.bw_pending_penalty,
+
+def _spec_from_run_args(args) -> ScenarioSpec:
+    """Compile ``run`` flags into a validated :class:`ScenarioSpec`.
+
+    This is the whole point of ``--dump-spec``: the spec *is* the
+    invocation, so any flag combination is reproducible from the JSON
+    artifact alone.
+    """
+    if args.tenants <= 0:
+        raise ValueError("--tenants must be positive")
+    if args.tenants > 1 and getattr(args, "file", None):
+        raise ValueError(
+            "--tenants applies to built-in applications only "
+            "(--workflow), not --file"
         )
-        config = MetadataConfig.from_workload_args(
-            args.admission,
+    if args.tenants == 1 and (
+        args.admission is not None
+        or args.instances != 1
+        or args.mode != "closed"
+        or args.think_time != 0.0
+        or args.arrival_rate is not None
+    ):
+        # Mirrors the experiment runner's --with-workloads guard:
+        # silently running a single workflow would masquerade as an
+        # admission-controlled multi-tenant run.
+        raise ValueError(
+            "--admission/--instances/--mode/--think-time/"
+            "--arrival-rate require --tenants > 1"
+        )
+    scheduler = SchedulerSpec(
+        name=args.scheduler,
+        hybrid_locality_weight=args.hybrid_locality_weight,
+        hybrid_load_weight=args.hybrid_load_weight,
+        hybrid_transfer_weight=args.hybrid_transfer_weight,
+        bw_pending_penalty=args.bw_pending_penalty,
+    )
+    if args.tenants > 1:
+        spec = ScenarioSpec(
+            name=f"cli-{args.workflow}-x{args.tenants}",
+            surface="workload",
+            strategy=StrategySpec(name=args.strategy),
+            scheduler=scheduler,
+            workload=WorkloadSpec.uniform(
+                args.tenants,
+                applications=(args.workflow,),
+                mode=args.mode,
+                n_instances=args.instances,
+                think_time=args.think_time,
+                arrival_rate=args.arrival_rate,
+                input_sites=ScenarioSpec().topology.site_names(),
+                ops_per_task=args.ops,
+                seed=args.seed,
+                name=args.workflow,
+            ),
+            admission=args.admission,
             max_in_flight=args.max_in_flight,
             token_rate=args.token_rate,
             token_burst=args.token_burst,
-            base=config,
-        )
-        if args.tenants <= 0:
-            raise ValueError("--tenants must be positive")
-        if args.tenants > 1 and getattr(args, "file", None):
-            raise ValueError(
-                "--tenants applies to built-in applications only "
-                "(--workflow), not --file"
-            )
-        if args.tenants == 1 and (
-            args.admission is not None
-            or args.instances != 1
-            or args.mode != "closed"
-            or args.think_time != 0.0
-            or args.arrival_rate is not None
-        ):
-            # Mirrors the experiment runner's --with-workloads guard:
-            # silently running a single workflow would masquerade as an
-            # admission-controlled multi-tenant run.
-            raise ValueError(
-                "--admission/--instances/--mode/--think-time/"
-                "--arrival-rate require --tenants > 1"
-            )
-    except ValueError as exc:
-        print(f"error: {exc}", file=sys.stderr)
-        return 2
-    if args.tenants > 1:
-        return _run_workload(args, config)
-    wf = _resolve_workflow(args)
-    dep = Deployment(n_nodes=args.nodes, seed=args.seed)
-    ctrl = ArchitectureController(dep, strategy=args.strategy, config=config)
-    engine = WorkflowEngine(dep, ctrl.strategy)
-    res = engine.run(wf)
-    ctrl.shutdown()
-    print(
-        render_table(
-            ["metric", "value"],
-            [
-                ["workflow", res.workflow],
-                ["strategy", res.strategy],
-                ["scheduler", engine.policy.name],
-                ["tasks", len(res.task_results)],
-                ["makespan (s)", res.makespan],
-                ["metadata time (s)", res.total_metadata_time],
-                ["transfer time (s)", res.total_transfer_time],
-                ["local ops", f"{res.ops.local_fraction:.0%}"],
-            ],
-            title=f"run: {wf.name} under {ctrl.strategy.name}",
-        )
-    )
-    print()
-    print(
-        bar_chart(
-            sorted(res.tasks_per_site().items()),
-            title="tasks per site",
-            width=40,
-        )
-    )
-    if args.export:
-        export_json(res, args.export)
-        print(f"\nresult written to {args.export}")
-    return 0
-
-
-def _run_workload(args, config) -> int:
-    from repro.cloud.deployment import Deployment
-    from repro.metadata.controller import ArchitectureController
-    from repro.workload import WorkloadRunner, WorkloadSpec
-
-    dep = Deployment(n_nodes=args.nodes, seed=args.seed)
-    try:
-        spec = WorkloadSpec.uniform(
-            args.tenants,
-            applications=(args.workflow,),
-            mode=args.mode,
-            n_instances=args.instances,
-            think_time=args.think_time,
-            arrival_rate=args.arrival_rate,
-            input_sites=dep.sites,
-            ops_per_task=args.ops,
+            n_nodes=args.nodes,
             seed=args.seed,
-            name=args.workflow,
         )
+    else:
+        spec = ScenarioSpec(
+            name=f"cli-{args.workflow or 'file'}",
+            surface="workflow",
+            strategy=StrategySpec(name=args.strategy),
+            scheduler=scheduler,
+            application=args.workflow or "montage",
+            workflow_file=getattr(args, "file", None),
+            ops_per_task=args.ops,
+            n_nodes=args.nodes,
+            seed=args.seed,
+        )
+    spec.validate()
+    return spec
+
+
+def _cmd_run(args) -> int:
+    if not _RUN_FLAG_DEFAULTS:
+        build_parser()  # populate the clash-check defaults
+    try:
+        if args.spec:
+            clashing = sorted(
+                f"--{flag.replace('_', '-')}"
+                for flag, default in _RUN_FLAG_DEFAULTS.items()
+                if getattr(args, flag) != default
+            )
+            if clashing:
+                raise ValueError(
+                    f"--spec replaces the direct run flags ({', '.join(clashing)} "
+                    "given); edit the spec file, or sweep overrides with "
+                    "`repro.cli sweep --spec ... --set path=value`"
+                )
+            spec = ScenarioSpec.load(args.spec)
+            spec.validate()
+        else:
+            spec = _spec_from_run_args(args)
+    except (ValueError, TypeError, OSError) as exc:
+        # TypeError covers hand-edited spec JSON with wrong value types
+        # (e.g. a string n_nodes) surfacing from validate().
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.dump_spec:
+        text = spec.to_json()
+        if args.dump_spec == "-":
+            print(text)
+        else:
+            with open(args.dump_spec, "w") as fh:
+                fh.write(text + "\n")
+            print(f"spec written to {args.dump_spec}")
+        return 0
+    try:
+        result = spec.run()
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
-    ctrl = ArchitectureController(dep, strategy=args.strategy, config=config)
-    runner = WorkloadRunner(dep, ctrl.strategy)
-    res = runner.run(spec)
-    ctrl.shutdown()
-    print(res.render())
+    print(result.render())
     if args.export:
         from repro.analysis.export import export_json
 
-        export_json(res, args.export)
+        export_json(result.result, args.export)
         print(f"\nresult written to {args.export}")
     return 0
 
@@ -496,6 +583,81 @@ def _cmd_schedulers(_args) -> int:
         doc = (SCHEDULERS[name].__doc__ or "").strip().splitlines()[0]
         rows.append([name, doc])
     print(render_table(["name", "summary"], rows))
+    return 0
+
+
+def _cmd_scenarios(_args) -> int:
+    rows = []
+    for name in sorted(SCENARIOS):
+        spec = SCENARIOS[name]
+        knobs = [
+            spec.strategy.name,
+            spec.scheduler.name or "locality",
+            spec.network.bandwidth_model or "slots",
+            f"{spec.n_nodes}n",
+        ]
+        if spec.workload is not None:
+            knobs.append(f"{spec.workload.n_tenants} tenants")
+        if spec.faults:
+            knobs.append(f"{len(spec.faults)} faults")
+        rows.append([name, spec.surface, "/".join(knobs), spec.description])
+    print(
+        render_table(
+            ["name", "surface", "key knobs", "summary"],
+            rows,
+            title="named scenarios (repro.cli run --spec / repro.cli sweep)",
+        )
+    )
+    return 0
+
+
+def _parse_sweep_value(text: str):
+    """One override value: JSON scalar when it parses, else a string."""
+    try:
+        return json.loads(text)
+    except ValueError:
+        return text
+
+
+def _cmd_sweep(args) -> int:
+    try:
+        if args.scenario:
+            base = get_scenario(args.scenario)
+        else:
+            base = ScenarioSpec.load(args.spec)
+            base.validate()
+        axes = {}
+        for item in args.overrides:
+            path, eq, values = item.partition("=")
+            if not eq or not path:
+                raise ValueError(
+                    f"bad --set {item!r}; expected dotted.path=v1,v2"
+                )
+            axes[path] = tuple(
+                _parse_sweep_value(v) for v in values.split(",")
+            )
+        if not axes:
+            raise ValueError("sweep needs at least one --set axis")
+        result = run_sweep(base, axes, quick=args.quick)
+    except (ValueError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(result.render())
+    if args.export:
+        doc = {
+            "base": base.to_dict(),
+            "axes": {k: list(v) for k, v in result.axes.items()},
+            "cells": [
+                {
+                    "overrides": cell.overrides,
+                    "makespan": cell.result.makespan,
+                }
+                for cell in result.cells
+            ],
+        }
+        with open(args.export, "w") as fh:
+            json.dump(doc, fh, indent=2)
+        print(f"\nsweep written to {args.export}")
     return 0
 
 
@@ -536,9 +698,11 @@ def main(argv: Optional[List[str]] = None) -> int:
         "simulate": _cmd_simulate,
         "advise": _cmd_advise,
         "run": _cmd_run,
+        "sweep": _cmd_sweep,
         "strategies": _cmd_strategies,
         "schedulers": _cmd_schedulers,
         "workloads": _cmd_workloads,
+        "scenarios": _cmd_scenarios,
     }
     return handlers[args.command](args)
 

@@ -48,7 +48,11 @@ class Deployment:
         Note: like the fault injectors' latency edits, the caps mutate
         the (possibly caller-supplied) topology *in place* and are read
         live at every rebalance -- build a fresh topology per deployment
-        when comparing capped vs uncapped runs.
+        (or pass ``topology.copy()``, see
+        :meth:`CloudTopology.copy <repro.cloud.topology.CloudTopology.copy>`)
+        when comparing capped vs uncapped runs.  The declarative
+        scenario layer (``repro.scenario``) always builds a fresh
+        topology per run for exactly this reason.
     rpc_flow_weight:
         Fair model only: weight of metadata RPC flows relative to bulk
         transfers (weight 1.0) at shared bottlenecks.

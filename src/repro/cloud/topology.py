@@ -220,6 +220,36 @@ class CloudTopology:
         spec = self.get(name).spec
         return (spec.egress_bw, spec.ingress_bw)
 
+    def copy(self) -> "CloudTopology":
+        """An independent deep copy of this topology.
+
+        Deployments, fault injectors and ``set_site_caps`` all edit a
+        topology *in place* (latency spikes, egress/ingress caps), so
+        handing one object to several runs leaks state between them.
+        Copying gives each run its own datacenters, site caps and link
+        specs -- mutate one side freely, the other never notices.
+        """
+        clone = CloudTopology(
+            Datacenter(
+                dc.name,
+                dc.region,
+                core_limit=dc.core_limit,
+                spec=SiteSpec(dc.spec.egress_bw, dc.spec.ingress_bw),
+            )
+            for dc in self.datacenters
+        )
+        clone._links = {
+            pair: LinkSpec(
+                link.latency, link.bandwidth, link.jitter, link.max_flow_rate
+            )
+            for pair, link in self._links.items()
+        }
+        ll = self.local_link
+        clone.local_link = LinkSpec(
+            ll.latency, ll.bandwidth, ll.jitter, ll.max_flow_rate
+        )
+        return clone
+
     # -- lookup --------------------------------------------------------------
 
     def __len__(self) -> int:

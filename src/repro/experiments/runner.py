@@ -18,6 +18,7 @@ from typing import Callable, List, Optional, Tuple
 
 from repro.cloud.network import BANDWIDTH_MODELS
 from repro.metadata.config import MetadataConfig
+from repro.scenario import NetworkSpec, SchedulerSpec, config_from_specs
 from repro.scheduling import SCHEDULER_NAMES
 from repro.experiments.fig1_latency import run_fig1
 from repro.experiments.fig3_replication import run_fig3
@@ -246,26 +247,28 @@ def main(argv=None) -> int:
     )
     args = parser.parse_args(argv)
     try:
-        config = MetadataConfig.from_network_args(
-            args.bandwidth_model,
-            egress_cap_mb=args.egress_cap_mb,
-            ingress_cap_mb=args.ingress_cap_mb,
-            rpc_flow_weight=args.rpc_flow_weight,
-        )
-        config = MetadataConfig.from_scheduler_args(
-            args.scheduler,
-            hybrid_locality_weight=args.hybrid_locality_weight,
-            hybrid_load_weight=args.hybrid_load_weight,
-            hybrid_transfer_weight=args.hybrid_transfer_weight,
-            bw_pending_penalty=args.bw_pending_penalty,
-            base=config,
-        )
-        config = MetadataConfig.from_workload_args(
-            args.admission,
+        # The flags compile to spec components; all cross-field rules
+        # (fair-only WAN knobs, policy-specific scheduler/admission
+        # knobs) live in their validate() methods -- see
+        # repro.scenario and docs/scenarios.md.
+        config = config_from_specs(
+            network=NetworkSpec(
+                bandwidth_model=args.bandwidth_model,
+                egress_cap_mb=args.egress_cap_mb,
+                ingress_cap_mb=args.ingress_cap_mb,
+                rpc_flow_weight=args.rpc_flow_weight,
+            ),
+            scheduler=SchedulerSpec(
+                name=args.scheduler,
+                hybrid_locality_weight=args.hybrid_locality_weight,
+                hybrid_load_weight=args.hybrid_load_weight,
+                hybrid_transfer_weight=args.hybrid_transfer_weight,
+                bw_pending_penalty=args.bw_pending_penalty,
+            ),
+            admission=args.admission,
             max_in_flight=args.max_in_flight,
             token_rate=args.token_rate,
             token_burst=args.token_burst,
-            base=config,
         )
         if (
             args.admission is not None or args.max_in_flight is not None

@@ -26,15 +26,18 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
-from repro.cloud.deployment import Deployment
-from repro.cloud.presets import heterogeneous_fanout_topology
 from repro.metadata.config import MetadataConfig
-from repro.metadata.controller import ArchitectureController
+from repro.scenario import (
+    NetworkSpec,
+    ScenarioSpec,
+    SchedulerSpec,
+    StrategySpec,
+    TopologySpec,
+)
 from repro.scheduling import SCHEDULER_NAMES
 from repro.experiments.reporting import check, render_table
 from repro.util.units import MB
 from repro.workflow.dag import Task, Workflow, WorkflowFile
-from repro.workflow.engine import WorkflowEngine
 
 __all__ = [
     "SchedulerCompareResult",
@@ -196,41 +199,49 @@ def run_scheduler_compare(
 ) -> SchedulerCompareResult:
     """Run the capped-link fan-out under each placement policy.
 
-    Each policy gets a fresh deployment (and a fresh topology -- site
-    caps mutate it in place) with identical seed and workload, so the
-    only varying factor is placement.  ``hub_egress_bw`` adds a
-    hierarchical egress cap at the data origin (fair model only).
+    A spec consumer: one base :class:`~repro.scenario.ScenarioSpec`
+    describes the whole setup, and each policy is a
+    ``replace("scheduler.name", ...)`` variant run independently --
+    every cell gets a fresh deployment on a freshly-built topology
+    (site caps mutate topologies in place), so the only varying factor
+    is placement.  ``hub_egress_bw`` adds a hierarchical egress cap at
+    the data origin (fair model only); ``config`` supplies
+    :class:`MetadataConfig` defaults the spec's own pins override.
     """
+    base = ScenarioSpec(
+        name="scheduler-compare",
+        surface="workflow",
+        topology=TopologySpec(
+            preset="hetero_fanout",
+            hub_egress_mb=(
+                hub_egress_bw / MB if hub_egress_bw is not None else None
+            ),
+        ),
+        network=NetworkSpec(bandwidth_model=bandwidth_model),
+        strategy=StrategySpec(name=strategy),
+        scheduler=SchedulerSpec(input_site=input_site),
+        n_nodes=n_nodes,
+        seed=seed,
+    )
     result = SchedulerCompareResult(
         policies=tuple(policies),
         n_nodes=n_nodes,
         bandwidth_model=bandwidth_model,
     )
     for policy in policies:
-        dep = Deployment(
-            topology=heterogeneous_fanout_topology(
-                hub_egress_bw=hub_egress_bw
-            ),
-            n_nodes=n_nodes,
-            seed=seed,
-            bandwidth_model=bandwidth_model,
-        )
-        ctrl = ArchitectureController(dep, strategy=strategy, config=config)
-        engine = WorkflowEngine(
-            dep, ctrl.strategy, scheduler=policy, input_site=input_site
-        )
-        res = engine.run(
-            fanout_workflow(
+        run = base.replace(**{"scheduler.name": policy}).run(
+            workflow=fanout_workflow(
                 fan_out=fan_out,
                 file_size=file_size,
                 compute_time=compute_time,
                 extra_ops=extra_ops,
-            )
+            ),
+            config_base=config,
         )
-        ctrl.shutdown()
+        res = run.result
         result.makespan[policy] = res.makespan
         result.transfer_time[policy] = res.total_transfer_time
-        result.wan_bytes[policy] = engine.transfer.wan_bytes
+        result.wan_bytes[policy] = run.wan_bytes
         result.tasks_per_site[policy] = res.tasks_per_site()
     return result
 

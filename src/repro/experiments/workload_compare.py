@@ -28,11 +28,16 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Optional, Sequence, Tuple
 
-from repro.cloud.deployment import Deployment
 from repro.experiments.reporting import check, render_table
 from repro.metadata.config import MetadataConfig
-from repro.metadata.controller import ArchitectureController
-from repro.workload import WorkloadRunner, WorkloadSpec
+from repro.scenario import (
+    NetworkSpec,
+    ScenarioSpec,
+    SchedulerSpec,
+    StrategySpec,
+    TopologySpec,
+)
+from repro.workload import WorkloadSpec
 from repro.workload.result import WorkloadResult
 
 __all__ = ["WorkloadCompareResult", "run_workload_compare"]
@@ -166,18 +171,42 @@ def run_workload_compare(
 ) -> WorkloadCompareResult:
     """Run the identical K-tenant workload under each combination.
 
-    Every combination gets a fresh deployment with the same seed and an
-    identically generated workload (the workload seed is independent of
-    the deployment's), so strategy and placement policy are the only
-    varying factors.  ``spread_inputs`` stages tenant inputs round-robin
-    across the deployment's sites (per-tenant data origins); admission
-    knobs apply to every combination alike.
+    A spec consumer: one base :class:`~repro.scenario.ScenarioSpec`
+    carries the shared workload/admission description, and each
+    (strategy, scheduler) cell is a ``replace(...)`` variant run
+    independently -- every combination gets a fresh deployment with
+    the same seed and an identically generated workload (the workload
+    seed is independent of the deployment's), so strategy and
+    placement policy are the only varying factors.  ``spread_inputs``
+    stages tenant inputs round-robin across the topology's sites
+    (per-tenant data origins); admission knobs apply to every
+    combination alike.
     """
     # A config that already pins an admission policy (e.g. built by the
     # experiment runner's --admission) wins over the scenario default.
     pinned = config is not None and config.admission is not None
-    if pinned:
-        admission = config.admission
+    topology = TopologySpec()
+    base = ScenarioSpec(
+        name="workload-compare",
+        surface="workload",
+        topology=topology,
+        network=NetworkSpec(bandwidth_model=bandwidth_model),
+        admission=config.admission if pinned else admission,
+        max_in_flight=(
+            config.max_in_flight
+            if pinned
+            else (max_in_flight if admission == "max_in_flight" else None)
+        ),
+        token_rate=config.token_rate if pinned else None,
+        token_burst=(
+            config.token_burst
+            if pinned and config.admission == "token_bucket"
+            else None
+        ),
+        n_nodes=n_nodes,
+        seed=seed,
+    )
+    admission = base.admission or "unbounded"
     result = WorkloadCompareResult(
         strategies=tuple(strategies),
         schedulers=tuple(schedulers),
@@ -188,45 +217,27 @@ def run_workload_compare(
     )
     for strategy in strategies:
         for scheduler in schedulers:
-            dep = Deployment(
-                n_nodes=n_nodes,
-                seed=seed,
-                bandwidth_model=bandwidth_model,
-            )
-            spec = WorkloadSpec.uniform(
-                n_tenants,
-                applications=applications,
-                mode=mode,
-                n_instances=n_instances,
-                think_time=think_time,
-                arrival_rate=arrival_rate,
-                input_sites=dep.sites if spread_inputs else None,
-                ops_per_task=ops_per_task,
-                compute_time=compute_time,
-                seed=seed,
-                name=f"{strategy}/{scheduler}",
-            )
-            combo_config = (
-                config
-                if pinned
-                else MetadataConfig.from_workload_args(
-                    admission,
-                    max_in_flight=(
-                        max_in_flight
-                        if admission == "max_in_flight"
-                        else None
+            spec = base.replace(
+                strategy=StrategySpec(name=strategy),
+                scheduler=SchedulerSpec(name=scheduler),
+                workload=WorkloadSpec.uniform(
+                    n_tenants,
+                    applications=applications,
+                    mode=mode,
+                    n_instances=n_instances,
+                    think_time=think_time,
+                    arrival_rate=arrival_rate,
+                    input_sites=(
+                        topology.site_names() if spread_inputs else None
                     ),
-                    base=config,
-                )
+                    ops_per_task=ops_per_task,
+                    compute_time=compute_time,
+                    seed=seed,
+                    name=f"{strategy}/{scheduler}",
+                ),
             )
-            ctrl = ArchitectureController(
-                dep, strategy=strategy, config=combo_config
-            )
-            # The runner picks the policy and its knobs up from the
-            # strategy config -- the same path the CLI threads through.
-            runner = WorkloadRunner(dep, ctrl.strategy, scheduler=scheduler)
-            result.results[(strategy, scheduler)] = runner.run(spec)
-            ctrl.shutdown()
+            run = spec.run(config_base=config)
+            result.results[(strategy, scheduler)] = run.result
     return result
 
 

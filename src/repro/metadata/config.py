@@ -15,7 +15,7 @@ from typing import Optional
 
 from repro.cloud.network import BANDWIDTH_MODELS
 from repro.scheduling import SCHEDULER_NAMES
-from repro.util.units import MB, MS
+from repro.util.units import MS
 
 __all__ = ["MetadataConfig"]
 
@@ -158,6 +158,27 @@ class MetadataConfig:
     token_rate: Optional[float] = None
     token_burst: int = 1
 
+    # -- deprecated shims --------------------------------------------------
+    # The flag-folding classmethods below predate the declarative
+    # scenario API (``repro.scenario``); cross-field validation now
+    # lives in the spec tree and these delegate to
+    # ``repro.scenario.spec.config_from_specs``.  They keep their old
+    # signatures and semantics for external callers, but new code
+    # should build a ``ScenarioSpec`` (or call ``config_from_specs``
+    # directly).
+
+    @staticmethod
+    def _deprecated(name: str) -> None:
+        import warnings
+
+        warnings.warn(
+            f"MetadataConfig.{name} is deprecated; build a "
+            "repro.scenario.ScenarioSpec (or use "
+            "repro.scenario.config_from_specs) instead",
+            DeprecationWarning,
+            stacklevel=3,
+        )
+
     @classmethod
     def from_network_args(
         cls,
@@ -166,40 +187,28 @@ class MetadataConfig:
         ingress_cap_mb: Optional[float] = None,
         rpc_flow_weight: float = 1.0,
     ) -> Optional["MetadataConfig"]:
-        """Build a validated config from CLI-level WAN knobs.
+        """Deprecated: build a validated config from CLI-level WAN knobs.
 
-        Caps are given in megabytes/second (the CLI unit) and converted
-        to the repo-wide bytes/second here.  Returns ``None`` when no
-        model is pinned and no knob is set (keep the deployment
+        Thin shim over the ``repro.scenario`` spec path: caps are given
+        in megabytes/second and converted to bytes/second; returns
+        ``None`` when no model is pinned (keep the deployment
         defaults); raises :class:`ValueError` when fair-only knobs are
-        combined with a non-fair model -- the caps/weights are enforced
-        by the fair model only, and silently producing uncapped slots
-        numbers would masquerade as a capped run.
+        combined with a non-fair model.
         """
-        fair_only_knobs = (
-            egress_cap_mb is not None
-            or ingress_cap_mb is not None
-            or rpc_flow_weight != 1.0
-        )
-        if fair_only_knobs and bandwidth_model != "fair":
-            raise ValueError(
-                "--egress-cap-mb/--ingress-cap-mb/--rpc-flow-weight "
-                "require --bandwidth-model fair"
+        cls._deprecated("from_network_args")
+        # Imported lazily: repro.scenario sits above this module in the
+        # layering (its spec embeds workload specs, which import the
+        # engine stack), so a top-level import would be circular.
+        from repro.scenario.spec import NetworkSpec, config_from_specs
+
+        return config_from_specs(
+            network=NetworkSpec(
+                bandwidth_model=bandwidth_model,
+                egress_cap_mb=egress_cap_mb,
+                ingress_cap_mb=ingress_cap_mb,
+                rpc_flow_weight=rpc_flow_weight,
             )
-        if bandwidth_model is None:
-            return None
-        config = cls(
-            bandwidth_model=bandwidth_model,
-            site_egress_bw=(
-                egress_cap_mb * MB if egress_cap_mb is not None else None
-            ),
-            site_ingress_bw=(
-                ingress_cap_mb * MB if ingress_cap_mb is not None else None
-            ),
-            rpc_flow_weight=rpc_flow_weight,
         )
-        config.validate()
-        return config
 
     @classmethod
     def from_scheduler_args(
@@ -211,48 +220,26 @@ class MetadataConfig:
         bw_pending_penalty: float = 1.0,
         base: Optional["MetadataConfig"] = None,
     ) -> Optional["MetadataConfig"]:
-        """Fold validated CLI-level scheduler knobs into a config.
+        """Deprecated: fold validated scheduler knobs into a config.
 
-        Mirrors :meth:`from_network_args`: returns ``base`` unchanged
-        (possibly ``None``) when no scheduler is pinned and no knob is
-        set, and raises :class:`ValueError` when policy-specific knobs
-        are combined with a different policy -- the hybrid weights act
-        only under ``--scheduler hybrid`` and the pending penalty only
-        under ``bandwidth_aware``/``hybrid``, so silently accepting
-        them would masquerade as a tuned run.
+        Thin shim over the ``repro.scenario`` spec path: returns
+        ``base`` unchanged (possibly ``None``) when no scheduler is
+        pinned, and raises :class:`ValueError` when policy-specific
+        knobs are combined with a different policy.
         """
-        hybrid_knobs = (
-            hybrid_locality_weight != 1.0
-            or hybrid_load_weight != 1.0
-            or hybrid_transfer_weight != 1.0
+        cls._deprecated("from_scheduler_args")
+        from repro.scenario.spec import SchedulerSpec, config_from_specs
+
+        return config_from_specs(
+            scheduler=SchedulerSpec(
+                name=scheduler,
+                hybrid_locality_weight=hybrid_locality_weight,
+                hybrid_load_weight=hybrid_load_weight,
+                hybrid_transfer_weight=hybrid_transfer_weight,
+                bw_pending_penalty=bw_pending_penalty,
+            ),
+            base=base,
         )
-        if hybrid_knobs and scheduler != "hybrid":
-            raise ValueError(
-                "--hybrid-locality-weight/--hybrid-load-weight/"
-                "--hybrid-transfer-weight require --scheduler hybrid"
-            )
-        if bw_pending_penalty != 1.0 and scheduler not in (
-            "bandwidth_aware",
-            "hybrid",
-        ):
-            raise ValueError(
-                "--bw-pending-penalty requires --scheduler "
-                "bandwidth_aware (or hybrid)"
-            )
-        if scheduler is None:
-            return base
-        config = cls(
-            **{
-                **(base.__dict__ if base is not None else {}),
-                "scheduler": scheduler,
-                "hybrid_locality_weight": hybrid_locality_weight,
-                "hybrid_load_weight": hybrid_load_weight,
-                "hybrid_transfer_weight": hybrid_transfer_weight,
-                "bw_pending_penalty": bw_pending_penalty,
-            }
-        )
-        config.validate()
-        return config
 
     @classmethod
     def from_workload_args(
@@ -263,40 +250,23 @@ class MetadataConfig:
         token_burst: Optional[int] = None,
         base: Optional["MetadataConfig"] = None,
     ) -> Optional["MetadataConfig"]:
-        """Fold validated CLI-level workload knobs into a config.
+        """Deprecated: fold validated workload knobs into a config.
 
-        Mirrors :meth:`from_scheduler_args`: returns ``base`` unchanged
-        (possibly ``None``) when no admission policy is pinned and no
-        knob is set, and raises :class:`ValueError` when policy-specific
-        knobs are combined with a different policy -- ``max_in_flight``
-        acts only under ``--admission max_in_flight`` and the token
-        knobs only under ``token_bucket``, so silently accepting them
-        would masquerade as an admission-controlled run.
+        Thin shim over the ``repro.scenario`` spec path: returns
+        ``base`` unchanged (possibly ``None``) when no admission policy
+        is pinned, and raises :class:`ValueError` when policy-specific
+        knobs are combined with a different policy.
         """
-        if max_in_flight is not None and admission != "max_in_flight":
-            raise ValueError(
-                "--max-in-flight requires --admission max_in_flight"
-            )
-        if (
-            token_rate is not None or token_burst is not None
-        ) and admission != "token_bucket":
-            raise ValueError(
-                "--token-rate/--token-burst require "
-                "--admission token_bucket"
-            )
-        if admission is None:
-            return base
-        config = cls(
-            **{
-                **(base.__dict__ if base is not None else {}),
-                "admission": admission,
-                "max_in_flight": max_in_flight,
-                "token_rate": token_rate,
-                "token_burst": token_burst if token_burst is not None else 1,
-            }
+        cls._deprecated("from_workload_args")
+        from repro.scenario.spec import config_from_specs
+
+        return config_from_specs(
+            admission=admission,
+            max_in_flight=max_in_flight,
+            token_rate=token_rate,
+            token_burst=token_burst,
+            base=base,
         )
-        config.validate()
-        return config
 
     def validate(self) -> None:
         if self.service_time <= 0:

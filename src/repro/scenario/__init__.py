@@ -1,0 +1,59 @@
+"""Unified declarative scenario API: one spec, one ``run()``.
+
+Every experiment surface in the repo -- a single workflow through the
+engine, the Section VI-B synthetic benchmark, a multi-tenant workload
+-- is described by one validated, serializable
+:class:`~repro.scenario.spec.ScenarioSpec` and executed through one
+entrypoint (:meth:`ScenarioSpec.run`).  See ``docs/scenarios.md``.
+"""
+
+from repro.scenario.registry import (
+    SCENARIOS,
+    SCENARIO_NAMES,
+    get_scenario,
+    register_scenario,
+)
+from repro.scenario.runner import ScenarioResult, run_scenario
+from repro.scenario.spec import (
+    FAULT_KINDS,
+    FaultSpec,
+    NetworkSpec,
+    SURFACES,
+    ScenarioSpec,
+    SchedulerSpec,
+    StrategySpec,
+    TOPOLOGY_PRESETS,
+    TopologySpec,
+    WORKFLOW_APPLICATIONS,
+    WORKFLOW_BUILDERS,
+    config_from_specs,
+)
+from repro.scenario.sweep import SweepCell, SweepResult, run_sweep
+
+#: Ergonomic alias: ``Scenario.run(...)`` reads like the entrypoint it is.
+Scenario = ScenarioSpec
+
+__all__ = [
+    "FAULT_KINDS",
+    "FaultSpec",
+    "NetworkSpec",
+    "SCENARIOS",
+    "SCENARIO_NAMES",
+    "SURFACES",
+    "Scenario",
+    "ScenarioResult",
+    "ScenarioSpec",
+    "SchedulerSpec",
+    "StrategySpec",
+    "SweepCell",
+    "SweepResult",
+    "TOPOLOGY_PRESETS",
+    "TopologySpec",
+    "WORKFLOW_APPLICATIONS",
+    "WORKFLOW_BUILDERS",
+    "config_from_specs",
+    "get_scenario",
+    "register_scenario",
+    "run_scenario",
+    "run_sweep",
+]

@@ -1,0 +1,219 @@
+"""The named-scenario registry: curated, validated starting points.
+
+Every entry is a complete :class:`~repro.scenario.spec.ScenarioSpec`
+(validated at import time) that can be run as-is, dumped to JSON, or
+used as the base of a sweep::
+
+    from repro.scenario import get_scenario
+    result = get_scenario("fair_capped").run(quick=True)
+
+    python -m repro.cli scenarios               # list them
+    python -m repro.cli sweep --scenario multi_tenant_8 \\
+        --set "strategy.name=centralized,decentralized"
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from repro.cloud.presets import AZURE_4DC
+from repro.scenario.spec import (
+    FaultSpec,
+    NetworkSpec,
+    ScenarioSpec,
+    SchedulerSpec,
+    StrategySpec,
+    TopologySpec,
+)
+from repro.workload.spec import WorkloadSpec
+
+__all__ = [
+    "SCENARIOS",
+    "SCENARIO_NAMES",
+    "get_scenario",
+    "register_scenario",
+]
+
+
+def _build_registry() -> Dict[str, ScenarioSpec]:
+    specs = (
+        ScenarioSpec(
+            name="paper_default",
+            description=(
+                "The CLI run default: Montage under the hybrid strategy, "
+                "slot WAN model, locality placement on the 4-DC Azure "
+                "testbed"
+            ),
+            surface="workflow",
+            application="montage",
+            ops_per_task=100,
+            n_nodes=32,
+            seed=7,
+        ),
+        ScenarioSpec(
+            name="paper_synthetic",
+            description=(
+                "Section VI-B reader/writer benchmark at Fig. 5 scale "
+                "(32 nodes, 1000 ops/node) under the hybrid strategy"
+            ),
+            surface="synthetic",
+            strategy=StrategySpec(name="hybrid"),
+            ops_per_node=1000,
+            n_nodes=32,
+            seed=0,
+        ),
+        ScenarioSpec(
+            name="fair_capped",
+            description=(
+                "Reader/writer benchmark under hierarchical fair sharing: "
+                "25 MB/s site uplink caps, weight-2 metadata RPC flows"
+            ),
+            surface="synthetic",
+            strategy=StrategySpec(name="decentralized"),
+            network=NetworkSpec(
+                bandwidth_model="fair",
+                egress_cap_mb=25.0,
+                ingress_cap_mb=25.0,
+                rpc_flow_weight=2.0,
+            ),
+            ops_per_node=200,
+            n_nodes=16,
+            seed=0,
+        ),
+        ScenarioSpec(
+            name="fanout_bandwidth_aware",
+            description=(
+                "Montage on the heterogeneous fan-out WAN (near-thin vs "
+                "far-fat links, 12 MB/s hub egress cap) with "
+                "bandwidth-aware placement routing around the thin pipe"
+            ),
+            surface="workflow",
+            application="montage",
+            ops_per_task=20,
+            compute_time=0.5,
+            topology=TopologySpec(preset="hetero_fanout", hub_egress_mb=12.0),
+            network=NetworkSpec(bandwidth_model="fair"),
+            strategy=StrategySpec(name="decentralized"),
+            scheduler=SchedulerSpec(name="bandwidth_aware", input_site="hub"),
+            n_nodes=8,
+            seed=11,
+        ),
+        ScenarioSpec(
+            name="multi_tenant_8",
+            description=(
+                "8 closed-loop tenants over 4 applications on one shared "
+                "deployment, max_in_flight=4 admission, inputs spread "
+                "round-robin across sites"
+            ),
+            surface="workload",
+            strategy=StrategySpec(name="decentralized"),
+            workload=WorkloadSpec.uniform(
+                8,
+                applications=(
+                    "montage-small",
+                    "buzzflow-small",
+                    "scatter",
+                    "pipeline",
+                ),
+                n_instances=1,
+                input_sites=AZURE_4DC,
+                ops_per_task=8,
+                compute_time=0.25,
+                seed=17,
+                name="multi_tenant_8",
+            ),
+            admission="max_in_flight",
+            max_in_flight=4,
+            n_nodes=16,
+            seed=17,
+        ),
+        ScenarioSpec(
+            name="open_loop_tokens",
+            description=(
+                "6 open-loop tenants with Poisson arrivals (0.5/s) under "
+                "per-tenant token-bucket admission (rate 0.5, burst 2)"
+            ),
+            surface="workload",
+            strategy=StrategySpec(name="hybrid"),
+            workload=WorkloadSpec.uniform(
+                6,
+                applications=("ingest", "montage-small"),
+                mode="open",
+                n_instances=2,
+                arrival_rate=0.5,
+                input_sites=AZURE_4DC,
+                ops_per_task=8,
+                compute_time=0.25,
+                seed=23,
+                name="open_loop_tokens",
+            ),
+            admission="token_bucket",
+            token_rate=0.5,
+            token_burst=2,
+            n_nodes=16,
+            seed=23,
+        ),
+        ScenarioSpec(
+            name="outage_resilience",
+            description=(
+                "Montage under the fair WAN model through a mid-run "
+                "north-europe outage plus transatlantic link flaps"
+            ),
+            surface="workflow",
+            application="montage",
+            ops_per_task=20,
+            compute_time=0.5,
+            network=NetworkSpec(bandwidth_model="fair"),
+            strategy=StrategySpec(name="hybrid"),
+            faults=(
+                FaultSpec(
+                    "site_outage",
+                    start=5.0,
+                    duration=4.0,
+                    site="north-europe",
+                ),
+                FaultSpec(
+                    "link_flap",
+                    link=("west-europe", "east-us"),
+                    times=(3.0, 9.0),
+                ),
+            ),
+            n_nodes=16,
+            seed=7,
+        ),
+    )
+    registry: Dict[str, ScenarioSpec] = {}
+    for spec in specs:
+        spec.validate()
+        registry[spec.name] = spec
+    return registry
+
+
+#: name -> validated :class:`ScenarioSpec`.
+SCENARIOS: Dict[str, ScenarioSpec] = _build_registry()
+
+#: Registered scenario names, in a stable order.
+SCENARIO_NAMES: Tuple[str, ...] = tuple(sorted(SCENARIOS))
+
+
+def get_scenario(name: str) -> ScenarioSpec:
+    """Look up a named scenario (raises with the available names)."""
+    try:
+        return SCENARIOS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown scenario {name!r}; available: {list(SCENARIO_NAMES)}"
+        ) from None
+
+
+def register_scenario(spec: ScenarioSpec, overwrite: bool = False) -> None:
+    """Add a custom scenario to the registry (validated first)."""
+    spec.validate()
+    if spec.name in SCENARIOS and not overwrite:
+        raise ValueError(
+            f"scenario {spec.name!r} already registered "
+            "(pass overwrite=True to replace it)"
+        )
+    SCENARIOS[spec.name] = spec
+    global SCENARIO_NAMES
+    SCENARIO_NAMES = tuple(sorted(SCENARIOS))

@@ -1,0 +1,317 @@
+"""Execute a declarative scenario: the single ``run()`` entrypoint.
+
+``run_scenario`` owns everything that used to be hand-wired per
+experiment module: deployment construction (always on a **fresh**
+topology built from the spec's preset -- site-cap and fault-latency
+edits mutate topologies in place, so sharing one between runs leaks
+state), metadata-controller setup, fault-injector wiring, dispatch to
+the right execution surface (workflow engine / synthetic benchmark /
+multi-tenant workload runner) and stats collection into one
+:class:`ScenarioResult`.
+
+The dispatch preserves the seed-exact code paths bit-for-bit: a
+spec-driven run issues exactly the calls the pre-spec plumbing did
+(pinned by the golden equivalence tests in
+``tests/experiments/test_seed_compat.py``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.cloud.deployment import Deployment
+from repro.cloud.faults import (
+    FaultEvent,
+    LatencySpikeInjector,
+    LinkFlapInjector,
+    RegionOutage,
+    SiteOutage,
+)
+from repro.metadata.config import MetadataConfig
+from repro.metadata.controller import ArchitectureController
+from repro.scenario.spec import ScenarioSpec
+from repro.util.units import MB
+from repro.workflow.engine import WorkflowEngine
+from repro.workload.runner import WorkloadRunner
+
+__all__ = ["ScenarioResult", "run_scenario"]
+
+
+@dataclass
+class ScenarioResult:
+    """Outcome of one scenario run: the surface result plus run context.
+
+    ``result`` is the surface's native result object
+    (:class:`~repro.workflow.engine.WorkflowResult`,
+    :class:`~repro.experiments.synthetic.SyntheticResult` or
+    :class:`~repro.workload.result.WorkloadResult`); the wrapper adds
+    what the spec layer owns -- the resolved scheduler/admission names,
+    the fault events that actually fired, and WAN accounting.
+    """
+
+    spec: ScenarioSpec
+    result: object
+    scheduler: str = ""
+    admission: Optional[str] = None
+    fault_events: Tuple[FaultEvent, ...] = ()
+    wan_bytes: int = 0
+
+    @property
+    def surface(self) -> str:
+        return self.spec.surface
+
+    @property
+    def makespan(self) -> float:
+        return self.result.makespan
+
+    def render(self) -> str:
+        """The human-readable report (same tables as the CLI)."""
+        from repro.experiments.charts import bar_chart
+        from repro.experiments.reporting import render_table
+
+        res = self.result
+        if self.surface == "workload":
+            text = res.render()
+        elif self.surface == "synthetic":
+            text = render_table(
+                ["metric", "value"],
+                [
+                    ["strategy", res.strategy],
+                    ["nodes", res.n_nodes],
+                    ["total ops", res.total_ops],
+                    ["makespan (s)", res.makespan],
+                    ["throughput (ops/s)", res.throughput],
+                    ["mean node time (s)", res.mean_node_time],
+                    ["local fraction", f"{res.ops.local_fraction:.0%}"],
+                    ["read retries", res.ops.total_retries],
+                ],
+                title="synthetic reader/writer benchmark",
+            )
+            text += "\n\n" + bar_chart(
+                sorted(res.node_time_by_site().items()),
+                title="mean node time by site (s)",
+                width=40,
+            )
+        else:
+            text = render_table(
+                ["metric", "value"],
+                [
+                    ["workflow", res.workflow],
+                    ["strategy", res.strategy],
+                    ["scheduler", self.scheduler],
+                    ["tasks", len(res.task_results)],
+                    ["makespan (s)", res.makespan],
+                    ["metadata time (s)", res.total_metadata_time],
+                    ["transfer time (s)", res.total_transfer_time],
+                    ["local ops", f"{res.ops.local_fraction:.0%}"],
+                ],
+                title=f"run: {res.workflow} under {res.strategy}",
+            )
+            text += "\n\n" + bar_chart(
+                sorted(res.tasks_per_site().items()),
+                title="tasks per site",
+                width=40,
+            )
+        if self.fault_events:
+            lines = ["", "faults:"]
+            lines.extend(
+                f"  t={ev.at:8.2f}  {ev.kind:<22} {ev.target}"
+                + (f"  {ev.detail}" if ev.detail else "")
+                for ev in sorted(self.fault_events, key=lambda e: e.at)
+            )
+            text += "\n".join(lines)
+        return text
+
+    def __repr__(self) -> str:
+        return (
+            f"<ScenarioResult {self.spec.name} [{self.surface}] "
+            f"makespan={self.makespan:.1f}s>"
+        )
+
+
+def _wire_faults(
+    spec: ScenarioSpec,
+    deployment: Deployment,
+    registries: Optional[Dict[str, object]],
+) -> List[object]:
+    """Instantiate one injector per fault spec against the deployment.
+
+    Registry-backed control-plane behaviour (service slots held during
+    outages) engages when the strategy's registries are available;
+    data-plane teardown is wired through the network unconditionally
+    (a safe no-op under the slot model).
+    """
+    env = deployment.env
+    network = deployment.network
+    injectors: List[object] = []
+    for f in spec.faults:
+        if f.kind == "site_outage":
+            injectors.append(
+                SiteOutage(
+                    env,
+                    registry=(registries or {}).get(f.site),
+                    start=f.start,
+                    duration=f.duration,
+                    network=network,
+                    site=f.site,
+                )
+            )
+        elif f.kind == "region_outage":
+            injectors.append(
+                RegionOutage(
+                    env,
+                    sites=f.sites,
+                    region=f.region,
+                    topology=deployment.topology,
+                    registries=registries,
+                    start=f.start,
+                    duration=f.duration,
+                    network=network,
+                )
+            )
+        elif f.kind == "link_flap":
+            injectors.append(
+                LinkFlapInjector(
+                    env, network, f.link[0], f.link[1], times=f.times
+                )
+            )
+        else:  # latency_spike
+            injectors.append(
+                LatencySpikeInjector(
+                    env,
+                    deployment.topology,
+                    f.link[0],
+                    f.link[1],
+                    start=f.start,
+                    duration=f.duration,
+                    factor=f.factor,
+                )
+            )
+    return injectors
+
+
+def _collect_events(injectors: List[object]) -> Tuple[FaultEvent, ...]:
+    return tuple(ev for inj in injectors for ev in inj.events)
+
+
+def _build_workflow(spec: ScenarioSpec):
+    """The workflow-surface DAG, built exactly like the CLI built it."""
+    if spec.workflow_file is not None:
+        from repro.workflow.serialization import load_workflow
+
+        return load_workflow(spec.workflow_file)
+    from repro.scenario.spec import WORKFLOW_BUILDERS
+
+    builder = WORKFLOW_BUILDERS[spec.application]
+    kwargs = {"ops_per_task": spec.ops_per_task}
+    if spec.compute_time is not None:
+        kwargs["compute_time"] = spec.compute_time
+    return builder(**kwargs)
+
+
+def run_scenario(
+    spec: ScenarioSpec,
+    quick: bool = False,
+    workflow=None,
+    config_base: Optional[MetadataConfig] = None,
+) -> ScenarioResult:
+    """Validate ``spec`` and execute it end to end.
+
+    Parameters
+    ----------
+    quick:
+        Run the :meth:`~repro.scenario.spec.ScenarioSpec.quick`
+        reduction of the spec (CI-friendly op volumes, same shape).
+    workflow:
+        Workflow surface only: a pre-built
+        :class:`~repro.workflow.dag.Workflow` to execute instead of
+        the spec's ``application``/``workflow_file`` (used by
+        experiment harnesses with bespoke DAGs).
+    config_base:
+        Optional :class:`MetadataConfig` supplying defaults that the
+        spec's own pins override (the ``base=`` merge the legacy
+        ``from_*_args`` chain performed).
+    """
+    spec.validate()
+    if quick:
+        spec = spec.quick()
+    if workflow is not None and spec.surface != "workflow":
+        raise ValueError(
+            "a pre-built workflow applies to the workflow surface only"
+        )
+    config = spec.to_metadata_config(base=config_base)
+    net = spec.network
+    deployment = Deployment(
+        topology=spec.topology.build(),
+        n_nodes=spec.n_nodes,
+        seed=spec.seed,
+        bandwidth_model=net.bandwidth_model or "slots",
+        site_egress_bw=(
+            net.egress_cap_mb * MB if net.egress_cap_mb is not None else None
+        ),
+        site_ingress_bw=(
+            net.ingress_cap_mb * MB
+            if net.ingress_cap_mb is not None
+            else None
+        ),
+        rpc_flow_weight=net.rpc_flow_weight,
+    )
+
+    if spec.surface == "synthetic":
+        # The synthetic harness owns its controller, so outages here
+        # are data-plane-only (no registries to hold slots on).
+        injectors = _wire_faults(spec, deployment, registries=None)
+        # Imported lazily: the experiments package sits above the
+        # scenario layer (its compare modules consume specs).
+        from repro.experiments.synthetic import run_synthetic_workload
+
+        result = run_synthetic_workload(
+            spec.strategy.name,
+            n_nodes=spec.n_nodes,
+            ops_per_node=spec.ops_per_node,
+            seed=spec.seed,
+            config=config,
+            deployment=deployment,
+        )
+        return ScenarioResult(
+            spec=spec,
+            result=result,
+            fault_events=_collect_events(injectors),
+        )
+
+    controller = ArchitectureController(
+        deployment, strategy=spec.strategy.name, config=config
+    )
+    injectors = _wire_faults(
+        spec, deployment, registries=controller.strategy.registries
+    )
+    if spec.surface == "workflow":
+        engine = WorkflowEngine(
+            deployment,
+            controller.strategy,
+            input_site=spec.scheduler.input_site,
+        )
+        result = engine.run(
+            workflow if workflow is not None else _build_workflow(spec)
+        )
+        controller.shutdown()
+        return ScenarioResult(
+            spec=spec,
+            result=result,
+            scheduler=engine.policy.name,
+            fault_events=_collect_events(injectors),
+            wan_bytes=engine.transfer.wan_bytes,
+        )
+
+    runner = WorkloadRunner(deployment, controller.strategy)
+    result = runner.run(spec.workload)
+    controller.shutdown()
+    return ScenarioResult(
+        spec=spec,
+        result=result,
+        scheduler=result.scheduler,
+        admission=result.admission,
+        fault_events=_collect_events(injectors),
+        wan_bytes=result.wan_bytes,
+    )

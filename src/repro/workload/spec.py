@@ -25,8 +25,9 @@ assignment is explicit in the spec.
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass
-from typing import Callable, Dict, Optional, Sequence, Tuple
+from typing import Any, Callable, Dict, Mapping, Optional, Sequence, Tuple
 
 from repro.util.units import KB, MB
 from repro.workflow.applications import buzzflow, montage
@@ -215,6 +216,22 @@ class TenantSpec:
         wf = APPLICATIONS[self.application](self)
         return wf.namespaced(f"{self.name}/{index}")
 
+    def to_dict(self) -> Dict[str, Any]:
+        """A JSON-compatible dict; :meth:`from_dict` inverts it exactly."""
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "TenantSpec":
+        """Rebuild a tenant spec from :meth:`to_dict` output (strict)."""
+        data = dict(data)
+        fields = {f.name for f in dataclasses.fields(cls)}
+        unknown = sorted(set(data) - fields)
+        if unknown:
+            raise ValueError(f"unknown TenantSpec keys: {unknown}")
+        if data.get("arrival_times") is not None:
+            data["arrival_times"] = tuple(data["arrival_times"])
+        return cls(**data)
+
 
 @dataclass(frozen=True)
 class WorkloadSpec:
@@ -268,6 +285,29 @@ class WorkloadSpec:
     @property
     def n_tenants(self) -> int:
         return len(self.tenants)
+
+    def to_dict(self) -> Dict[str, Any]:
+        """A JSON-compatible dict; :meth:`from_dict` inverts it exactly."""
+        return {
+            "tenants": [t.to_dict() for t in self.tenants],
+            "mode": self.mode,
+            "seed": self.seed,
+            "name": self.name,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "WorkloadSpec":
+        """Rebuild a workload spec from :meth:`to_dict` output (strict)."""
+        data = dict(data)
+        fields = {f.name for f in dataclasses.fields(cls)}
+        unknown = sorted(set(data) - fields)
+        if unknown:
+            raise ValueError(f"unknown WorkloadSpec keys: {unknown}")
+        data["tenants"] = tuple(
+            TenantSpec.from_dict(t) if isinstance(t, Mapping) else t
+            for t in data.get("tenants", ())
+        )
+        return cls(**data)
 
     @classmethod
     def uniform(

@@ -109,3 +109,57 @@ class TestMakeTopology:
     def test_empty_sites_rejected(self):
         with pytest.raises(ValueError):
             make_topology([])
+
+
+class TestTopologyCopy:
+    def test_copy_is_equal_but_independent(self):
+        topo = azure_4dc_topology()
+        clone = topo.copy()
+        assert [dc.name for dc in clone] == [dc.name for dc in topo]
+        assert clone.latency("west-europe", "east-us") == topo.latency(
+            "west-europe", "east-us"
+        )
+        clone.validate()
+
+    def test_latency_edits_do_not_leak_to_the_original(self):
+        """The fault injectors' in-place latency edits stay contained."""
+        topo = azure_4dc_topology()
+        clone = topo.copy()
+        before = topo.link("west-europe", "east-us").latency
+        clone.link("west-europe", "east-us").latency *= 10
+        assert topo.link("west-europe", "east-us").latency == before
+
+    def test_site_cap_edits_do_not_leak_to_the_original(self):
+        """The Deployment site-cap footgun: capping the copy leaves the
+        caller-supplied original uncapped."""
+        import math
+
+        topo = azure_4dc_topology()
+        clone = topo.copy()
+        clone.set_site_caps("east-us", egress_bw=1.0, ingress_bw=2.0)
+        assert topo.site_caps("east-us") == (math.inf, math.inf)
+        assert clone.site_caps("east-us") == (1.0, 2.0)
+        # And the reverse direction: original edits stay out of the copy.
+        topo.set_site_caps("west-europe", egress_bw=5.0)
+        assert clone.site_caps("west-europe")[0] == math.inf
+
+    def test_local_link_is_independent(self):
+        topo = azure_4dc_topology()
+        clone = topo.copy()
+        clone.local_link.latency *= 100
+        assert topo.local_link.latency != clone.local_link.latency
+
+    def test_copied_topology_drives_a_deployment(self):
+        from repro.cloud.deployment import Deployment
+
+        topo = azure_4dc_topology()
+        dep = Deployment(
+            topology=topo.copy(),
+            n_nodes=4,
+            site_egress_bw=10.0,
+        )
+        # Deployment mutated its own copy, not the caller's topology.
+        import math
+
+        assert topo.site_caps("east-us") == (math.inf, math.inf)
+        assert dep.topology.site_caps("east-us")[0] == 10.0

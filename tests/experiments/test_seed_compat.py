@@ -203,3 +203,99 @@ def test_explicit_slots_config_matches_default():
     )
     assert pinned.makespan == default.makespan
     assert pinned.node_times == default.node_times
+
+
+# -- Declarative scenario path: spec-driven == direct-args, bit for bit ----
+# The repro.scenario API redesign must be a pure re-plumbing: a run
+# described by a ScenarioSpec issues exactly the calls the direct-args
+# plumbing made, pinned here against the same golden values.
+
+
+def _synthetic_spec(strategy, n_nodes, ops_per_node, seed):
+    from repro.scenario import ScenarioSpec, StrategySpec
+
+    return ScenarioSpec(
+        surface="synthetic",
+        strategy=StrategySpec(name=strategy),
+        ops_per_node=ops_per_node,
+        n_nodes=n_nodes,
+        seed=seed,
+    )
+
+
+@pytest.mark.parametrize("strategy", sorted(FIG5_GOLDEN))
+def test_fig5_spec_path_bit_for_bit(strategy):
+    golden = FIG5_GOLDEN[strategy]
+    run = _synthetic_spec(strategy, 8, 40, 0).run().result
+    assert run.makespan == golden["makespan"]
+    assert run.mean_node_time == golden["mean_node_time"]
+    assert run.throughput == golden["throughput"]
+
+
+@pytest.mark.parametrize("n_nodes", sorted(FIG7_GOLDEN))
+def test_fig7_spec_path_bit_for_bit(n_nodes):
+    golden = FIG7_GOLDEN[n_nodes]
+    run = _synthetic_spec("centralized", n_nodes, 40, 7).run().result
+    assert run.throughput == golden["throughput"]
+    assert run.makespan == golden["makespan"]
+
+
+@pytest.mark.parametrize("strategy", sorted(ENGINE_GOLDEN))
+def test_engine_spec_path_bit_for_bit(strategy):
+    """The montage engine golden (home_site + sync replication pinned
+    through StrategySpec) driven entirely through ScenarioSpec.run."""
+    from repro.scenario import ScenarioSpec, StrategySpec
+
+    golden = ENGINE_GOLDEN[strategy]
+    spec = ScenarioSpec(
+        surface="workflow",
+        application="montage",
+        ops_per_task=20,
+        compute_time=0.5,
+        strategy=StrategySpec(
+            name=strategy,
+            home_site="east-us",
+            hybrid_sync_replication=True,
+        ),
+        n_nodes=16,
+        seed=7,
+    )
+    res = spec.run()
+    assert res.scheduler == "locality"
+    assert res.result.makespan == golden["makespan"]
+    assert res.result.total_transfer_time == golden["transfer_time"]
+
+
+def test_engine_scatter_spec_path_bit_for_bit():
+    """The locality placement golden via the spec path (pre-built DAG
+    injected through run(workflow=...))."""
+    from repro.scenario import ScenarioSpec, StrategySpec
+    from repro.workflow.patterns import scatter
+
+    spec = ScenarioSpec(
+        surface="workflow",
+        strategy=StrategySpec(name="decentralized"),
+        n_nodes=8,
+        seed=3,
+    )
+    res = spec.run(workflow=scatter(12, compute_time=0.25, extra_ops=6))
+    assert res.result.makespan == SCATTER_GOLDEN["makespan"]
+    assert res.result.total_transfer_time == SCATTER_GOLDEN["transfer_time"]
+    assert res.result.tasks_per_site() == SCATTER_GOLDEN["tasks_per_site"]
+
+
+def test_dump_spec_round_trip_reproduces_run(tmp_path):
+    """A spec serialized to JSON and reloaded reproduces the original
+    spec-driven result exactly (the --dump-spec/--spec contract)."""
+    from repro.scenario import ScenarioSpec
+
+    spec = _synthetic_spec("hybrid", 8, 40, 0)
+    path = tmp_path / "spec.json"
+    spec.save(path)
+    reloaded = ScenarioSpec.load(path)
+    assert reloaded == spec
+    direct = spec.run().result
+    replayed = reloaded.run().result
+    assert replayed.makespan == direct.makespan
+    assert replayed.node_times == direct.node_times
+    assert direct.makespan == FIG5_GOLDEN["hybrid"]["makespan"]

@@ -98,6 +98,93 @@ class TestFromSchedulerArgs:
         assert cfg.hybrid_locality_weight == 3.0
 
 
+class TestDeprecatedShims:
+    """The from_*_args classmethods survive as warned shims over the
+    repro.scenario spec path: old signatures, identical configs."""
+
+    def test_all_three_emit_deprecation_warnings(self):
+        with pytest.warns(DeprecationWarning, match="from_network_args"):
+            MetadataConfig.from_network_args("fair")
+        with pytest.warns(DeprecationWarning, match="from_scheduler_args"):
+            MetadataConfig.from_scheduler_args("locality")
+        with pytest.warns(DeprecationWarning, match="from_workload_args"):
+            MetadataConfig.from_workload_args("unbounded")
+
+    def test_network_shim_equals_spec_path(self):
+        from repro.scenario import NetworkSpec, config_from_specs
+
+        with pytest.warns(DeprecationWarning):
+            shim = MetadataConfig.from_network_args(
+                "fair",
+                egress_cap_mb=10.0,
+                ingress_cap_mb=5.0,
+                rpc_flow_weight=2.0,
+            )
+        spec = config_from_specs(
+            network=NetworkSpec(
+                bandwidth_model="fair",
+                egress_cap_mb=10.0,
+                ingress_cap_mb=5.0,
+                rpc_flow_weight=2.0,
+            )
+        )
+        assert shim == spec
+        with pytest.warns(DeprecationWarning):
+            assert MetadataConfig.from_network_args(None) is None
+
+    def test_scheduler_shim_equals_spec_path(self):
+        from repro.scenario import SchedulerSpec, config_from_specs
+
+        base = MetadataConfig(bandwidth_model="fair", rpc_flow_weight=2.0)
+        with pytest.warns(DeprecationWarning):
+            shim = MetadataConfig.from_scheduler_args(
+                "hybrid",
+                hybrid_locality_weight=3.0,
+                bw_pending_penalty=0.5,
+                base=base,
+            )
+        spec = config_from_specs(
+            scheduler=SchedulerSpec(
+                name="hybrid",
+                hybrid_locality_weight=3.0,
+                bw_pending_penalty=0.5,
+            ),
+            base=base,
+        )
+        assert shim == spec
+        assert shim.bandwidth_model == "fair"
+
+    def test_workload_shim_equals_spec_path(self):
+        from repro.scenario import config_from_specs
+
+        with pytest.warns(DeprecationWarning):
+            shim = MetadataConfig.from_workload_args(
+                "max_in_flight", max_in_flight=4
+            )
+        spec = config_from_specs(admission="max_in_flight", max_in_flight=4)
+        assert shim == spec
+        assert shim.token_burst == 1
+
+    @pytest.mark.parametrize(
+        "call",
+        [
+            lambda: MetadataConfig.from_network_args(
+                "slots", egress_cap_mb=10.0
+            ),
+            lambda: MetadataConfig.from_scheduler_args(
+                "locality", hybrid_load_weight=2.0
+            ),
+            lambda: MetadataConfig.from_workload_args(
+                "unbounded", max_in_flight=2
+            ),
+        ],
+    )
+    def test_shims_still_enforce_cross_field_rules(self, call):
+        with pytest.warns(DeprecationWarning):
+            with pytest.raises(ValueError):
+                call()
+
+
 def test_config_is_plain_dataclass():
     """Configs clone via the ``__dict__`` idiom used by the harness."""
     cfg = MetadataConfig(home_site="east-us")

@@ -1,0 +1,381 @@
+"""Validation, serialization and builder tests for the scenario spec tree."""
+
+import dataclasses
+
+import pytest
+
+from repro.metadata.config import MetadataConfig
+from repro.scenario import (
+    SCENARIOS,
+    FaultSpec,
+    NetworkSpec,
+    ScenarioSpec,
+    SchedulerSpec,
+    StrategySpec,
+    TopologySpec,
+    config_from_specs,
+    get_scenario,
+    register_scenario,
+)
+from repro.util.units import MB
+from repro.workload import WorkloadSpec
+
+
+def workload_spec(n=2, **kwargs):
+    return WorkloadSpec.uniform(n, name="test", **kwargs)
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("name", sorted(SCENARIOS))
+    def test_registry_dict_round_trip_is_identity(self, name):
+        spec = SCENARIOS[name]
+        assert ScenarioSpec.from_dict(spec.to_dict()) == spec
+
+    @pytest.mark.parametrize("name", sorted(SCENARIOS))
+    def test_registry_json_round_trip_is_identity(self, name):
+        spec = SCENARIOS[name]
+        assert ScenarioSpec.from_json(spec.to_json()) == spec
+
+    def test_file_round_trip(self, tmp_path):
+        spec = get_scenario("outage_resilience")
+        path = tmp_path / "spec.json"
+        spec.save(path)
+        assert ScenarioSpec.load(path) == spec
+
+    def test_round_trip_restores_tuples(self):
+        spec = ScenarioSpec(
+            surface="workflow",
+            faults=(
+                FaultSpec(
+                    "link_flap",
+                    link=["west-europe", "east-us"],
+                    times=[1.0, 2.0],
+                ),
+            ),
+        )
+        back = ScenarioSpec.from_json(spec.to_json())
+        assert back == spec
+        assert isinstance(back.faults[0].link, tuple)
+        assert isinstance(back.faults[0].times, tuple)
+
+    def test_workload_round_trip_restores_tenants(self):
+        spec = ScenarioSpec(
+            surface="workload", workload=workload_spec(3)
+        )
+        back = ScenarioSpec.from_json(spec.to_json())
+        assert back == spec
+        assert back.workload.tenants == spec.workload.tenants
+
+    def test_unknown_keys_rejected(self):
+        with pytest.raises(ValueError, match="unknown ScenarioSpec keys"):
+            ScenarioSpec.from_dict({"surfaces": "workflow"})
+        with pytest.raises(ValueError, match="unknown NetworkSpec keys"):
+            ScenarioSpec.from_dict({"network": {"bandwith_model": "fair"}})
+        with pytest.raises(ValueError, match="unknown WorkloadSpec keys"):
+            ScenarioSpec.from_dict(
+                {"surface": "workload", "workload": {"tenant": []}}
+            )
+
+
+class TestReplace:
+    def test_dotted_path_replaces_nested_field(self):
+        spec = get_scenario("paper_default")
+        out = spec.replace(**{"scheduler.name": "bandwidth_aware"})
+        assert out.scheduler.name == "bandwidth_aware"
+        # The original is untouched (functional builder).
+        assert spec.scheduler.name is None
+        # Unrelated fields carried over.
+        assert out.n_nodes == spec.n_nodes
+
+    def test_multiple_overrides_on_one_subspec_compose(self):
+        out = ScenarioSpec().replace(
+            **{
+                "network.bandwidth_model": "fair",
+                "network.egress_cap_mb": 10.0,
+                "n_nodes": 4,
+            }
+        )
+        assert out.network.bandwidth_model == "fair"
+        assert out.network.egress_cap_mb == 10.0
+        assert out.n_nodes == 4
+
+    def test_unknown_field_rejected(self):
+        with pytest.raises(ValueError, match="unknown field"):
+            ScenarioSpec().replace(**{"scheduler.nmae": "hybrid"})
+        with pytest.raises(ValueError, match="bad override"):
+            ScenarioSpec().replace(nmae="x")
+
+    def test_descending_into_unset_field_rejected(self):
+        with pytest.raises(ValueError, match="unset"):
+            ScenarioSpec().replace(**{"workload.mode": "open"})
+
+
+class TestValidation:
+    def test_registry_specs_all_validate(self):
+        for spec in SCENARIOS.values():
+            spec.validate()
+
+    def test_fair_only_knobs_rejected_under_slots(self):
+        spec = ScenarioSpec(
+            network=NetworkSpec(bandwidth_model="slots", egress_cap_mb=10.0)
+        )
+        with pytest.raises(ValueError, match="require --bandwidth-model fair"):
+            spec.validate()
+
+    def test_hybrid_knobs_rejected_under_other_policies(self):
+        spec = ScenarioSpec(
+            scheduler=SchedulerSpec(
+                name="locality", hybrid_load_weight=2.0
+            )
+        )
+        with pytest.raises(ValueError, match="require --scheduler hybrid"):
+            spec.validate()
+
+    def test_pending_penalty_rejected_without_bandwidth_aware(self):
+        spec = ScenarioSpec(scheduler=SchedulerSpec(bw_pending_penalty=0.5))
+        with pytest.raises(ValueError, match="--bw-pending-penalty"):
+            spec.validate()
+
+    def test_admission_rejected_in_single_workflow_mode(self):
+        spec = ScenarioSpec(surface="workflow", admission="unbounded")
+        with pytest.raises(ValueError, match="workload-surface"):
+            spec.validate()
+
+    def test_admission_knobs_rejected_under_other_policies(self):
+        spec = ScenarioSpec(
+            surface="workload",
+            workload=workload_spec(),
+            admission="unbounded",
+            max_in_flight=2,
+        )
+        with pytest.raises(ValueError, match="max_in_flight"):
+            spec.validate()
+        spec = ScenarioSpec(
+            surface="workload",
+            workload=workload_spec(),
+            admission="max_in_flight",
+            token_rate=1.0,
+        )
+        with pytest.raises(ValueError, match="token_bucket"):
+            spec.validate()
+
+    def test_workload_surface_needs_embedded_workload(self):
+        with pytest.raises(ValueError, match="embedded workload"):
+            ScenarioSpec(surface="workload").validate()
+        with pytest.raises(ValueError, match="surface='workload'"):
+            ScenarioSpec(
+                surface="workflow", workload=workload_spec()
+            ).validate()
+
+    def test_topology_preset_specific_knobs_rejected(self):
+        with pytest.raises(ValueError, match="hetero_fanout-preset"):
+            ScenarioSpec(
+                topology=TopologySpec(preset="azure_4dc", hub_egress_mb=5.0)
+            ).validate()
+        with pytest.raises(ValueError, match="uniform-preset"):
+            ScenarioSpec(
+                topology=TopologySpec(preset="azure_4dc", sites=("a", "b"))
+            ).validate()
+        with pytest.raises(ValueError, match="unknown topology preset"):
+            ScenarioSpec(topology=TopologySpec(preset="ring")).validate()
+
+    def test_unknown_strategy_scheduler_application_rejected(self):
+        with pytest.raises(ValueError, match="unknown strategy"):
+            ScenarioSpec(strategy=StrategySpec(name="oracle")).validate()
+        with pytest.raises(ValueError, match="scheduler must be None"):
+            ScenarioSpec(scheduler=SchedulerSpec(name="annealing")).validate()
+        with pytest.raises(ValueError, match="unknown application"):
+            ScenarioSpec(application="hpl").validate()
+
+    def test_strategy_aliases_accepted(self):
+        for alias in ("dn", "dr", "baseline"):
+            ScenarioSpec(strategy=StrategySpec(name=alias)).validate()
+
+    def test_fault_site_membership_checked(self):
+        spec = ScenarioSpec(
+            faults=(
+                FaultSpec(
+                    "site_outage", start=1.0, duration=1.0, site="mars"
+                ),
+            )
+        )
+        with pytest.raises(ValueError, match="unknown site 'mars'"):
+            spec.validate()
+
+    def test_fault_kind_specific_fields_enforced(self):
+        with pytest.raises(ValueError, match="unknown fault kind"):
+            FaultSpec("meteor").validate()
+        with pytest.raises(ValueError, match="needs a site"):
+            FaultSpec("site_outage", duration=1.0).validate()
+        with pytest.raises(ValueError, match="does not apply"):
+            FaultSpec(
+                "site_outage",
+                site="x",
+                duration=1.0,
+                times=(1.0,),
+            ).validate()
+        with pytest.raises(ValueError, match="exactly one"):
+            FaultSpec("region_outage", duration=1.0).validate()
+        with pytest.raises(ValueError, match="flap time"):
+            FaultSpec("link_flap", link=("a", "b")).validate()
+        with pytest.raises(ValueError, match="duration must be positive"):
+            FaultSpec("latency_spike", link=("a", "b")).validate()
+
+    def test_input_site_rejected_off_the_workflow_surface(self):
+        spec = ScenarioSpec(
+            surface="synthetic",
+            scheduler=SchedulerSpec(input_site="east-us"),
+        )
+        with pytest.raises(ValueError, match="workflow-surface knob"):
+            spec.validate()
+        # Workload surface too: data origins are per-tenant there, so
+        # a scenario-level input_site would be silently ignored.
+        spec = ScenarioSpec(
+            surface="workload",
+            workload=workload_spec(),
+            scheduler=SchedulerSpec(input_site="east-us"),
+        )
+        with pytest.raises(ValueError, match="per-tenant|workflow-surface"):
+            spec.validate()
+
+    def test_region_outage_region_tag_membership_checked(self):
+        spec = ScenarioSpec(
+            faults=(
+                FaultSpec(
+                    "region_outage", start=1.0, duration=1.0, region="mars"
+                ),
+            )
+        )
+        with pytest.raises(ValueError, match="unknown region 'mars'"):
+            spec.validate()
+        # Valid tags of each preset pass.
+        ScenarioSpec(
+            faults=(
+                FaultSpec(
+                    "region_outage", start=1.0, duration=1.0, region="europe"
+                ),
+            )
+        ).validate()
+        ScenarioSpec(
+            topology=TopologySpec(
+                preset="uniform",
+                sites=("a", "b"),
+                regions=(("a", "eu"),),
+            ),
+            faults=(
+                FaultSpec(
+                    "region_outage",
+                    start=1.0,
+                    duration=1.0,
+                    region="region-b",
+                ),
+            ),
+        ).validate()
+
+    def test_home_and_input_site_membership_checked(self):
+        with pytest.raises(ValueError, match="home_site"):
+            ScenarioSpec(
+                strategy=StrategySpec(home_site="mars")
+            ).validate()
+        with pytest.raises(ValueError, match="input_site"):
+            ScenarioSpec(
+                scheduler=SchedulerSpec(input_site="mars")
+            ).validate()
+
+
+class TestConfigMapping:
+    def test_default_spec_pins_nothing(self):
+        assert ScenarioSpec().to_metadata_config() is None
+
+    def test_network_fields_mapped_with_unit_conversion(self):
+        cfg = ScenarioSpec(
+            network=NetworkSpec(
+                bandwidth_model="fair",
+                egress_cap_mb=10.0,
+                ingress_cap_mb=5.0,
+                rpc_flow_weight=2.0,
+            )
+        ).to_metadata_config()
+        assert cfg.bandwidth_model == "fair"
+        assert cfg.site_egress_bw == 10.0 * MB
+        assert cfg.site_ingress_bw == 5.0 * MB
+        assert cfg.rpc_flow_weight == 2.0
+
+    def test_strategy_and_scheduler_fields_mapped(self):
+        cfg = ScenarioSpec(
+            strategy=StrategySpec(
+                home_site="east-us", hybrid_sync_replication=True
+            ),
+            scheduler=SchedulerSpec(name="hybrid", hybrid_load_weight=2.0),
+        ).to_metadata_config()
+        assert cfg.home_site == "east-us"
+        assert cfg.hybrid_sync_replication is True
+        assert cfg.scheduler == "hybrid"
+        assert cfg.hybrid_load_weight == 2.0
+
+    def test_config_base_is_overridden_by_spec_pins(self):
+        base = MetadataConfig(sync_period=9.0)
+        cfg = ScenarioSpec(
+            scheduler=SchedulerSpec(name="round_robin")
+        ).to_metadata_config(base=base)
+        assert cfg.sync_period == 9.0
+        assert cfg.scheduler == "round_robin"
+
+    def test_unpinned_strategy_knobs_never_clobber_the_base(self):
+        """Pinning one strategy knob must not reset the base's others
+        to spec defaults."""
+        base = MetadataConfig(
+            home_site="east-us", hybrid_sync_replication=True
+        )
+        cfg = ScenarioSpec(
+            strategy=StrategySpec(write_lookup=True)
+        ).to_metadata_config(base=base)
+        assert cfg.home_site == "east-us"
+        assert cfg.hybrid_sync_replication is True
+        assert cfg.write_lookup is True
+
+    def test_config_from_specs_returns_base_when_nothing_pinned(self):
+        assert config_from_specs() is None
+        base = MetadataConfig()
+        assert (
+            config_from_specs(
+                network=NetworkSpec(), scheduler=SchedulerSpec(), base=base
+            )
+            is base
+        )
+
+
+class TestQuick:
+    def test_quick_caps_each_surface(self):
+        assert (
+            get_scenario("paper_synthetic").quick().ops_per_node == 100
+        )
+        assert get_scenario("paper_default").quick().ops_per_task == 20
+        mt = get_scenario("multi_tenant_8").quick()
+        assert all(t.n_instances == 1 for t in mt.workload.tenants)
+        assert all(t.ops_per_task <= 8 for t in mt.workload.tenants)
+        mt.validate()
+
+
+class TestRegistry:
+    def test_get_scenario_unknown_name_lists_choices(self):
+        with pytest.raises(ValueError, match="paper_default"):
+            get_scenario("nope")
+
+    def test_register_scenario_rejects_duplicates(self):
+        spec = dataclasses.replace(
+            get_scenario("paper_default"), name="paper_default"
+        )
+        with pytest.raises(ValueError, match="already registered"):
+            register_scenario(spec)
+
+    def test_register_and_overwrite_custom_scenario(self):
+        spec = dataclasses.replace(
+            get_scenario("paper_default"), name="_test_tmp"
+        )
+        try:
+            register_scenario(spec)
+            assert get_scenario("_test_tmp") == spec
+            register_scenario(spec, overwrite=True)
+        finally:
+            SCENARIOS.pop("_test_tmp", None)

@@ -279,3 +279,207 @@ class TestWorkloadFlags:
             == 0
         )
         assert "open loop" in capsys.readouterr().out
+
+
+class TestScenarioFlags:
+    def test_scenarios_lists_registry(self, capsys):
+        assert main(["scenarios"]) == 0
+        out = capsys.readouterr().out
+        for name in (
+            "paper_default",
+            "paper_synthetic",
+            "fair_capped",
+            "multi_tenant_8",
+            "outage_resilience",
+        ):
+            assert name in out
+
+    def test_dump_spec_to_stdout(self, capsys):
+        """The fast-profile smoke check: flags compile to a spec."""
+        assert (
+            main(
+                [
+                    "run", "--workflow", "montage", "--ops", "2",
+                    "--nodes", "8", "--dump-spec", "-",
+                ]
+            )
+            == 0
+        )
+        import json
+
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["surface"] == "workflow"
+        assert doc["application"] == "montage"
+        assert doc["ops_per_task"] == 2
+        assert doc["n_nodes"] == 8
+
+    def test_dump_spec_then_spec_reproduces_the_run(self, capsys, tmp_path):
+        """--dump-spec output re-fed via --spec reproduces the same
+        result object (identical rendered report)."""
+        flags = [
+            "run", "--workflow", "buzzflow", "--strategy", "dn",
+            "--ops", "2", "--nodes", "8", "--seed", "3",
+        ]
+        assert main(flags) == 0
+        direct_out = capsys.readouterr().out
+        path = tmp_path / "spec.json"
+        assert main(flags + ["--dump-spec", str(path)]) == 0
+        capsys.readouterr()
+        assert main(["run", "--spec", str(path)]) == 0
+        spec_out = capsys.readouterr().out
+        assert spec_out == direct_out
+
+    def test_dump_spec_for_workload_mode(self, capsys, tmp_path):
+        path = tmp_path / "wl.json"
+        assert (
+            main(
+                [
+                    "run", "--workflow", "montage", "--tenants", "3",
+                    "--admission", "max_in_flight", "--max-in-flight", "2",
+                    "--ops", "4", "--nodes", "8",
+                    "--dump-spec", str(path),
+                ]
+            )
+            == 0
+        )
+        import json
+
+        doc = json.loads(path.read_text())
+        assert doc["surface"] == "workload"
+        assert doc["admission"] == "max_in_flight"
+        assert len(doc["workload"]["tenants"]) == 3
+
+    def test_spec_rejects_conflicting_direct_flags(self, capsys, tmp_path):
+        path = tmp_path / "spec.json"
+        assert (
+            main(
+                [
+                    "run", "--workflow", "montage", "--ops", "2",
+                    "--nodes", "8", "--dump-spec", str(path),
+                ]
+            )
+            == 0
+        )
+        capsys.readouterr()
+        rc = main(["run", "--spec", str(path), "--nodes", "4"])
+        assert rc == 2
+        assert "--spec replaces" in capsys.readouterr().err
+
+    def test_spec_is_exclusive_with_workflow(self, tmp_path):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["run", "--workflow", "montage", "--spec", "x.json"]
+            )
+
+    def test_spec_missing_file_errors_cleanly(self, capsys):
+        rc = main(["run", "--spec", "/nonexistent/spec.json"])
+        assert rc == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_invalid_spec_rejected(self, capsys, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text('{"surface": "workflow", "admission": "unbounded"}')
+        rc = main(["run", "--spec", str(path)])
+        assert rc == 2
+        assert "workload-surface" in capsys.readouterr().err
+
+    def test_wrongly_typed_spec_rejected_cleanly(self, capsys, tmp_path):
+        """Hand-edited JSON with a mistyped value errors, not a traceback."""
+        path = tmp_path / "typed.json"
+        path.write_text('{"surface": "workflow", "n_nodes": "eight"}')
+        rc = main(["run", "--spec", str(path)])
+        assert rc == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_runtime_value_error_reported_cleanly(self, capsys, tmp_path):
+        """A spec that validates but cannot run (1-node synthetic
+        benchmark) exits 2 with an error line, not a traceback."""
+        from repro.scenario import ScenarioSpec
+
+        path = tmp_path / "tiny.json"
+        ScenarioSpec(surface="synthetic", n_nodes=1, ops_per_node=2).save(
+            path
+        )
+        rc = main(["run", "--spec", str(path)])
+        assert rc == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_run_named_scenario_via_dumped_spec(self, capsys, tmp_path):
+        """Registry scenarios are plain spec files once saved."""
+        from repro.scenario import get_scenario
+
+        spec = get_scenario("paper_default").replace(
+            ops_per_task=2, n_nodes=8
+        )
+        path = tmp_path / "paper.json"
+        spec.save(path)
+        assert main(["run", "--spec", str(path)]) == 0
+        assert "tasks per site" in capsys.readouterr().out
+
+
+class TestSweepCommand:
+    def test_sweep_over_spec_file(self, capsys, tmp_path):
+        from repro.scenario import ScenarioSpec, StrategySpec
+
+        path = tmp_path / "base.json"
+        ScenarioSpec(
+            name="sweep-base",
+            surface="synthetic",
+            strategy=StrategySpec(name="hybrid"),
+            ops_per_node=5,
+            n_nodes=8,
+            seed=1,
+        ).save(path)
+        assert (
+            main(
+                [
+                    "sweep", "--spec", str(path),
+                    "--set", "strategy.name=centralized,hybrid",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "2 combinations" in out
+        assert "centralized" in out and "hybrid" in out
+
+    def test_sweep_export(self, capsys, tmp_path):
+        from repro.scenario import ScenarioSpec
+
+        base = tmp_path / "base.json"
+        out_path = tmp_path / "sweep.json"
+        ScenarioSpec(
+            surface="synthetic", ops_per_node=5, n_nodes=8
+        ).save(base)
+        assert (
+            main(
+                [
+                    "sweep", "--spec", str(base),
+                    "--set", "n_nodes=4,8",
+                    "--export", str(out_path),
+                ]
+            )
+            == 0
+        )
+        import json
+
+        doc = json.loads(out_path.read_text())
+        assert len(doc["cells"]) == 2
+        assert doc["axes"] == {"n_nodes": [4, 8]}
+
+    def test_sweep_requires_axes(self, capsys):
+        rc = main(["sweep", "--scenario", "paper_synthetic"])
+        assert rc == 2
+        assert "--set" in capsys.readouterr().err
+
+    def test_sweep_bad_set_syntax(self, capsys):
+        rc = main(
+            ["sweep", "--scenario", "paper_synthetic", "--set", "n_nodes"]
+        )
+        assert rc == 2
+        assert "dotted.path" in capsys.readouterr().err
+
+    def test_sweep_unknown_scenario(self, capsys):
+        rc = main(["sweep", "--scenario", "nope", "--set", "n_nodes=4"])
+        assert rc == 2
+        assert "unknown scenario" in capsys.readouterr().err
