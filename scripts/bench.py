@@ -1,0 +1,138 @@
+#!/usr/bin/env python
+"""Performance trajectory: wall-time the pinned scenario set.
+
+Runs a fixed set of scenarios spanning every experiment surface and
+writes ``BENCH_<rev>.json`` -- per-scenario wall time, simulated
+makespan, and the simulation-seconds-per-wall-second rate.  Comparing
+two BENCH files from different commits (``repro.cli diff`` works on
+them via the embedded metrics, or just eyeball the JSON) shows how the
+simulator's *speed* evolves while the result stores show how its
+*results* evolve.
+
+Pinned set (spec hashes are embedded, so a drifting scenario is
+visible in the file itself):
+
+- ``fig5_synthetic``  -- the Fig. 5 synthetic benchmark shape;
+- ``fig7_synthetic``  -- the Fig. 7 scale-up shape (64 nodes);
+- ``fanout_bandwidth_aware`` -- workflow surface, fair WAN model;
+- ``multi_tenant_8``  -- 8-tenant workload under admission control.
+
+Usage, from the repo root::
+
+    python scripts/bench.py [--quick] [--label REV] [--out PATH]
+                            [--store DIR]
+
+``--quick`` runs the CI-friendly reductions (same shapes, smaller op
+volumes); ``--store DIR`` additionally persists each run's full
+artifact through the result store for later ``repro.cli diff``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.results import (  # noqa: E402
+    ResultStore,
+    current_git_rev,
+    result_metrics,
+)
+from repro.scenario import get_scenario  # noqa: E402
+
+
+def pinned_scenarios():
+    """The fixed (name, spec) set every BENCH file covers."""
+    fig5 = get_scenario("paper_synthetic").replace(name="fig5_synthetic")
+    fig7 = get_scenario("paper_synthetic").replace(
+        name="fig7_synthetic", n_nodes=64, ops_per_node=500
+    )
+    return [
+        ("fig5_synthetic", fig5),
+        ("fig7_synthetic", fig7),
+        ("fanout_bandwidth_aware", get_scenario("fanout_bandwidth_aware")),
+        ("multi_tenant_8", get_scenario("multi_tenant_8")),
+    ]
+
+
+def run_bench(quick=False, label=None, store_dir=None):
+    """Run the pinned set; returns the BENCH document."""
+    label = label or current_git_rev()
+    store = ResultStore(store_dir) if store_dir else None
+    doc = {
+        "schema": 1,
+        "kind": "bench-trajectory",
+        "rev": label,
+        "quick": bool(quick),
+        "python": platform.python_version(),
+        "scenarios": {},
+    }
+    for name, spec in pinned_scenarios():
+        t0 = time.perf_counter()
+        result = spec.run(quick=quick)
+        wall = time.perf_counter() - t0
+        metrics = result_metrics(result)
+        makespan = metrics["makespan_s"]
+        doc["scenarios"][name] = {
+            "spec_hash": spec.spec_hash(),
+            "surface": spec.surface,
+            "wall_time_s": round(wall, 4),
+            "sim_makespan_s": round(makespan, 4),
+            "sim_s_per_wall_s": round(makespan / wall, 2) if wall else None,
+            "metrics": {k: round(v, 6) for k, v in metrics.items()},
+        }
+        print(
+            f"{name:<24} wall {wall:7.2f}s  sim {makespan:9.2f}s  "
+            f"({doc['scenarios'][name]['sim_s_per_wall_s']}x)",
+            file=sys.stderr,
+        )
+        if store is not None:
+            store.save(result, git_rev=label, wall_time_s=wall)
+    return doc
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="CI-friendly reductions of the pinned scenarios",
+    )
+    parser.add_argument(
+        "--label",
+        default=None,
+        metavar="REV",
+        help="trajectory label (default: the current git revision)",
+    )
+    parser.add_argument(
+        "--out",
+        default=None,
+        metavar="PATH",
+        help="output path (default: BENCH_<label>.json at the repo root)",
+    )
+    parser.add_argument(
+        "--store",
+        default=None,
+        metavar="DIR",
+        help="also persist full run artifacts to this result store",
+    )
+    args = parser.parse_args(argv)
+    doc = run_bench(
+        quick=args.quick, label=args.label, store_dir=args.store
+    )
+    out = Path(args.out) if args.out else REPO_ROOT / f"BENCH_{doc['rev']}.json"
+    out.write_text(
+        json.dumps(doc, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+    print(f"trajectory written to {out}", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -15,7 +15,11 @@
 #      run in the FULL profile;
 #   2. a --dump-spec smoke run (flags must keep compiling to a valid
 #      JSON scenario artifact);
-#   3. unused-import lint over the source tree.
+#   3. the parallel experiment plane: a --jobs 2 sweep persisted to a
+#      result store, the serial twin, a store diff between them (must
+#      pair every artifact), and a quick BENCH trajectory run
+#      (scripts/bench.py);
+#   4. unused-import lint over the source tree.
 #
 # Usage, from the repo root:
 #   scripts/check.sh            # fast profile + lint
@@ -31,6 +35,25 @@ else
     python -m pytest -x -q -m "not slow" tests benchmarks
 fi
 python -m repro.cli run --workflow montage --dump-spec - > /dev/null
+
+TMP=$(mktemp -d)
+trap 'rm -rf "$TMP"' EXIT
+python -m repro.cli sweep --scenario paper_synthetic \
+    --set "strategy.name=centralized,hybrid" --quick \
+    --jobs 2 --out "$TMP/par" > /dev/null
+python -m repro.cli sweep --scenario paper_synthetic \
+    --set "strategy.name=centralized,hybrid" --quick \
+    --out "$TMP/ser" > /dev/null
+python -m repro.cli diff "$TMP/par" "$TMP/ser" > "$TMP/diff.txt"
+grep -q "2 paired" "$TMP/diff.txt"
+python -m repro.cli results "$TMP/par" > /dev/null
+python scripts/bench.py --quick --label check \
+    --out "$TMP/BENCH_check.json" 2> /dev/null
+python -c "import json, sys; \
+doc = json.load(open(sys.argv[1])); \
+assert doc['kind'] == 'bench-trajectory' and len(doc['scenarios']) >= 3" \
+    "$TMP/BENCH_check.json"
+
 python -m repro.util.lint src
 
 echo "check: all green"

@@ -11,6 +11,9 @@
     python -m repro.cli run --workflow montage --dump-spec scenario.json
     python -m repro.cli run --spec scenario.json
     python -m repro.cli sweep --scenario paper_synthetic --set "strategy.name=centralized,hybrid"
+    python -m repro.cli sweep --scenario paper_synthetic --set "seed=0,1,2,3" --jobs 4 --out runs/
+    python -m repro.cli results runs/
+    python -m repro.cli diff runs-before/ runs-after/
     python -m repro.cli scenarios
     python -m repro.cli strategies
     python -m repro.cli workloads
@@ -331,7 +334,46 @@ def build_parser() -> argparse.ArgumentParser:
         help="run each cell at CI-friendly op volumes",
     )
     sweep.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help=(
+            "run grid cells in N worker processes (bit-for-bit "
+            "identical to serial; default 1)"
+        ),
+    )
+    sweep.add_argument(
+        "--out",
+        metavar="DIR",
+        help=(
+            "persist every successful cell as a JSON artifact in a "
+            "result store keyed by spec hash + seed (repro.cli results, "
+            "repro.cli diff)"
+        ),
+    )
+    sweep.add_argument(
         "--export", metavar="PATH", help="write the sweep table as JSON"
+    )
+
+    res = sub.add_parser(
+        "results",
+        help="list the run artifacts of a result store directory",
+    )
+    res.add_argument("store", metavar="DIR", help="result store directory")
+
+    diffp = sub.add_parser(
+        "diff",
+        help=(
+            "keyed comparison of two run artifacts or two result-store "
+            "directories: metric deltas and changed spec fields"
+        ),
+    )
+    diffp.add_argument(
+        "a", metavar="A", help="artifact JSON file or store directory"
+    )
+    diffp.add_argument(
+        "b", metavar="B", help="artifact JSON file or store directory"
     )
 
     sub.add_parser("strategies", help="list available strategies")
@@ -638,11 +680,36 @@ def _cmd_sweep(args) -> int:
             )
         if not axes:
             raise ValueError("sweep needs at least one --set axis")
-        result = run_sweep(base, axes, quick=args.quick)
+        if args.jobs < 1:
+            raise ValueError("--jobs must be >= 1")
+        result = run_sweep(base, axes, quick=args.quick, jobs=args.jobs)
     except (ValueError, OSError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
     print(result.render())
+    errored = result.errored_cells()
+    if errored:
+        print(
+            f"\nwarning: {len(errored)} of {len(result.cells)} cells "
+            "errored (marked inline above)",
+            file=sys.stderr,
+        )
+    if args.out:
+        from repro.results import ResultStore, current_git_rev
+
+        store = ResultStore(args.out)
+        rev = current_git_rev()
+        for cell in result.ok_cells():
+            store.save(
+                cell.result,
+                overrides=cell.overrides,
+                git_rev=rev,
+                wall_time_s=cell.wall_time_s,
+            )
+        print(
+            f"\n{len(result.ok_cells())} artifacts written to "
+            f"store {args.out}"
+        )
     if args.export:
         doc = {
             "base": base.to_dict(),
@@ -650,7 +717,10 @@ def _cmd_sweep(args) -> int:
             "cells": [
                 {
                     "overrides": cell.overrides,
-                    "makespan": cell.result.makespan,
+                    "makespan": (
+                        cell.result.makespan if cell.ok else None
+                    ),
+                    "error": cell.error,
                 }
                 for cell in result.cells
             ],
@@ -659,6 +729,67 @@ def _cmd_sweep(args) -> int:
             json.dump(doc, fh, indent=2)
         print(f"\nsweep written to {args.export}")
     return 0
+
+
+def _cmd_results(args) -> int:
+    from repro.results import ResultStore
+
+    store = ResultStore(args.store)
+    docs = store.list()
+    if not docs:
+        print(f"error: no artifacts in {args.store}", file=sys.stderr)
+        return 2
+    rows = []
+    for doc in docs:
+        meta = doc.get("meta") or {}
+        wall = meta.get("wall_time_s")
+        rows.append(
+            [
+                doc["key"],
+                doc.get("name", "?"),
+                doc.get("surface", "?"),
+                f"{doc.get('metrics', {}).get('makespan_s', 0.0):.3f}",
+                meta.get("git_rev") or "-",
+                f"{wall:.2f}" if wall is not None else "-",
+            ]
+        )
+    print(
+        render_table(
+            ["key", "scenario", "surface", "makespan (s)", "rev", "wall (s)"],
+            rows,
+            title=f"result store {args.store} -- {len(docs)} artifacts",
+        )
+    )
+    return 0
+
+
+def _cmd_diff(args) -> int:
+    import os
+
+    from repro.results import diff_artifacts, diff_stores
+
+    try:
+        if os.path.isdir(args.a) and os.path.isdir(args.b):
+            print(diff_stores(args.a, args.b).render())
+            return 0
+        if os.path.isfile(args.a) and os.path.isfile(args.b):
+            with open(args.a) as fh:
+                doc_a = json.load(fh)
+            with open(args.b) as fh:
+                doc_b = json.load(fh)
+            print(
+                diff_artifacts(
+                    doc_a, doc_b, a_label=args.a, b_label=args.b
+                ).render()
+            )
+            return 0
+        raise ValueError(
+            "diff takes two artifact files or two store directories "
+            f"(got {args.a!r}, {args.b!r})"
+        )
+    except (ValueError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
 
 
 def _cmd_workloads(_args) -> int:
@@ -699,6 +830,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         "advise": _cmd_advise,
         "run": _cmd_run,
         "sweep": _cmd_sweep,
+        "results": _cmd_results,
+        "diff": _cmd_diff,
         "strategies": _cmd_strategies,
         "schedulers": _cmd_schedulers,
         "workloads": _cmd_workloads,

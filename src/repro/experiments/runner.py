@@ -35,6 +35,7 @@ def _experiments(
     quick: bool,
     config: Optional[MetadataConfig] = None,
     with_workloads: bool = False,
+    jobs: int = 1,
 ) -> List[Tuple[str, Callable[[], object]]]:
     extra: List[Tuple[str, Callable[[], object]]] = []
     if with_workloads:
@@ -46,6 +47,7 @@ def _experiments(
                 lambda: run_workload_compare(
                     n_tenants=8 if quick else 12,
                     config=config,
+                    jobs=jobs,
                 ),
             )
         )
@@ -104,12 +106,13 @@ def run_all(
     stream=None,
     config: Optional[MetadataConfig] = None,
     with_workloads: bool = False,
+    jobs: int = 1,
 ) -> List[object]:
     """Run all experiments, printing each report; returns result objects."""
     stream = stream or sys.stdout
     results = []
     for name, fn in _experiments(
-        quick, config=config, with_workloads=with_workloads
+        quick, config=config, with_workloads=with_workloads, jobs=jobs
     ):
         t0 = time.time()
         result = fn()
@@ -245,6 +248,16 @@ def main(argv=None) -> int:
         default=None,
         help="admission token_bucket only: per-tenant burst allowance",
     )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help=(
+            "workload comparison only: run (strategy, scheduler) "
+            "combinations in N worker processes (identical results)"
+        ),
+    )
     args = parser.parse_args(argv)
     try:
         # The flags compile to spec components; all cross-field rules
@@ -277,10 +290,17 @@ def main(argv=None) -> int:
                 "--admission/--max-in-flight/--token-* require "
                 "--with-workloads"
             )
+        if args.jobs < 1:
+            raise ValueError("--jobs must be >= 1")
+        if args.jobs != 1 and not args.with_workloads:
+            raise ValueError("--jobs requires --with-workloads")
     except ValueError as exc:
         parser.error(str(exc))
     run_all(
-        quick=args.quick, config=config, with_workloads=args.with_workloads
+        quick=args.quick,
+        config=config,
+        with_workloads=args.with_workloads,
+        jobs=args.jobs,
     )
     return 0
 

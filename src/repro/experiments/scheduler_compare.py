@@ -33,6 +33,7 @@ from repro.scenario import (
     SchedulerSpec,
     StrategySpec,
     TopologySpec,
+    run_sweep,
 )
 from repro.scheduling import SCHEDULER_NAMES
 from repro.experiments.reporting import check, render_table
@@ -196,17 +197,20 @@ def run_scheduler_compare(
     strategy: str = "decentralized",
     input_site: str = "hub",
     config: Optional[MetadataConfig] = None,
+    jobs: int = 1,
 ) -> SchedulerCompareResult:
     """Run the capped-link fan-out under each placement policy.
 
-    A spec consumer: one base :class:`~repro.scenario.ScenarioSpec`
-    describes the whole setup, and each policy is a
-    ``replace("scheduler.name", ...)`` variant run independently --
-    every cell gets a fresh deployment on a freshly-built topology
-    (site caps mutate topologies in place), so the only varying factor
-    is placement.  ``hub_egress_bw`` adds a hierarchical egress cap at
-    the data origin (fair model only); ``config`` supplies
-    :class:`MetadataConfig` defaults the spec's own pins override.
+    A spec consumer on the sweep path: one base
+    :class:`~repro.scenario.ScenarioSpec` describes the whole setup,
+    and :func:`~repro.scenario.run_sweep` runs the one-axis
+    ``scheduler.name`` grid -- every cell gets a fresh deployment on a
+    freshly-built topology (site caps mutate topologies in place), so
+    the only varying factor is placement.  ``jobs=N`` runs policies in
+    N worker processes (identical results).  ``hub_egress_bw`` adds a
+    hierarchical egress cap at the data origin (fair model only);
+    ``config`` supplies :class:`MetadataConfig` defaults the spec's
+    own pins override.
     """
     base = ScenarioSpec(
         name="scheduler-compare",
@@ -228,16 +232,26 @@ def run_scheduler_compare(
         n_nodes=n_nodes,
         bandwidth_model=bandwidth_model,
     )
-    for policy in policies:
-        run = base.replace(**{"scheduler.name": policy}).run(
-            workflow=fanout_workflow(
-                fan_out=fan_out,
-                file_size=file_size,
-                compute_time=compute_time,
-                extra_ops=extra_ops,
-            ),
-            config_base=config,
-        )
+    sweep = run_sweep(
+        base,
+        {"scheduler.name": list(policies)},
+        jobs=jobs,
+        workflow=fanout_workflow(
+            fan_out=fan_out,
+            file_size=file_size,
+            compute_time=compute_time,
+            extra_ops=extra_ops,
+        ),
+        config_base=config,
+    )
+    for cell in sweep.cells:
+        if cell.error is not None:
+            raise RuntimeError(
+                f"scheduler {cell.overrides['scheduler.name']!r} "
+                f"failed: {cell.error}"
+            )
+        policy = cell.overrides["scheduler.name"]
+        run = cell.result
         res = run.result
         result.makespan[policy] = res.makespan
         result.transfer_time[policy] = res.total_transfer_time

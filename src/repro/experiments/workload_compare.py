@@ -36,6 +36,7 @@ from repro.scenario import (
     SchedulerSpec,
     StrategySpec,
     TopologySpec,
+    run_cells,
 )
 from repro.workload import WorkloadSpec
 from repro.workload.result import WorkloadResult
@@ -168,19 +169,22 @@ def run_workload_compare(
     bandwidth_model: str = "slots",
     spread_inputs: bool = True,
     config: Optional[MetadataConfig] = None,
+    jobs: int = 1,
 ) -> WorkloadCompareResult:
     """Run the identical K-tenant workload under each combination.
 
-    A spec consumer: one base :class:`~repro.scenario.ScenarioSpec`
-    carries the shared workload/admission description, and each
-    (strategy, scheduler) cell is a ``replace(...)`` variant run
-    independently -- every combination gets a fresh deployment with
-    the same seed and an identically generated workload (the workload
-    seed is independent of the deployment's), so strategy and
-    placement policy are the only varying factors.  ``spread_inputs``
-    stages tenant inputs round-robin across the topology's sites
-    (per-tenant data origins); admission knobs apply to every
-    combination alike.
+    A spec consumer on the sweep path: one base
+    :class:`~repro.scenario.ScenarioSpec` carries the shared
+    workload/admission description, each (strategy, scheduler) cell is
+    a ``replace(...)`` variant, and the grid runs through
+    :func:`~repro.scenario.run_cells` -- every combination gets a
+    fresh deployment with the same seed and an identically generated
+    workload (the workload seed is independent of the deployment's),
+    so strategy and placement policy are the only varying factors.
+    ``jobs=N`` runs combinations in N worker processes (identical
+    results).  ``spread_inputs`` stages tenant inputs round-robin
+    across the topology's sites (per-tenant data origins); admission
+    knobs apply to every combination alike.
     """
     # A config that already pins an admission policy (e.g. built by the
     # experiment runner's --admission) wins over the scenario default.
@@ -215,6 +219,7 @@ def run_workload_compare(
         mode=mode,
         admission=admission,
     )
+    cells = []
     for strategy in strategies:
         for scheduler in schedulers:
             spec = base.replace(
@@ -236,8 +241,15 @@ def run_workload_compare(
                     name=f"{strategy}/{scheduler}",
                 ),
             )
-            run = spec.run(config_base=config)
-            result.results[(strategy, scheduler)] = run.result
+            cells.append(({"strategy": strategy, "scheduler": scheduler}, spec))
+    for cell in run_cells(cells, jobs=jobs, config_base=config):
+        if cell.error is not None:
+            raise RuntimeError(
+                f"combination {cell.overrides['strategy']}/"
+                f"{cell.overrides['scheduler']} failed: {cell.error}"
+            )
+        combo = (cell.overrides["strategy"], cell.overrides["scheduler"])
+        result.results[combo] = cell.result.result
     return result
 
 

@@ -1,0 +1,157 @@
+"""Persistent run artifacts: JSON files keyed by spec hash + seed.
+
+A :class:`ResultStore` is a flat directory of scenario-run artifacts,
+one JSON file per run, named ``<spec_hash12>-s<seed>.json``.  The spec
+hash (:meth:`ScenarioSpec.spec_hash
+<repro.scenario.spec.ScenarioSpec.spec_hash>`) covers every field of
+the frozen spec -- two stores produced at different commits from the
+*same* specs share file keys exactly, which is what makes
+``repro.cli diff A B`` a keyed comparison: matching keys isolate code
+changes, changed keys isolate spec changes (paired up by scenario
+name + seed + sweep overrides instead).
+
+The artifact payload is :func:`~repro.results.serialize
+.scenario_result_to_dict` verbatim; caller-stamped context that must
+*not* participate in the bit-for-bit result contract (git revision,
+wall time, the sweep overrides that produced the cell) lives under the
+``meta`` key.
+
+::
+
+    store = ResultStore("runs/")
+    store.save(spec.run(), git_rev=current_git_rev(), wall_time_s=1.2)
+    store.lookup(spec)          # -> the artifact dict, or None
+    store.list()                # -> every artifact, sorted by key
+"""
+
+from __future__ import annotations
+
+import json
+import subprocess
+from pathlib import Path
+from typing import Any, Dict, List, Mapping, Optional, Union
+
+from repro.results.serialize import scenario_result_to_dict
+from repro.scenario.runner import ScenarioResult
+from repro.scenario.spec import ScenarioSpec
+
+__all__ = ["ResultStore", "current_git_rev"]
+
+#: Hash-prefix length in artifact filenames: 48 bits -- far beyond any
+#: realistic store size, short enough to read.
+KEY_HASH_LEN = 12
+
+
+def current_git_rev(default: str = "unknown") -> str:
+    """The repo's short git revision, or ``default`` outside a checkout.
+
+    Resolved against *this source tree* (not the caller's cwd): the
+    revision stamped on an artifact identifies the code that produced
+    it, which is exactly what the BENCH trajectory compares across.
+    """
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            capture_output=True,
+            text=True,
+            timeout=10,
+            cwd=Path(__file__).resolve().parent,
+        )
+    except (OSError, subprocess.SubprocessError):
+        return default
+    rev = out.stdout.strip()
+    return rev if out.returncode == 0 and rev else default
+
+
+class ResultStore:
+    """A directory of scenario-run artifacts keyed by spec hash + seed."""
+
+    def __init__(self, root: Union[str, Path]):
+        self.root = Path(root)
+
+    # -- keys --------------------------------------------------------------
+
+    @staticmethod
+    def key_for(spec: ScenarioSpec) -> str:
+        """The artifact key of ``spec``: ``<hash12>-s<seed>``.
+
+        The seed is already inside the hash; it rides along in the key
+        so directory listings stay human-scannable.
+        """
+        return f"{spec.spec_hash()[:KEY_HASH_LEN]}-s{spec.seed}"
+
+    def path_for(self, spec: ScenarioSpec) -> Path:
+        return self.root / f"{self.key_for(spec)}.json"
+
+    def paths(self) -> List[Path]:
+        """Every artifact file in the store, sorted by name."""
+        if not self.root.is_dir():
+            return []
+        return sorted(self.root.glob("*.json"))
+
+    # -- persistence -------------------------------------------------------
+
+    def save(
+        self,
+        result: ScenarioResult,
+        overrides: Optional[Mapping[str, Any]] = None,
+        git_rev: Optional[str] = None,
+        wall_time_s: Optional[float] = None,
+        include_ops: bool = False,
+    ) -> Path:
+        """Persist one run; returns the artifact path.
+
+        ``overrides`` records the sweep-axis values that derived this
+        cell's spec from its base (the stable pairing key when specs
+        -- and therefore hashes -- differ between two diffed stores);
+        ``git_rev``/``wall_time_s`` stamp provenance.  All three land
+        under ``meta``, outside the bit-for-bit result payload.
+        """
+        doc = scenario_result_to_dict(result, include_ops=include_ops)
+        doc["meta"] = {
+            "git_rev": git_rev,
+            "wall_time_s": wall_time_s,
+            "overrides": dict(overrides) if overrides else {},
+        }
+        self.root.mkdir(parents=True, exist_ok=True)
+        path = self.path_for(result.spec)
+        path.write_text(
+            json.dumps(doc, indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+        return path
+
+    # -- retrieval ---------------------------------------------------------
+
+    def load(self, ref: Union[str, Path]) -> Dict[str, Any]:
+        """Load one artifact by key (``<hash12>-s<seed>``) or path."""
+        path = Path(ref)
+        if not path.suffix:
+            path = self.root / f"{ref}.json"
+        if not path.is_file():
+            raise FileNotFoundError(
+                f"no artifact {ref!r} in store {self.root}"
+            )
+        return json.loads(path.read_text(encoding="utf-8"))
+
+    def list(self) -> List[Dict[str, Any]]:
+        """Every artifact document, in key order, ``key`` included."""
+        docs = []
+        for path in self.paths():
+            doc = json.loads(path.read_text(encoding="utf-8"))
+            doc["key"] = path.stem
+            docs.append(doc)
+        return docs
+
+    def lookup(self, spec: ScenarioSpec) -> Optional[Dict[str, Any]]:
+        """The stored artifact of ``spec``, or ``None`` if absent."""
+        path = self.path_for(spec)
+        if not path.is_file():
+            return None
+        return json.loads(path.read_text(encoding="utf-8"))
+
+    def __len__(self) -> int:
+        return len(self.paths())
+
+    def __repr__(self) -> str:
+        return f"<ResultStore {self.root} ({len(self)} artifacts)>"

@@ -28,7 +28,12 @@ from repro.scenario.spec import (
     WORKFLOW_BUILDERS,
     config_from_specs,
 )
-from repro.scenario.sweep import SweepCell, SweepResult, run_sweep
+from repro.scenario.sweep import (
+    SweepCell,
+    SweepResult,
+    run_cells,
+    run_sweep,
+)
 
 #: Ergonomic alias: ``Scenario.run(...)`` reads like the entrypoint it is.
 Scenario = ScenarioSpec
@@ -54,6 +59,7 @@ __all__ = [
     "config_from_specs",
     "get_scenario",
     "register_scenario",
+    "run_cells",
     "run_scenario",
     "run_sweep",
 ]

@@ -33,6 +33,7 @@ Three execution surfaces cover every experiment shape in the repo:
 from __future__ import annotations
 
 import dataclasses
+import hashlib
 import json
 from dataclasses import dataclass, field
 from typing import Any, Dict, Mapping, Optional, Tuple
@@ -884,6 +885,31 @@ class ScenarioSpec:
 
     def to_json(self, indent: int = 2) -> str:
         return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    def canonical_json(self) -> str:
+        """The canonical serialized form :meth:`spec_hash` digests.
+
+        Sorted keys, minimal separators: any two specs with equal
+        :meth:`to_dict` output produce the identical string.
+        """
+        return json.dumps(
+            self.to_dict(), sort_keys=True, separators=(",", ":")
+        )
+
+    def spec_hash(self) -> str:
+        """A stable content hash of this spec (hex SHA-256).
+
+        The key under which :class:`~repro.results.ResultStore`
+        persists run artifacts: equal specs hash equally across
+        processes and sessions, and *any* field change (including
+        nested sub-spec fields) changes the hash.  The hash of the
+        ``paper_default`` scenario is pinned by a golden test --
+        accidental spec-shape changes that would orphan stored
+        artifacts fail loudly there.
+        """
+        return hashlib.sha256(
+            self.canonical_json().encode("utf-8")
+        ).hexdigest()
 
     @classmethod
     def from_json(cls, text: str) -> "ScenarioSpec":

@@ -11,30 +11,86 @@ or mutated between cells) and tabulates the results::
         {"strategy.name": ["centralized", "decentralized", "hybrid"],
          "network.bandwidth_model": [None, "fair"]},
         quick=True,
+        jobs=4,
     )
     print(res.render())
 
-The CLI form is ``repro.cli sweep --scenario NAME --set path=v1,v2``.
+``jobs=N`` dispatches grid cells to a ``multiprocessing.Pool``.  Every
+cell is a self-contained picklable unit -- a frozen spec from which the
+worker rebuilds the whole deployment -- so the parallel run is
+**bit-for-bit identical** to the serial one (pinned by
+``tests/scenario/test_sweep_parallel.py``); only wall time differs.
+A failing cell is captured as :attr:`SweepCell.error` instead of
+killing the grid, in serial and parallel mode alike.
+
+The CLI form is ``repro.cli sweep --scenario NAME --set path=v1,v2
+[--jobs N] [--out DIR]``.
 """
 
 from __future__ import annotations
 
+import copy
 import itertools
+import multiprocessing
+import time
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Mapping, Sequence, Tuple
+from typing import (
+    Any,
+    Dict,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
 from repro.scenario.runner import ScenarioResult, run_scenario
 from repro.scenario.spec import ScenarioSpec
 
-__all__ = ["SweepCell", "SweepResult", "run_sweep"]
+__all__ = ["SweepCell", "SweepResult", "run_cells", "run_sweep"]
+
+#: Default-name labels for ``None`` override values: pinning ``None``
+#: keeps the surface's default, so the table shows the default's *name*
+#: rather than the literal string ``None``.
+NONE_LABELS: Dict[str, str] = {
+    "network.bandwidth_model": "slots",
+    "scheduler.name": "locality",
+    "scheduler": "locality",
+    "admission": "unbounded",
+}
+
+
+def _axis_label(axis: str, value: Any) -> str:
+    if value is None:
+        return NONE_LABELS.get(axis, "default")
+    return str(value)
 
 
 @dataclass
 class SweepCell:
-    """One grid point: the overrides applied and the run's result."""
+    """One grid point: the overrides applied and the run's outcome.
+
+    Exactly one of ``result``/``error`` is set: a failing cell reports
+    its error inline instead of killing the grid (per-cell isolation).
+    ``wall_time_s`` is real execution time -- metadata for artifact
+    stamping, never part of the serialized result payload (the
+    parallel-vs-serial bit-for-bit contract covers payloads only).
+    """
 
     overrides: Dict[str, Any]
-    result: ScenarioResult
+    result: Optional[ScenarioResult] = None
+    error: Optional[str] = None
+    wall_time_s: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON document form; see ``repro.results.serialize``."""
+        from repro.results.serialize import sweep_cell_to_dict
+
+        return sweep_cell_to_dict(self)
 
 
 @dataclass
@@ -44,6 +100,18 @@ class SweepResult:
     base: ScenarioSpec
     axes: Dict[str, Tuple[Any, ...]]
     cells: List[SweepCell] = field(default_factory=list)
+
+    def ok_cells(self) -> List[SweepCell]:
+        return [c for c in self.cells if c.ok]
+
+    def errored_cells(self) -> List[SweepCell]:
+        return [c for c in self.cells if not c.ok]
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON document form; see ``repro.results.serialize``."""
+        from repro.results.serialize import sweep_result_to_dict
+
+        return sweep_result_to_dict(self)
 
     def _detail(self, cell: SweepCell) -> str:
         res = cell.result.result
@@ -60,11 +128,19 @@ class SweepResult:
         from repro.experiments.reporting import render_table
 
         headers = list(self.axes) + ["makespan (s)", "detail"]
-        rows = [
-            [str(cell.overrides[axis]) for axis in self.axes]
-            + [f"{cell.result.makespan:.3f}", self._detail(cell)]
-            for cell in self.cells
-        ]
+        rows = []
+        for cell in self.cells:
+            labels = [
+                _axis_label(axis, cell.overrides[axis])
+                for axis in self.axes
+            ]
+            if cell.error is not None:
+                rows.append(labels + ["--", f"ERROR: {cell.error}"])
+            else:
+                rows.append(
+                    labels
+                    + [f"{cell.result.makespan:.3f}", self._detail(cell)]
+                )
         return render_table(
             headers,
             rows,
@@ -75,16 +151,98 @@ class SweepResult:
         )
 
 
+def _run_cell(
+    payload: Tuple[
+        Dict[str, Any], ScenarioSpec, bool, Optional[object], Optional[object]
+    ]
+) -> SweepCell:
+    """Execute one self-contained cell; never raises on cell failure.
+
+    Module-level so a ``multiprocessing.Pool`` can pickle it; the
+    worker rebuilds the deployment, topology and controller entirely
+    from the (pickled) frozen spec, which is what makes ``jobs=N``
+    bit-for-bit equal to serial execution.
+    """
+    overrides, spec, quick, workflow, config_base = payload
+    t0 = time.perf_counter()
+    try:
+        result = run_scenario(
+            spec, quick=quick, workflow=workflow, config_base=config_base
+        )
+    except Exception as exc:  # per-cell isolation: report, don't kill
+        return SweepCell(
+            overrides=overrides,
+            error=f"{type(exc).__name__}: {exc}",
+            wall_time_s=time.perf_counter() - t0,
+        )
+    return SweepCell(
+        overrides=overrides,
+        result=result,
+        wall_time_s=time.perf_counter() - t0,
+    )
+
+
+def run_cells(
+    cells: Sequence[Tuple[Mapping[str, Any], ScenarioSpec]],
+    quick: bool = False,
+    jobs: int = 1,
+    workflow=None,
+    config_base=None,
+) -> List[SweepCell]:
+    """Execute ``(overrides, spec)`` cells, optionally in parallel.
+
+    The primitive under :func:`run_sweep` (and the compare
+    experiments, which build non-cartesian grids): each cell runs
+    independently on a fresh deployment, failures are captured
+    per-cell, and results come back in input order.
+
+    ``jobs > 1`` dispatches cells to a ``multiprocessing.Pool``; a
+    prebuilt ``workflow`` (workflow surface only) is deep-copied per
+    cell in serial mode -- exactly what pickling does on the parallel
+    path -- so no DAG instance is ever shared between runs.
+    """
+    if jobs < 1:
+        raise ValueError("jobs must be >= 1")
+    payloads = [
+        (dict(overrides), spec, quick, workflow, config_base)
+        for overrides, spec in cells
+    ]
+    jobs = min(jobs, len(payloads))
+    if jobs <= 1:
+        return [
+            _run_cell(
+                (
+                    overrides,
+                    spec,
+                    quick_,
+                    copy.deepcopy(wf) if wf is not None else None,
+                    config,
+                )
+            )
+            for overrides, spec, quick_, wf, config in payloads
+        ]
+    with multiprocessing.Pool(processes=jobs) as pool:
+        # chunksize=1: cells are coarse units; keep ordering simple and
+        # let slow cells overlap fast ones.
+        return pool.map(_run_cell, payloads, chunksize=1)
+
+
 def run_sweep(
     base: ScenarioSpec,
     axes: Mapping[str, Sequence[Any]],
     quick: bool = False,
+    jobs: int = 1,
+    workflow=None,
+    config_base=None,
 ) -> SweepResult:
     """Run the cartesian product of ``axes`` overrides over ``base``.
 
     ``axes`` maps dotted spec paths (as accepted by
     :meth:`ScenarioSpec.replace`) to the values each axis takes; every
-    combination is validated and executed independently.
+    combination is validated and executed independently.  ``jobs=N``
+    runs cells in N worker processes (same results, see
+    :func:`run_cells`); ``workflow``/``config_base`` pass through to
+    :func:`~repro.scenario.runner.run_scenario` for every cell.
     """
     if not axes:
         raise ValueError("sweep needs at least one override axis")
@@ -95,11 +253,33 @@ def run_sweep(
         if not vals:
             raise ValueError(f"sweep axis {key!r} has no values")
         values.append(vals)
-    out = SweepResult(base=base, axes=dict(zip(keys, values)))
+    # A malformed override path fails its *cell*, not the grid --
+    # replace() errors land in the cell's error slot like run errors.
+    prepared: List[
+        Tuple[Dict[str, Any], Optional[ScenarioSpec], Optional[str]]
+    ] = []
     for combo in itertools.product(*values):
         overrides = dict(zip(keys, combo))
-        spec = base.replace(**overrides)
+        try:
+            prepared.append((overrides, base.replace(**overrides), None))
+        except ValueError as exc:
+            prepared.append(
+                (overrides, None, f"{type(exc).__name__}: {exc}")
+            )
+    ran = iter(
+        run_cells(
+            [(o, spec) for o, spec, err in prepared if err is None],
+            quick=quick,
+            jobs=jobs,
+            workflow=workflow,
+            config_base=config_base,
+        )
+    )
+    out = SweepResult(base=base, axes=dict(zip(keys, values)))
+    for overrides, _spec, err in prepared:
         out.cells.append(
-            SweepCell(overrides=overrides, result=run_scenario(spec, quick=quick))
+            next(ran)
+            if err is None
+            else SweepCell(overrides=overrides, error=err)
         )
     return out

@@ -29,7 +29,7 @@ class TestRunnerStructure:
         monkeypatch.setattr(
             runner,
             "_experiments",
-            lambda quick, config=None, with_workloads=False: [
+            lambda quick, config=None, with_workloads=False, jobs=1: [
                 ("Fig. X", lambda: FakeResult())
             ],
         )
@@ -44,7 +44,7 @@ class TestRunnerStructure:
         called = {}
 
         def fake_run_all(
-            quick=False, stream=None, config=None, with_workloads=False
+            quick=False, stream=None, config=None, with_workloads=False, jobs=1
         ):
             called["quick"] = quick
             called["config"] = config
@@ -59,7 +59,7 @@ class TestRunnerStructure:
         called = {}
 
         def fake_run_all(
-            quick=False, stream=None, config=None, with_workloads=False
+            quick=False, stream=None, config=None, with_workloads=False, jobs=1
         ):
             called["config"] = config
             return []
@@ -72,7 +72,7 @@ class TestRunnerStructure:
         called = {}
 
         def fake_run_all(
-            quick=False, stream=None, config=None, with_workloads=False
+            quick=False, stream=None, config=None, with_workloads=False, jobs=1
         ):
             called["config"] = config
             return []
@@ -91,7 +91,7 @@ class TestRunnerStructure:
         called = {}
 
         def fake_run_all(
-            quick=False, stream=None, config=None, with_workloads=False
+            quick=False, stream=None, config=None, with_workloads=False, jobs=1
         ):
             called["config"] = config
             return []

@@ -379,3 +379,40 @@ class TestRegistry:
             register_scenario(spec, overwrite=True)
         finally:
             SCENARIOS.pop("_test_tmp", None)
+
+
+class TestSpecHash:
+    #: Golden content hash of the paper_default scenario.  This pin is
+    #: the artifact-store compatibility contract: if it moves, every
+    #: previously written store key goes stale -- change it only with
+    #: a deliberate spec-schema migration.
+    PAPER_DEFAULT_HASH = (
+        "75a7763ac1219014a6df0a043a49637549235e8f47225b8fd88568d5eb1767ba"
+    )
+
+    def test_paper_default_hash_is_pinned(self):
+        assert (
+            get_scenario("paper_default").spec_hash()
+            == self.PAPER_DEFAULT_HASH
+        )
+
+    def test_hash_is_stable_across_instances(self):
+        a = get_scenario("paper_default")
+        b = ScenarioSpec.from_dict(a.to_dict())
+        assert a.spec_hash() == b.spec_hash()
+        assert a.canonical_json() == b.canonical_json()
+
+    def test_hash_covers_every_field_change(self):
+        base = get_scenario("paper_default")
+        assert base.replace(seed=99).spec_hash() != base.spec_hash()
+        assert (
+            base.replace(**{"strategy.name": "centralized"}).spec_hash()
+            != base.spec_hash()
+        )
+        # name participates too: artifacts self-identify by scenario.
+        assert base.replace(name="other").spec_hash() != base.spec_hash()
+
+    def test_hash_is_hex_sha256(self):
+        h = get_scenario("paper_default").spec_hash()
+        assert len(h) == 64
+        int(h, 16)

@@ -1,0 +1,123 @@
+"""Parallel sweep contract: jobs=N is bit-for-bit serial, cells isolate failures."""
+
+import json
+
+import pytest
+
+from repro.scenario import get_scenario, run_cells, run_sweep
+from repro.scenario.sweep import NONE_LABELS
+
+
+def _serialized_cells(sweep):
+    """Each cell's result payload as canonical JSON (errors as-is)."""
+    return [
+        json.dumps(c.to_dict()["result"], sort_keys=True)
+        if c.ok
+        else c.error
+        for c in sweep.cells
+    ]
+
+
+class TestParallelEquivalence:
+    def test_jobs2_bit_for_bit_equal_to_serial_on_2x2_grid(self):
+        base = get_scenario("paper_synthetic")
+        axes = {
+            "strategy.name": ["centralized", "hybrid"],
+            "seed": [0, 1],
+        }
+        serial = run_sweep(base, axes, quick=True, jobs=1)
+        parallel = run_sweep(base, axes, quick=True, jobs=2)
+        assert _serialized_cells(serial) == _serialized_cells(parallel)
+
+    @pytest.mark.slow
+    def test_jobs4_bit_for_bit_equal_on_8_cell_grid(self):
+        base = get_scenario("paper_synthetic")
+        axes = {
+            "strategy.name": ["centralized", "hybrid"],
+            "n_nodes": [4, 8],
+            "seed": [0, 1],
+        }
+        serial = run_sweep(base, axes, quick=True, jobs=1)
+        parallel = run_sweep(base, axes, quick=True, jobs=4)
+        assert len(serial.cells) == 8
+        assert _serialized_cells(serial) == _serialized_cells(parallel)
+
+    def test_parallel_workflow_surface_matches_serial(self):
+        # The workflow surface pickles a prebuilt DAG to the workers;
+        # serial mode deep-copies it per cell -- same isolation.
+        from repro.experiments.scheduler_compare import run_scheduler_compare
+
+        policies = ("locality", "bandwidth_aware")
+        serial = run_scheduler_compare(policies=policies, jobs=1)
+        parallel = run_scheduler_compare(policies=policies, jobs=2)
+        assert serial.makespan == parallel.makespan
+        assert serial.wan_bytes == parallel.wan_bytes
+        assert serial.tasks_per_site == parallel.tasks_per_site
+
+    def test_jobs_rejects_nonpositive(self):
+        base = get_scenario("paper_synthetic")
+        with pytest.raises(ValueError, match="jobs"):
+            run_sweep(base, {"seed": [0, 1]}, quick=True, jobs=0)
+        with pytest.raises(ValueError, match="jobs"):
+            run_cells([({}, base)], jobs=-1)
+
+
+class TestFailureIsolation:
+    @pytest.mark.parametrize("jobs", [1, 2])
+    def test_one_invalid_override_errors_one_cell_only(self, jobs):
+        base = get_scenario("paper_synthetic")
+        res = run_sweep(
+            base,
+            {"strategy.name": ["centralized", "nope"]},
+            quick=True,
+            jobs=jobs,
+        )
+        assert len(res.cells) == 2
+        ok, bad = res.cells
+        assert ok.ok and ok.result is not None
+        assert not bad.ok and bad.result is None
+        assert "nope" in bad.error
+        assert res.ok_cells() == [ok]
+        assert res.errored_cells() == [bad]
+
+    def test_runtime_failure_is_captured_per_cell(self):
+        # An override that passes replace() but fails at run time:
+        # a fair-model-only knob under the slots model.
+        base = get_scenario("paper_synthetic")
+        res = run_sweep(
+            base,
+            {"network.egress_cap_mb": [None, 50.0]},
+            quick=True,
+        )
+        assert res.cells[0].ok
+        assert not res.cells[1].ok
+        assert "egress" in res.cells[1].error
+
+    def test_errored_cells_render_inline(self):
+        base = get_scenario("paper_synthetic")
+        res = run_sweep(
+            base, {"strategy.name": ["centralized", "nope"]}, quick=True
+        )
+        text = res.render()
+        assert "ERROR:" in text
+        assert "nope" in text
+        # The good cell still shows its makespan.
+        assert "centralized" in text
+
+
+class TestNoneLabelRendering:
+    def test_none_bandwidth_model_renders_default_name(self):
+        base = get_scenario("paper_synthetic")
+        res = run_sweep(
+            base,
+            {"network.bandwidth_model": [None, "fair"]},
+            quick=True,
+        )
+        text = res.render()
+        assert "slots" in text
+        assert "None" not in text
+
+    def test_none_labels_cover_defaultable_axes(self):
+        assert NONE_LABELS["network.bandwidth_model"] == "slots"
+        assert NONE_LABELS["scheduler.name"] == "locality"
+        assert NONE_LABELS["admission"] == "unbounded"

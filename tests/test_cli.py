@@ -483,3 +483,156 @@ class TestSweepCommand:
         rc = main(["sweep", "--scenario", "nope", "--set", "n_nodes=4"])
         assert rc == 2
         assert "unknown scenario" in capsys.readouterr().err
+
+
+class TestSweepParallelAndStore:
+    def _base(self, tmp_path):
+        from repro.scenario import ScenarioSpec
+
+        path = tmp_path / "base.json"
+        ScenarioSpec(
+            name="cli-par", surface="synthetic", ops_per_node=5, n_nodes=8
+        ).save(path)
+        return path
+
+    def test_sweep_jobs_writes_same_artifacts_as_serial(
+        self, capsys, tmp_path
+    ):
+        base = self._base(tmp_path)
+        argv = ["sweep", "--spec", str(base), "--set", "seed=0,1"]
+        assert main(argv + ["--jobs", "2", "--out", str(tmp_path / "a")]) == 0
+        assert main(argv + ["--out", str(tmp_path / "b")]) == 0
+        out = capsys.readouterr().out
+        assert "2 artifacts written" in out
+        a_files = sorted(p.name for p in (tmp_path / "a").glob("*.json"))
+        b_files = sorted(p.name for p in (tmp_path / "b").glob("*.json"))
+        assert a_files == b_files and len(a_files) == 2
+        import json
+
+        for name in a_files:
+            doc_a = json.loads((tmp_path / "a" / name).read_text())
+            doc_b = json.loads((tmp_path / "b" / name).read_text())
+            # meta carries wall time (varies run to run); the result
+            # payload itself is bit-for-bit identical.
+            doc_a.pop("meta")
+            doc_b.pop("meta")
+            assert doc_a == doc_b
+
+    def test_sweep_rejects_bad_jobs(self, capsys):
+        rc = main(
+            [
+                "sweep", "--scenario", "paper_synthetic",
+                "--set", "seed=0", "--jobs", "0",
+            ]
+        )
+        assert rc == 2
+        assert "--jobs" in capsys.readouterr().err
+
+    def test_sweep_export_marks_errored_cells(self, capsys, tmp_path):
+        import json
+
+        base = self._base(tmp_path)
+        out_path = tmp_path / "sweep.json"
+        assert (
+            main(
+                [
+                    "sweep", "--spec", str(base),
+                    "--set", "strategy.name=centralized,nope",
+                    "--export", str(out_path),
+                ]
+            )
+            == 0
+        )
+        err = capsys.readouterr().err
+        assert "1 of 2 cells errored" in err
+        doc = json.loads(out_path.read_text())
+        assert doc["cells"][0]["error"] is None
+        assert doc["cells"][0]["makespan"] is not None
+        assert doc["cells"][1]["makespan"] is None
+        assert "nope" in doc["cells"][1]["error"]
+
+
+class TestResultsCommand:
+    def test_results_lists_store(self, capsys, tmp_path):
+        base_path = tmp_path / "base.json"
+        from repro.scenario import ScenarioSpec
+
+        ScenarioSpec(
+            name="cli-res", surface="synthetic", ops_per_node=5, n_nodes=8
+        ).save(base_path)
+        store = tmp_path / "runs"
+        assert (
+            main(
+                [
+                    "sweep", "--spec", str(base_path),
+                    "--set", "seed=0,1",
+                    "--out", str(store),
+                ]
+            )
+            == 0
+        )
+        capsys.readouterr()
+        assert main(["results", str(store)]) == 0
+        out = capsys.readouterr().out
+        assert "2 artifacts" in out
+        assert "cli-res" in out
+        assert "-s0" in out and "-s1" in out
+
+    def test_results_empty_store_errors(self, capsys, tmp_path):
+        rc = main(["results", str(tmp_path / "empty")])
+        assert rc == 2
+        assert "no artifacts" in capsys.readouterr().err
+
+
+class TestDiffCommand:
+    def _store(self, tmp_path, name, n_nodes):
+        from repro.scenario import ScenarioSpec
+
+        base_path = tmp_path / f"{name}.json"
+        ScenarioSpec(
+            name="cli-diff",
+            surface="synthetic",
+            ops_per_node=5,
+            n_nodes=n_nodes,
+        ).save(base_path)
+        store = tmp_path / name
+        assert (
+            main(
+                [
+                    "sweep", "--spec", str(base_path),
+                    "--set", "seed=0",
+                    "--out", str(store),
+                ]
+            )
+            == 0
+        )
+        return store
+
+    def test_diff_two_stores_renders_keyed_delta(self, capsys, tmp_path):
+        a = self._store(tmp_path, "a", n_nodes=8)
+        b = self._store(tmp_path, "b", n_nodes=4)
+        capsys.readouterr()
+        assert main(["diff", str(a), str(b)]) == 0
+        out = capsys.readouterr().out
+        assert "1 paired" in out
+        assert "n_nodes" in out
+        assert "makespan_s" in out
+
+    def test_diff_two_artifact_files(self, capsys, tmp_path):
+        a = self._store(tmp_path, "a", n_nodes=8)
+        b = self._store(tmp_path, "b", n_nodes=4)
+        capsys.readouterr()
+        file_a = sorted(a.glob("*.json"))[0]
+        file_b = sorted(b.glob("*.json"))[0]
+        assert main(["diff", str(file_a), str(file_b)]) == 0
+        out = capsys.readouterr().out
+        assert "n_nodes" in out
+        assert "makespan_s" in out
+
+    def test_diff_mixed_targets_errors(self, capsys, tmp_path):
+        a = self._store(tmp_path, "a", n_nodes=8)
+        capsys.readouterr()
+        file_a = sorted(a.glob("*.json"))[0]
+        rc = main(["diff", str(a), str(file_a)])
+        assert rc == 2
+        assert "two artifact files or two store" in capsys.readouterr().err
