@@ -18,7 +18,9 @@
 #   3. the parallel experiment plane: a --jobs 2 sweep persisted to a
 #      result store, the serial twin, a store diff between them (must
 #      pair every artifact), and a quick BENCH trajectory run
-#      (scripts/bench.py);
+#      (scripts/bench.py) gated against BENCH_seed.json -- any pinned
+#      scenario whose --quick wall exceeds 1.25x the committed seed
+#      full-run wall fails the check (kernel-regression smoke);
 #   4. unused-import lint over the source tree.
 #
 # Usage, from the repo root:
@@ -53,6 +55,25 @@ python -c "import json, sys; \
 doc = json.load(open(sys.argv[1])); \
 assert doc['kind'] == 'bench-trajectory' and len(doc['scenarios']) >= 3" \
     "$TMP/BENCH_check.json"
+# Bench-regression smoke: a --quick run covers a fraction of each full
+# pinned scenario, so its wall must sit far below the committed seed
+# wall; any quick scenario exceeding 1.25x the seed's FULL wall means
+# an order-of-magnitude kernel/solver regression, not timer noise.
+python - "$TMP/BENCH_check.json" BENCH_seed.json <<'PY'
+import json, sys
+quick = json.load(open(sys.argv[1]))["scenarios"]
+seed = json.load(open(sys.argv[2]))["scenarios"]
+bad = [
+    (name, quick[name]["wall_time_s"], entry["wall_time_s"])
+    for name, entry in seed.items()
+    if name in quick
+    and quick[name]["wall_time_s"] > 1.25 * entry["wall_time_s"]
+]
+for name, got, ref in bad:
+    print(f"bench regression: {name} quick wall {got}s > "
+          f"1.25 x seed wall {ref}s", file=sys.stderr)
+sys.exit(1 if bad else 0)
+PY
 
 python -m repro.util.lint src
 

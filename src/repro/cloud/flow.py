@@ -45,6 +45,25 @@ rescheduled via :meth:`~repro.sim.core.Environment.reschedule` (O(log n)
 per flow thanks to the kernel's lazily-deleted calendar entries; no heap
 rebuilds).
 
+Incremental re-solve
+--------------------
+
+Links only influence each other through *finite* site caps: a finite
+egress cap couples the links leaving a site, a finite ingress cap the
+links entering one, and those couplings compose transitively.
+Water-filling therefore decomposes exactly over the connected
+components of that coupling graph -- a changed flow can only move the
+rates of flows in its own component.  :meth:`FlowNetwork.rebalance`
+exploits this (``solver="incremental"``, the default): given the link
+a change originated on, it settles and re-solves just that component
+and leaves every other flow's rate, timer, and calendar entry alone.
+``solver="global"`` restores the legacy full re-solve per change, and
+``solver="verify"`` runs the incremental update *and* a shadow global
+solve, asserting the rates agree (used by the equivalence tests; the
+tolerance is loose only because the ``_LEVEL_RTOL`` tie threshold is
+evaluated against a global minimum level in one mode and a
+per-component one in the other).  See ``docs/performance.md``.
+
 Fault semantics: :meth:`FairShareLink.abort` tears down an in-flight
 flow (site outage, link flap).  The flow's waiter sees
 :class:`FlowAborted`; bytes already transmitted at the abort instant are
@@ -375,7 +394,7 @@ class FairShareLink:
     def _rebalance(self) -> None:
         """Settle, recompute shares, and reschedule affected completions."""
         if self.network is not None:
-            self.network.rebalance()
+            self.network.rebalance(changed=self)
             return
         now = self.env.now
         self.stats.rebalances += 1
@@ -410,7 +429,7 @@ class FairShareLink:
             if self.network is not None:
                 # Coupled links may gain headroom even when this one
                 # drained, so the network always rebalances.
-                self.network.rebalance()
+                self.network.rebalance(changed=self)
             elif self.flows:
                 self._rebalance()
             flow.done.succeed(flow)
@@ -439,6 +458,13 @@ class FlowNetwork:
     bytes/second (``inf`` disables a cap); it is consulted live on every
     rebalance, so topology-level cap changes take effect immediately.
 
+    ``solver`` picks the re-solve strategy: ``"incremental"`` (default)
+    re-solves only the constraint component reachable from the changed
+    link (see the module docstring), ``"global"`` re-solves everything
+    on every change (the legacy behavior, kept as a debug mode), and
+    ``"verify"`` runs the incremental update plus a shadow global solve
+    asserting the two agree.
+
     The network is also the fault-teardown surface: :meth:`site_outage`
     aborts every in-flight flow touching a site and marks it *down* for
     the outage window (:meth:`down_remaining` lets the transport delay
@@ -452,9 +478,21 @@ class FlowNetwork:
         site_caps: Optional[
             Callable[[str], Tuple[float, float]]
         ] = None,
+        solver: str = "incremental",
     ):
+        if solver not in ("incremental", "global", "verify"):
+            raise ValueError(
+                f"unknown solver {solver!r}; expected 'incremental', "
+                "'global' or 'verify'"
+            )
         self.env = env
+        self.solver = solver
         self._links: Dict[Tuple[str, str], FairShareLink] = {}
+        #: ``self._links`` keys in sorted order.  Links are get-or-create
+        #: and never removed, so this only changes in :meth:`link`; every
+        #: rebalance and rate estimate walks it, so re-sorting per solve
+        #: was a measurable slice of the churn-scenario profiles.
+        self._sorted_keys: List[Tuple[str, str]] = []
         self._site_caps = site_caps or (lambda site: (math.inf, math.inf))
         self._down_until: Dict[str, float] = {}
         #: Global rebalance count (diagnostics).
@@ -482,6 +520,7 @@ class FlowNetwork:
                 dst=dst,
             )
             self._links[key] = flink
+            self._sorted_keys = sorted(self._links)
         return flink
 
     @property
@@ -490,10 +529,9 @@ class FlowNetwork:
 
     def active_flows(self) -> List[Flow]:
         """Every in-flight flow, in deterministic (link, start) order."""
+        links = self._links
         return [
-            f
-            for key in sorted(self._links)
-            for f in self._links[key].flows
+            f for key in self._sorted_keys for f in links[key].flows
         ]
 
     # -- site caps & outage state -------------------------------------------
@@ -569,11 +607,12 @@ class FlowNetwork:
         )
 
     def _abort_where(self, pred, reason: str) -> int:
+        links = self._links
         doomed = [
-            (self._links[key], flow)
-            for key in sorted(self._links)
-            if pred(self._links[key])
-            for flow in list(self._links[key].flows)
+            (links[key], flow)
+            for key in self._sorted_keys
+            if pred(links[key])
+            for flow in list(links[key].flows)
         ]
         if not doomed:
             return 0
@@ -585,20 +624,84 @@ class FlowNetwork:
             link._settle(now)
         for link, flow in doomed:
             link._close_aborted(flow, reason)
-        self.rebalance()
+        self.rebalance(changed=[link for link, _ in doomed])
         return len(doomed)
 
     # -- rate computation ---------------------------------------------------
 
-    def rebalance(self) -> None:
-        """Settle every active link, re-solve all rates, reschedule."""
+    def _active_links(self) -> List[FairShareLink]:
+        links = self._links
+        return [
+            links[key] for key in self._sorted_keys if links[key].flows
+        ]
+
+    def _component(
+        self, seed_keys: Iterable[Tuple[str, str]]
+    ) -> List[FairShareLink]:
+        """Active links in the constraint component of ``seed_keys``.
+
+        Links couple only through *finite* site caps: a finite egress
+        cap joins all links sharing a source site, a finite ingress cap
+        all links sharing a destination, transitively.  Expands those
+        couplings to a fixpoint starting from the seed link keys (the
+        seeds' sites count even if the seed link itself has drained --
+        its departure is exactly what frees headroom for the others).
+        Returns the component in sorted-key order, so a solve over it
+        builds constraints in the same order a global solve would.
+        """
+        caps = self._site_caps
+        seed_keys = set(seed_keys)
+        egress: set = set()
+        ingress: set = set()
+        for src, dst in seed_keys:
+            if src is not None and math.isfinite(caps(src)[0]):
+                egress.add(src)
+            if dst is not None and math.isfinite(caps(dst)[1]):
+                ingress.add(dst)
+        active = self._active_links()
+        in_comp: set = set()
+        grew = True
+        while grew:
+            grew = False
+            for link in active:
+                if link in in_comp:
+                    continue
+                if (
+                    (link.src, link.dst) in seed_keys
+                    or link.src in egress
+                    or link.dst in ingress
+                ):
+                    in_comp.add(link)
+                    grew = True
+                    if link.src not in egress and math.isfinite(
+                        caps(link.src)[0]
+                    ):
+                        egress.add(link.src)
+                    if link.dst not in ingress and math.isfinite(
+                        caps(link.dst)[1]
+                    ):
+                        ingress.add(link.dst)
+        return [link for link in active if link in in_comp]
+
+    def rebalance(self, changed=None) -> None:
+        """Settle affected links, re-solve their rates, reschedule.
+
+        ``changed`` names where the perturbation happened: a
+        :class:`FairShareLink`, an iterable of them, or ``None`` for "no
+        idea -- re-solve everything".  Under the incremental solver only
+        the constraint component of the changed links is touched; the
+        global solver ignores the hint.
+        """
         now = self.env.now
         self.rebalances += 1
-        links = [
-            self._links[key]
-            for key in sorted(self._links)
-            if self._links[key].flows
-        ]
+        if changed is None or self.solver == "global":
+            links = self._active_links()
+        else:
+            if isinstance(changed, FairShareLink):
+                changed = (changed,)
+            links = self._component(
+                {(link.src, link.dst) for link in changed}
+            )
         for link in links:
             link.stats.rebalances += 1
             link._settle(now)
@@ -610,6 +713,31 @@ class FlowNetwork:
             for flow in link.flows:
                 flow.rate = rates[id(flow)]
             link._reschedule(old[link])
+        if self.solver == "verify":
+            self._verify_against_global()
+
+    def _verify_against_global(self) -> None:
+        """Assert the live rates match a from-scratch global solve.
+
+        The tolerance is loose (1e-9 relative) because the
+        ``_LEVEL_RTOL`` tie threshold compares against a *global*
+        minimum water level in global mode but a per-component one in
+        incremental mode, so rates near a cross-component tie may
+        differ by O(``_LEVEL_RTOL``).
+        """
+        links = self._active_links()
+        rates = self._solve(links)
+        for link in links:
+            for flow in link.flows:
+                want = rates[id(flow)]
+                if not math.isclose(
+                    flow.rate, want, rel_tol=1e-9, abs_tol=1e-6
+                ):
+                    raise SimulationError(
+                        f"incremental solver diverged on {flow!r} "
+                        f"({link.src}->{link.dst}): incremental rate "
+                        f"{flow.rate!r} vs global {want!r}"
+                    )
 
     def estimate_rate(
         self,
@@ -624,13 +752,14 @@ class FlowNetwork:
 
         Runs the real water-filling with a probe flow added, so site
         egress/ingress caps and the load of *other* links sharing those
-        caps are all reflected.  Pure: no RNG, no state changes.
+        caps are all reflected.  Pure: no RNG, no state changes.  Under
+        the incremental solver the probe only interacts with its own
+        constraint component, so only that component is solved.
         """
-        links = [
-            self._links[key]
-            for key in sorted(self._links)
-            if self._links[key].flows
-        ]
+        if self.solver == "global":
+            links = self._active_links()
+        else:
+            links = self._component([(src, dst)])
         probes = max(1, extra_flows)
         probe = _Probe(src, dst, max_flow_rate, weight)
         rates = self._solve(
@@ -638,6 +767,20 @@ class FlowNetwork:
             extra=[probe] * probes,
             extra_capacity=((src, dst), capacity),
         )
+        if self.solver == "verify":
+            full = self._solve(
+                self._active_links(),
+                extra=[probe] * probes,
+                extra_capacity=((src, dst), capacity),
+            )
+            if not math.isclose(
+                rates[id(probe)], full[id(probe)],
+                rel_tol=1e-9, abs_tol=1e-6,
+            ):
+                raise SimulationError(
+                    f"incremental estimate_rate diverged for {src}->{dst}: "
+                    f"{rates[id(probe)]!r} vs global {full[id(probe)]!r}"
+                )
         return rates[id(probe)]
 
     def _solve(
@@ -652,59 +795,88 @@ class FlowNetwork:
         egress sites, then ingress sites, each sorted by name) and every
         iteration freezes the flows of all constraints saturating at the
         minimum water level, so the outcome is fully deterministic.
+
+        Membership maps are built in one pass and each constraint's
+        member list is pruned as flows freeze; member lists stay in
+        ascending record order throughout, so every capacity/weight
+        summation runs in the same order (and yields the same floats) as
+        the original scan-per-round formulation.
         """
-        # Each record: (obj, link_key, src, dst, weight, max_rate).
-        recs: List[tuple] = []
+        # Parallel per-flow arrays: owning object, weight, rate cap,
+        # cap/weight saturation level.
+        objs: List = []
+        weights: List[float] = []
+        caps: List[float] = []
+        ratios: List[float] = []
         link_caps: Dict[Tuple[str, str], float] = {}
+        link_members: Dict[Tuple[str, str], List[int]] = {}
+        src_members: Dict[str, List[int]] = {}
+        dst_members: Dict[str, List[int]] = {}
+
+        def _add(obj, key, src, dst, weight, max_rate) -> None:
+            i = len(objs)
+            objs.append(obj)
+            weights.append(weight)
+            caps.append(max_rate)
+            ratios.append(max_rate / weight)
+            link_members.setdefault(key, []).append(i)
+            if src is not None:
+                src_members.setdefault(src, []).append(i)
+            if dst is not None:
+                dst_members.setdefault(dst, []).append(i)
+
         for link in links:
             key = (link.src, link.dst)
             link_caps[key] = link.capacity
             for flow in link.flows:
-                recs.append(
-                    (flow, key, link.src, link.dst, flow.weight,
+                _add(flow, key, link.src, link.dst, flow.weight,
                      flow.max_rate)
-                )
         if extra:
             key, cap = extra_capacity
             # A live link's configured capacity wins over the probe's.
             link_caps.setdefault(key, cap)
             for probe in extra:
-                recs.append(
-                    (probe, key, probe.src, probe.dst, probe.weight,
+                _add(probe, key, probe.src, probe.dst, probe.weight,
                      probe.max_rate)
-                )
 
-        # Constraint sets: (remaining capacity, member record indices).
+        # Constraint sets: [remaining capacity, live member indices].
         constraints: List[List] = []
         for key in sorted(link_caps):
-            members = [i for i, r in enumerate(recs) if r[1] == key]
+            members = link_members.get(key)
             if members:
                 constraints.append([link_caps[key], members])
-        for site in sorted({r[2] for r in recs if r[2] is not None}):
-            cap = self._site_caps(site)[0]
+        site_caps = self._site_caps
+        for site in sorted(src_members):
+            cap = site_caps(site)[0]
             if math.isfinite(cap):
-                members = [i for i, r in enumerate(recs) if r[2] == site]
-                constraints.append([cap, members])
-        for site in sorted({r[3] for r in recs if r[3] is not None}):
-            cap = self._site_caps(site)[1]
+                constraints.append([cap, src_members[site]])
+        for site in sorted(dst_members):
+            cap = site_caps(site)[1]
             if math.isfinite(cap):
-                members = [i for i, r in enumerate(recs) if r[3] == site]
-                constraints.append([cap, members])
+                constraints.append([cap, dst_members[site]])
 
-        rates: Dict[int, float] = {}
-        undetermined = set(range(len(recs)))
-        while undetermined:
+        n = len(objs)
+        by_idx = [0.0] * n
+        alive = list(range(n))
+        while alive:
             # Water level at which each constraint (or per-flow cap)
             # saturates, counting only still-undetermined flows.
             level = math.inf
+            sat = []  # cached (weight sum, saturation level) per constraint
             for cap, members in constraints:
-                w = sum(
-                    recs[i][4] for i in members if i in undetermined
-                )
+                w = 0.0
+                for i in members:
+                    w += weights[i]
                 if w > 0:
-                    level = min(level, max(0.0, cap) / w)
-            for i in undetermined:
-                level = min(level, recs[i][5] / recs[i][4])
+                    lvl = max(0.0, cap) / w
+                    if lvl < level:
+                        level = lvl
+                    sat.append(lvl)
+                else:
+                    sat.append(math.inf)
+            for i in alive:
+                if ratios[i] < level:
+                    level = ratios[i]
             if not math.isfinite(level):  # pragma: no cover - every flow
                 # sits on a finite-capacity link, so a finite level must
                 # exist; guard against a degenerate empty constraint set.
@@ -712,30 +884,30 @@ class FlowNetwork:
 
             threshold = level * (1.0 + _LEVEL_RTOL)
             frozen = set()
-            for cap, members in constraints:
-                live = [i for i in members if i in undetermined]
-                w = sum(recs[i][4] for i in live)
-                if w > 0 and max(0.0, cap) / w <= threshold:
-                    frozen.update(live)
-            for i in undetermined:
-                if recs[i][5] / recs[i][4] <= threshold:
+            for lvl, (cap, members) in zip(sat, constraints):
+                if lvl <= threshold:
+                    frozen.update(members)
+            for i in alive:
+                if ratios[i] <= threshold:
                     frozen.add(i)
             if not frozen:  # pragma: no cover - the argmin constraint
                 # always has at least one undetermined member.
-                frozen = set(undetermined)
+                frozen = set(alive)
 
             for i in frozen:
-                rec = recs[i]
-                rates[id(rec[0])] = min(rec[5], level * rec[4])
-            undetermined -= frozen
+                by_idx[i] = min(caps[i], level * weights[i])
+            alive = [i for i in alive if i not in frozen]
             for constraint in constraints:
-                used = sum(
-                    rates[id(recs[i][0])]
-                    for i in constraint[1]
-                    if i in frozen
-                )
-                constraint[0] = max(0.0, constraint[0] - used)
-        return rates
+                members = constraint[1]
+                live = [i for i in members if i not in frozen]
+                if len(live) != len(members):
+                    used = 0.0
+                    for i in members:
+                        if i in frozen:
+                            used += by_idx[i]
+                    constraint[0] = max(0.0, constraint[0] - used)
+                    constraint[1] = live
+        return {id(objs[i]): by_idx[i] for i in range(n)}
 
     def __repr__(self) -> str:
         active = sum(len(l.flows) for l in self._links.values())

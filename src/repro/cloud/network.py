@@ -45,7 +45,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Dict, Generator, Iterable, Optional, Tuple
 
-from repro.sim import Environment, Resource
+from repro.sim import Environment, Resource, Timeout
 from repro.cloud.flow import FairShareLink, FlowAborted, FlowNetwork
 from repro.cloud.topology import CloudTopology
 from repro.util.rng import RngStreams
@@ -66,7 +66,7 @@ class RpcError(Exception):
     """Raised to RPC callers when the remote service fails the request."""
 
 
-@dataclass
+@dataclass(slots=True)
 class NetworkMessage:
     """A message in flight between two sites (metadata op, file chunk...)."""
 
@@ -142,6 +142,10 @@ class Network:
         (metadata hot path) relative to the default bulk-transfer weight
         of 1.0 -- weighted max-min gives a weight-w flow w times the
         share of a weight-1 flow at a shared bottleneck.
+    flow_solver:
+        Fair model only: the :class:`FlowNetwork` re-solve strategy --
+        ``"incremental"`` (default), ``"global"`` or ``"verify"`` (see
+        :mod:`repro.cloud.flow`).
     """
 
     #: Per-message fixed processing overhead (serialization, NIC), seconds.
@@ -155,6 +159,7 @@ class Network:
         link_concurrency: int = 64,
         bandwidth_model: str = "slots",
         rpc_weight: float = 1.0,
+        flow_solver: str = "incremental",
     ):
         if bandwidth_model not in BANDWIDTH_MODELS:
             raise ValueError(
@@ -168,18 +173,38 @@ class Network:
         self.rng = (rng or RngStreams(seed=0)).get("network")
         self.link_concurrency = link_concurrency
         self.bandwidth_model = bandwidth_model
+        #: Hot-path twin of ``bandwidth_model == "fair"`` (transfer runs
+        #: hundreds of thousands of times per scenario).
+        self._fair = bandwidth_model == "fair"
         self.rpc_weight = float(rpc_weight)
         self._link_slots: Dict[Tuple[str, str], Resource] = {}
+        #: Route cache: (src, dst) -> (LinkSpec, distance-class name).
+        #: Safe because topology mutators (latency spikes, cap edits)
+        #: update the cached LinkSpec objects in place and site regions
+        #: never change after construction.
+        self._routes: Dict[Tuple[str, str], Tuple[Any, str]] = {}
         #: Fair model: all links and their site-cap coupling, lazily
         #: populated per directed pair (None under the slot model).
         self.flow_net: Optional[FlowNetwork] = (
-            FlowNetwork(env, site_caps=topology.site_caps)
+            FlowNetwork(env, site_caps=topology.site_caps, solver=flow_solver)
             if bandwidth_model == "fair"
             else None
         )
         self.stats = NetworkStats()
 
     # -- delay model --------------------------------------------------------
+
+    def _route(self, src: str, dst: str) -> Tuple[Any, str]:
+        """Cached ``(LinkSpec, distance-class name)`` for a site pair."""
+        key = (src, dst)
+        route = self._routes.get(key)
+        if route is None:
+            route = (
+                self.topology.link(src, dst),
+                self.topology.distance(src, dst).name,
+            )
+            self._routes[key] = route
+        return route
 
     def expected_one_way_delay(
         self, src: str, dst: str, size: int = 0
@@ -190,7 +215,7 @@ class Network:
         contention (see :meth:`estimated_transfer_time` for a load-aware
         variant).
         """
-        link = self.topology.link(src, dst)
+        link = self._route(src, dst)[0]
         delay = link.latency + self.PER_MESSAGE_OVERHEAD
         if size > 0:
             delay += size / link.bandwidth
@@ -202,9 +227,14 @@ class Network:
         Draws from the network RNG stream when the link has jitter; use
         the ``expected_*`` estimators for planning.
         """
-        link = self.topology.link(src, dst)
-        delay = self.expected_one_way_delay(src, dst, size)
-        return delay + self._jitter(link)
+        route = self._routes.get((src, dst))
+        link = route[0] if route is not None else self._route(src, dst)[0]
+        delay = link.latency + self.PER_MESSAGE_OVERHEAD
+        if size > 0:
+            delay += size / link.bandwidth
+        if link.jitter > 0:
+            delay += max(0.0, self.rng.normal(0.0, link.jitter))
+        return delay
 
     def _jitter(self, link) -> float:
         if link.jitter <= 0:
@@ -236,7 +266,7 @@ class Network:
         """
         if size <= 0 or src == dst or self.bandwidth_model != "fair":
             return self.expected_one_way_delay(src, dst, size)
-        link = self.topology.link(src, dst)
+        link = self._route(src, dst)[0]
         rate = self.flow_net.estimate_rate(
             src, dst,
             capacity=link.bandwidth,
@@ -263,7 +293,7 @@ class Network:
         return self._link_slots[key]
 
     def _flow_link(self, src: str, dst: str) -> FairShareLink:
-        spec = self.topology.link(src, dst)
+        spec = self._route(src, dst)[0]
         return self.flow_net.link(
             src,
             dst,
@@ -318,18 +348,6 @@ class Network:
         self.stats.retried_transfers += 1
         self.stats.retried_bytes += size
 
-    def _account(self, src: str, dst: str, size: int, delay: float) -> None:
-        self.stats.messages += 1
-        self.stats.bytes += size
-        self.stats.total_latency += delay
-        dist = self.topology.distance(src, dst)
-        if dist.name == "LOCAL":
-            self.stats.local_messages += 1
-        elif dist.name == "SAME_REGION":
-            self.stats.same_region_messages += 1
-        else:
-            self.stats.geo_distant_messages += 1
-
     # -- primitives -----------------------------------------------------------
 
     def transfer(
@@ -359,7 +377,7 @@ class Network:
         re-source, like the storage layer.
         """
         msg = NetworkMessage(src, dst, size, payload, sent_at=self.env.now)
-        if self.bandwidth_model == "fair" and src != dst and size > 0:
+        if self._fair and src != dst and size > 0:
             while True:
                 # A down endpoint queues the transfer until recovery
                 # (the behaviour of a connection-retrying client).
@@ -385,25 +403,50 @@ class Network:
                     self.count_retry(size)
                     continue
                 break
-            link = self.topology.link(src, dst)
-            yield self.env.timeout(
-                link.latency + self.PER_MESSAGE_OVERHEAD + self._jitter(link)
+            link = self._route(src, dst)[0]
+            yield Timeout(
+                self.env,
+                link.latency + self.PER_MESSAGE_OVERHEAD + self._jitter(link),
             )
         else:
             slots = self._slots(src, dst)
             if slots is None:
-                yield self.env.timeout(self.one_way_delay(src, dst, size))
+                yield Timeout(self.env, self.one_way_delay(src, dst, size))
             else:
-                with slots.request() as req:
-                    yield req
-                    # Sample the delay only once the slot is held: the
-                    # draw order still follows the FIFO grant order, but
-                    # the sampled jitter now belongs to the actual
-                    # transmission, not the enqueue instant.
-                    yield self.env.timeout(
-                        self.one_way_delay(src, dst, size)
-                    )
-        self._account(src, dst, size, self.env.now - msg.sent_at)
+                req = slots.try_acquire()
+                if req is not None:
+                    # Uncontended link: slot claimed synchronously, pay
+                    # only the transmission timeout.
+                    try:
+                        yield Timeout(
+                            self.env, self.one_way_delay(src, dst, size)
+                        )
+                    finally:
+                        slots._release(req)
+                else:
+                    with slots.request() as req:
+                        yield req
+                        # Sample the delay only once the slot is held:
+                        # the draw order still follows the FIFO grant
+                        # order, but the sampled jitter now belongs to
+                        # the actual transmission, not the enqueue
+                        # instant.
+                        yield Timeout(
+                            self.env, self.one_way_delay(src, dst, size)
+                        )
+        # Inlined _account: transfer is the only caller and runs hot.
+        stats = self.stats
+        stats.messages += 1
+        stats.bytes += size
+        stats.total_latency += self.env.now - msg.sent_at
+        route = self._routes.get((src, dst))
+        dist = route[1] if route is not None else self._route(src, dst)[1]
+        if dist == "LOCAL":
+            stats.local_messages += 1
+        elif dist == "SAME_REGION":
+            stats.same_region_messages += 1
+        else:
+            stats.geo_distant_messages += 1
         return msg
 
     def rpc(

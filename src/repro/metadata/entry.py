@@ -9,7 +9,7 @@ support the cache tier's optimistic concurrency model.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace
+from dataclasses import dataclass
 from typing import Any, Dict, FrozenSet, Optional, Tuple
 
 __all__ = ["RegistryEntry", "VersionConflict"]
@@ -74,12 +74,33 @@ class RegistryEntry:
 
     # -- derived -----------------------------------------------------------
 
+    def evolve(self, **changes: Any) -> "RegistryEntry":
+        """A copy with ``changes`` applied (fast ``dataclasses.replace``).
+
+        Entries are copied on every write and every lazy-propagation
+        merge, which made ``dataclasses.replace`` (it re-runs
+        ``__init__`` through a signature-inspecting shim) a measurable
+        line in the scenario profiles.  The source entry already passed
+        ``__post_init__``, so the only revalidation the changed fields
+        need is the location normalization -- everything else either
+        cannot become invalid here or is validated by the caller
+        (versions come from the registry's monotonic counter).
+        """
+        clone = object.__new__(RegistryEntry)
+        state = dict(self.__dict__)
+        state.update(changes)
+        locations = state["locations"]
+        if not isinstance(locations, frozenset):
+            state["locations"] = frozenset(locations)
+        clone.__dict__.update(state)
+        return clone
+
     def with_location(self, site: str) -> "RegistryEntry":
         """A copy that also lists ``site`` as holding the file."""
-        return replace(self, locations=self.locations | {site})
+        return self.evolve(locations=self.locations | {site})
 
     def with_version(self, version: int) -> "RegistryEntry":
-        return replace(self, version=version)
+        return self.evolve(version=version)
 
     def merged_with(self, other: "RegistryEntry") -> "RegistryEntry":
         """Merge two versions of the same key (location-set union).
@@ -92,8 +113,7 @@ class RegistryEntry:
         if other.key != self.key:
             raise ValueError(f"cannot merge {self.key!r} with {other.key!r}")
         newer = self if self.version >= other.version else other
-        return replace(
-            newer,
+        return newer.evolve(
             locations=self.locations | other.locations,
             version=max(self.version, other.version),
         )

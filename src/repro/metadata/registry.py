@@ -18,7 +18,7 @@ from __future__ import annotations
 
 from typing import Generator, List, Optional
 
-from repro.sim import Environment, Resource
+from repro.sim import Environment, Resource, Timeout
 from repro.cloud.network import Network
 from repro.metadata.cache import CacheManager
 from repro.metadata.config import MetadataConfig
@@ -52,11 +52,23 @@ class MetadataRegistry:
     # -- internal: pay service time inside a server slot -------------------------
 
     def _service(self, duration: float) -> Generator:
-        with self._server.request() as req:
-            yield req
-            start = self.env.now
-            yield self.env.timeout(duration)
-            self.busy_time += self.env.now - start
+        server = self._server
+        req = server.try_acquire()
+        if req is None:
+            with server.request() as req:
+                yield req
+                start = self.env.now
+                yield Timeout(self.env, duration)
+                self.busy_time += self.env.now - start
+        else:
+            # Uncontended: the slot was claimed synchronously, so the op
+            # pays only its service timeout (no same-instant grant hop).
+            try:
+                start = self.env.now
+                yield Timeout(self.env, duration)
+                self.busy_time += self.env.now - start
+            finally:
+                server._release(req)
         self.ops_served += 1
 
     # -- server-side operations ---------------------------------------------------

@@ -1,10 +1,21 @@
 """Operation accounting shared by all strategies.
 
-Every client-visible metadata operation produces an :class:`OpRecord`
-with its timing and distance class; :class:`OpStats` aggregates them and
-derives the quantities the paper's figures report: per-node execution
-time (Fig. 5), completion-progress curves (Fig. 6), aggregate throughput
+Every client-visible metadata operation produces an op record with its
+timing and distance class; :class:`OpStats` aggregates them and derives
+the quantities the paper's figures report: per-node execution time
+(Fig. 5), completion-progress curves (Fig. 6), aggregate throughput
 (Fig. 7) and time-to-complete-N-ops (Fig. 8).
+
+Storage is *columnar*: appending an operation on the simulation hot path
+(:meth:`OpStats.record`) pushes scalars onto parallel lists instead of
+allocating a per-op :class:`OpRecord` object -- at hundreds of thousands
+of ops per scenario the object-per-op design dominated the metadata
+strategies' profile.  The record-object view is still available:
+``stats.records`` materializes :class:`OpRecord` objects lazily, exactly
+once per record (the materialized prefix is cached, so object identity
+is stable across accesses and appends).  All derived metrics read the
+columns directly and compute the same floats, in the same order, as the
+original record-object formulation.
 """
 
 from __future__ import annotations
@@ -54,72 +65,187 @@ class OpRecord:
             raise ValueError("operation finished before it started")
 
 
+#: Column names, in :meth:`OpStats.record` argument order.
+_COLUMNS = (
+    "_kind",
+    "_key",
+    "_site",
+    "_started",
+    "_finished",
+    "_local",
+    "_found",
+    "_retries",
+    "_run",
+)
+
+
 class OpStats:
-    """Append-only collection of op records plus derived metrics."""
+    """Append-only, column-backed collection of op records plus metrics."""
+
+    __slots__ = _COLUMNS + ("_cache",)
 
     def __init__(self) -> None:
-        self.records: List[OpRecord] = []
+        self._kind: List[OpKind] = []
+        self._key: List[str] = []
+        self._site: List[str] = []
+        self._started: List[float] = []
+        self._finished: List[float] = []
+        self._local: List[bool] = []
+        self._found: List[bool] = []
+        self._retries: List[int] = []
+        self._run: List[str] = []
+        #: Materialized :class:`OpRecord` prefix (lazy, identity-stable).
+        self._cache: List[OpRecord] = []
+
+    # -- appending ----------------------------------------------------------
+
+    def record(
+        self,
+        kind: OpKind,
+        key: str,
+        site: str,
+        started_at: float,
+        finished_at: float,
+        local: bool,
+        found: bool = True,
+        retries: int = 0,
+        run: str = "",
+    ) -> None:
+        """Append one operation without allocating a record object.
+
+        The hot-path twin of :meth:`add`: nine scalar appends.  The
+        object view (``stats.records``) materializes lazily on demand.
+        """
+        if finished_at < started_at:
+            raise ValueError("operation finished before it started")
+        self._kind.append(kind)
+        self._key.append(key)
+        self._site.append(site)
+        self._started.append(started_at)
+        self._finished.append(finished_at)
+        self._local.append(local)
+        self._found.append(found)
+        self._retries.append(retries)
+        self._run.append(run)
 
     def add(self, record: OpRecord) -> None:
-        self.records.append(record)
+        """Append an already-built :class:`OpRecord` (object identity kept)."""
+        cache = self._materialize()
+        self._kind.append(record.kind)
+        self._key.append(record.key)
+        self._site.append(record.site)
+        self._started.append(record.started_at)
+        self._finished.append(record.finished_at)
+        self._local.append(record.local)
+        self._found.append(record.found)
+        self._retries.append(record.retries)
+        self._run.append(record.run)
+        cache.append(record)
+
+    # -- record-object view ---------------------------------------------------
+
+    def _materialize(self) -> List[OpRecord]:
+        cache = self._cache
+        n = len(self._kind)
+        if len(cache) < n:
+            for i in range(len(cache), n):
+                cache.append(
+                    OpRecord(
+                        self._kind[i],
+                        self._key[i],
+                        self._site[i],
+                        self._started[i],
+                        self._finished[i],
+                        self._local[i],
+                        self._found[i],
+                        self._retries[i],
+                        self._run[i],
+                    )
+                )
+        return cache
+
+    @property
+    def records(self) -> List[OpRecord]:
+        """All operations as :class:`OpRecord` objects.
+
+        Materialized lazily and cached, so repeated access (and access
+        interleaved with appends) always yields the *same* objects for
+        the same operations.  Mutating the returned list is not
+        supported; assign to ``records`` to replace the contents.
+        """
+        return self._materialize()
+
+    @records.setter
+    def records(self, value: Sequence[OpRecord]) -> None:
+        value = list(value)
+        self._kind = [r.kind for r in value]
+        self._key = [r.key for r in value]
+        self._site = [r.site for r in value]
+        self._started = [r.started_at for r in value]
+        self._finished = [r.finished_at for r in value]
+        self._local = [r.local for r in value]
+        self._found = [r.found for r in value]
+        self._retries = [r.retries for r in value]
+        self._run = [r.run for r in value]
+        self._cache = value
 
     def __len__(self) -> int:
-        return len(self.records)
+        return len(self._kind)
 
     # -- basic aggregates -------------------------------------------------------
 
     @property
     def count(self) -> int:
-        return len(self.records)
+        return len(self._kind)
 
     def count_by_kind(self, kind: OpKind) -> int:
-        return sum(1 for r in self.records if r.kind is kind)
+        return sum(1 for k in self._kind if k is kind)
 
     @property
     def local_fraction(self) -> float:
         """Fraction of operations served fully locally."""
-        if not self.records:
+        if not self._kind:
             return 0.0
-        return sum(1 for r in self.records if r.local) / len(self.records)
+        return sum(1 for l in self._local if l) / len(self._local)
 
     def mean_latency(self, kind: Optional[OpKind] = None) -> float:
-        lats = [
-            r.latency
-            for r in self.records
-            if kind is None or r.kind is kind
-        ]
+        lats = self._latencies(kind)
         return float(np.mean(lats)) if lats else 0.0
 
     def latency_percentile(self, q: float, kind: Optional[OpKind] = None) -> float:
-        lats = [
-            r.latency
-            for r in self.records
-            if kind is None or r.kind is kind
-        ]
+        lats = self._latencies(kind)
         return float(np.percentile(lats, q)) if lats else 0.0
+
+    def _latencies(self, kind: Optional[OpKind]) -> List[float]:
+        started, finished = self._started, self._finished
+        if kind is None:
+            return [f - s for s, f in zip(started, finished)]
+        return [
+            finished[i] - started[i]
+            for i, k in enumerate(self._kind)
+            if k is kind
+        ]
 
     @property
     def total_retries(self) -> int:
-        return sum(r.retries for r in self.records)
+        return sum(self._retries)
 
     # -- figure-level metrics -------------------------------------------------------
 
     def makespan(self) -> float:
         """Time from the first op start to the last op completion."""
-        if not self.records:
+        if not self._kind:
             return 0.0
-        start = min(r.started_at for r in self.records)
-        end = max(r.finished_at for r in self.records)
-        return end - start
+        return max(self._finished) - min(self._started)
 
     def throughput(self) -> float:
         """Aggregate completed operations per second (Fig. 7 metric)."""
         span = self.makespan()
-        return len(self.records) / span if span > 0 else 0.0
+        return len(self._kind) / span if span > 0 else 0.0
 
     def completion_times(self) -> np.ndarray:
         """Sorted completion timestamps."""
-        return np.sort(np.array([r.finished_at for r in self.records]))
+        return np.sort(np.array(self._finished))
 
     def progress_curve(self, percents: Sequence[float]) -> List[Tuple[float, float]]:
         """(percent-complete, time) pairs -- the Fig. 6 representation.
@@ -127,10 +253,10 @@ class OpStats:
         ``percents`` are in (0, 100]; time is measured from the first op
         start.
         """
-        if not self.records:
+        if not self._kind:
             return [(p, 0.0) for p in percents]
         times = self.completion_times()
-        t0 = min(r.started_at for r in self.records)
+        t0 = min(self._started)
         out = []
         for p in percents:
             if not 0 < p <= 100:
@@ -142,8 +268,8 @@ class OpStats:
     def per_site_mean_completion(self) -> Dict[str, float]:
         """Mean completion time per issuing site (centrality analysis)."""
         by_site: Dict[str, List[float]] = {}
-        for r in self.records:
-            by_site.setdefault(r.site, []).append(r.finished_at)
+        for site, finished in zip(self._site, self._finished):
+            by_site.setdefault(site, []).append(finished)
         return {s: float(np.mean(v)) for s, v in by_site.items()}
 
     def for_run(self, run: str) -> "OpStats":
@@ -152,23 +278,28 @@ class OpStats:
         This is the concurrency-safe replacement for slicing
         ``records[ops_before:]``: interleaved workflows append to one
         shared list, so positional slices misattribute ops while tag
-        filtering cannot lose or double-count them.
+        filtering cannot lose or double-count them.  Column-level
+        filtering: no record objects are materialized.
         """
+        idx = [i for i, r in enumerate(self._run) if r == run]
         out = OpStats()
-        out.records = [r for r in self.records if r.run == run]
+        for col in _COLUMNS:
+            src = getattr(self, col)
+            setattr(out, col, [src[i] for i in idx])
         return out
 
     def runs(self) -> Dict[str, int]:
         """Record count per run tag (untagged ops under ``""``)."""
         out: Dict[str, int] = {}
-        for r in self.records:
-            out[r.run] = out.get(r.run, 0) + 1
+        for r in self._run:
+            out[r] = out.get(r, 0) + 1
         return out
 
     def merge(self, other: "OpStats") -> "OpStats":
         merged = OpStats()
-        merged.records = self.records + other.records
+        for col in _COLUMNS:
+            setattr(merged, col, getattr(self, col) + getattr(other, col))
         return merged
 
     def __repr__(self) -> str:
-        return f"<OpStats n={len(self.records)}>"
+        return f"<OpStats n={len(self._kind)}>"

@@ -22,13 +22,13 @@ from __future__ import annotations
 
 from typing import Dict, Generator, List, Optional
 
-from repro.sim import Environment
+from repro.sim import Environment, Timeout
 from repro.cloud.network import Network
 from repro.metadata.config import MetadataConfig
 from repro.metadata.consistency import ConsistencyTracker
 from repro.metadata.entry import RegistryEntry
 from repro.metadata.registry import MetadataRegistry
-from repro.metadata.stats import OpKind, OpRecord, OpStats
+from repro.metadata.stats import OpKind, OpStats
 
 __all__ = ["MetadataStrategy", "ReadMissError"]
 
@@ -83,19 +83,11 @@ class MetadataStrategy:
         """
         start = self.env.now
         if self.config.client_overhead > 0:
-            yield self.env.timeout(self.config.client_overhead)
+            yield Timeout(self.env, self.config.client_overhead)
         stored, local = yield from self._do_write(site, entry)
-        self.stats.add(
-            OpRecord(
-                kind=OpKind.WRITE,
-                key=entry.key,
-                site=site,
-                started_at=start,
-                finished_at=self.env.now,
-                local=local,
-                found=True,
-                run=run,
-            )
+        self.stats.record(
+            OpKind.WRITE, entry.key, site, start, self.env.now,
+            local, True, 0, run,
         )
         return stored
 
@@ -116,7 +108,7 @@ class MetadataStrategy:
         """
         start = self.env.now
         if self.config.client_overhead > 0:
-            yield self.env.timeout(self.config.client_overhead)
+            yield Timeout(self.env, self.config.client_overhead)
         retries = 0
         while True:
             entry, local = yield from self._do_read(site, key)
@@ -129,20 +121,11 @@ class MetadataStrategy:
                 self.config.read_retry_interval
                 * (self.config.read_retry_backoff**retries),
             )
-            yield self.env.timeout(delay)
+            yield Timeout(self.env, delay)
             retries += 1
-        self.stats.add(
-            OpRecord(
-                kind=OpKind.READ,
-                key=key,
-                site=site,
-                started_at=start,
-                finished_at=self.env.now,
-                local=local,
-                found=entry is not None,
-                retries=retries,
-                run=run,
-            )
+        self.stats.record(
+            OpKind.READ, key, site, start, self.env.now,
+            local, entry is not None, retries, run,
         )
         return entry
 
@@ -150,17 +133,9 @@ class MetadataStrategy:
         """Process: remove ``key``'s metadata (rarely used by workflows)."""
         start = self.env.now
         existed, local = yield from self._do_delete(site, key)
-        self.stats.add(
-            OpRecord(
-                kind=OpKind.DELETE,
-                key=key,
-                site=site,
-                started_at=start,
-                finished_at=self.env.now,
-                local=local,
-                found=existed,
-                run=run,
-            )
+        self.stats.record(
+            OpKind.DELETE, key, site, start, self.env.now,
+            local, existed, 0, run,
         )
         return existed
 

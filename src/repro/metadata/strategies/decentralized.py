@@ -14,7 +14,7 @@ stays flat.
 
 from __future__ import annotations
 
-from typing import Generator, List, Optional
+from typing import Dict, Generator, List, Optional
 
 from repro.sim import Environment
 from repro.cloud.network import Network
@@ -46,10 +46,19 @@ class DecentralizedStrategy(MetadataStrategy):
         self.registries = {
             site: MetadataRegistry(env, site, self.config) for site in self.sites
         }
+        #: key -> home-site memo.  The ring placement is a pure function
+        #: of the key (BLAKE2b hashing, microseconds per lookup) and the
+        #: strategy never changes ring membership, so every op after the
+        #: first on a key resolves its home with one dict probe.
+        self._home_memo: Dict[str, str] = {}
 
     def home_of(self, key: str) -> str:
         """The DHT home site of a key."""
-        return self.ring.site_for(key)
+        home = self._home_memo.get(key)
+        if home is None:
+            home = self.ring.site_for(key)
+            self._home_memo[key] = home
+        return home
 
     def _do_write(self, site: str, entry: RegistryEntry) -> Generator:
         home = self.home_of(entry.key)

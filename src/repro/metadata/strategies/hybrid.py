@@ -19,7 +19,6 @@ metadata locally and save the up-to-50x-slower remote round trip
 
 from __future__ import annotations
 
-from dataclasses import replace
 from typing import Dict, Generator, List, Optional
 
 from repro.sim import Environment
@@ -73,9 +72,18 @@ class HybridStrategy(MetadataStrategy):
         #: Reads answered by the local replica (vs. the DHT home).
         self.local_hits = 0
         self.local_misses = 0
+        #: key -> home-site memo.  The ring placement is a pure function
+        #: of the key (BLAKE2b hashing, microseconds per lookup) and the
+        #: strategy never changes ring membership, so every op after the
+        #: first on a key resolves its home with one dict probe.
+        self._home_memo: Dict[str, str] = {}
 
     def home_of(self, key: str) -> str:
-        return self.ring.site_for(key)
+        home = self._home_memo.get(key)
+        if home is None:
+            home = self.ring.site_for(key)
+            self._home_memo[key] = home
+        return home
 
     def _do_write(self, site: str, entry: RegistryEntry) -> Generator:
         """Local write, then (sync or lazy) replication to the DHT home.
@@ -88,7 +96,7 @@ class HybridStrategy(MetadataStrategy):
         """
         local_registry = self.registries[site]
         entry = entry.with_location(site) if site not in entry.locations else entry
-        entry = replace(entry, origin_site=site, created_at=self.env.now)
+        entry = entry.evolve(origin_site=site, created_at=self.env.now)
         stored = yield from self._client_write(site, local_registry, entry)
         self.tracker.on_created(entry.key)
         home = self.home_of(entry.key)

@@ -2,8 +2,8 @@
 
 The design mirrors the well-known process-interaction DES architecture:
 
-- an :class:`Environment` owns a binary-heap event calendar keyed by
-  ``(time, priority, sequence)`` so simultaneous events fire in a stable,
+- an :class:`Environment` owns an event calendar keyed by ``(time,
+  priority, sequence)`` so simultaneous events fire in a stable,
   deterministic order;
 - an :class:`Event` is a one-shot awaitable that moves through the states
   *pending -> triggered -> processed* and fans out to callbacks;
@@ -15,7 +15,7 @@ Determinism is a hard requirement here (experiments must be exactly
 reproducible), hence the explicit tie-breaking sequence counter and the
 absence of any wall-clock or hash-order dependence.
 
-Two kernel-level optimizations serve high event-churn workloads (the
+Kernel-level optimizations serve high event-churn workloads (the
 flow-level bandwidth model reschedules every affected transfer whenever
 a flow starts or finishes):
 
@@ -23,12 +23,25 @@ a flow starts or finishes):
 - calendar entries are lazily deleted: :meth:`Environment.reschedule`
   invalidates the old heap entry in O(1) and pushes a re-keyed one in
   O(log n), instead of rebuilding the heap.  Dead entries are skipped
-  (and purged) by ``peek``/``step``.
+  (and purged) as they surface, and when more than half the calendar is
+  dead the whole queue is compacted in one O(n) pass so rebalance churn
+  can never grow the calendar without bound;
+- two interchangeable calendar backends sit behind the same
+  ``Environment`` API: the default binary heap, and a bucketed calendar
+  queue (``Environment(queue="bucket")``) that spreads entries over
+  fixed-width time buckets with a small heap per bucket.  Pop order is
+  identical by construction (both orders are the total order on the
+  ``(time, priority, sequence)`` key), which
+  ``tests/sim/test_queue_backends.py`` pins down.
+
+See ``docs/performance.md`` for the profiling workflow these choices
+came from.
 """
 
 from __future__ import annotations
 
 import heapq
+from heapq import heappop, heappush
 from itertools import count
 from typing import (
     Any,
@@ -53,6 +66,8 @@ __all__ = [
     "StopSimulation",
     "Timeout",
 ]
+
+_INF = float("inf")
 
 
 class SimulationError(Exception):
@@ -168,7 +183,18 @@ class Event:
         return self
 
     def trigger(self, event: "Event") -> None:
-        """Trigger this event with the state of another (callback helper)."""
+        """Trigger this event with the state of another (callback helper).
+
+        The source event must itself be triggered already; forwarding a
+        still-pending event would otherwise read as "failed" (``_ok`` is
+        ``None``) and surface as a baffling ``TypeError`` from
+        :meth:`fail` receiving the ``_PENDING`` sentinel.
+        """
+        if event._value is _PENDING:
+            raise SimulationError(
+                f"cannot forward the state of {event!r}: it has not been "
+                "triggered yet"
+            )
         if event._ok:
             self.succeed(event._value)
         else:
@@ -199,11 +225,24 @@ class Timeout(Event):
     def __init__(self, env: "Environment", delay: float, value: Any = None):
         if delay < 0:
             raise ValueError(f"Negative delay {delay!r}")
-        super().__init__(env)
-        self._delay = delay
-        self._ok = True
+        # Flattened Event.__init__ + triggering: a timeout is born
+        # triggered, and this constructor sits on the hottest allocation
+        # path in the simulator (every network leg and service time is a
+        # Timeout), so it pays to skip the two-level super() chain.
+        self.env = env
+        self.callbacks = []
         self._value = value
-        env._schedule(self, EventPriority.NORMAL, delay)
+        self._ok = True
+        self.defused = False
+        self._delay = delay
+        # Inlined Environment._schedule (NORMAL priority): one less call
+        # on the single most frequent allocation in the simulator.
+        entry = [env.now + delay, 1, next(env._seq), self]
+        self._entry = entry
+        if env._bucket is None:
+            heappush(env._queue, entry)
+        else:
+            env._bucket.push(entry)
 
     def __repr__(self) -> str:
         return f"<Timeout delay={self._delay}>"
@@ -215,11 +254,18 @@ class Initialize(Event):
     __slots__ = ()
 
     def __init__(self, env: "Environment", process: "Process"):
-        super().__init__(env)
-        self._ok = True
-        self._value = None
+        self.env = env
         self.callbacks = [process._resume]
-        env._schedule(self, EventPriority.URGENT)
+        self._value = None
+        self._ok = True
+        self.defused = False
+        # Inlined Environment._schedule (URGENT priority, zero delay).
+        entry = [env.now, 0, next(env._seq), self]
+        self._entry = entry
+        if env._bucket is None:
+            heappush(env._queue, entry)
+        else:
+            env._bucket.push(entry)
 
 
 class Interrupt(Exception):
@@ -298,7 +344,8 @@ class Process(Event):
 
     def _resume(self, event: Event) -> None:
         """Advance the generator with the fired event's outcome."""
-        self.env._active_process = self
+        env = self.env
+        env._active_process = self
         self._target = None
         try:
             if event._ok:
@@ -308,30 +355,30 @@ class Process(Event):
                 event.defused = True
                 next_target = self._generator.throw(event._value)
         except StopIteration as stop:
-            self.env._active_process = None
+            env._active_process = None
             self.succeed(stop.value)
             return
         except BaseException as exc:  # noqa: BLE001 - process crashed
-            self.env._active_process = None
+            env._active_process = None
             self.fail(exc)
             return
-        self.env._active_process = None
+        env._active_process = None
 
         if not isinstance(next_target, Event):
             raise SimulationError(
                 f"Process {self.name!r} yielded non-event {next_target!r}"
             )
-        if next_target.env is not self.env:
+        if next_target.env is not env:
             raise SimulationError(
                 f"Process {self.name!r} yielded event from another environment"
             )
         if next_target.callbacks is None:
             # Already processed: resume immediately at the same instant.
-            immediate = Event(self.env)
+            immediate = Event(env)
             immediate._ok = next_target._ok
             immediate._value = next_target._value
             immediate.callbacks = [self._resume]
-            self.env._schedule(immediate, EventPriority.URGENT)
+            env._schedule(immediate, EventPriority.URGENT)
             self._target = immediate
         else:
             next_target.callbacks.append(self._resume)
@@ -397,32 +444,169 @@ class AnyOf(ConditionEvent):
         return fired >= 1
 
 
+class BucketQueue:
+    """A calendar (bucketed) event queue with heap-identical pop order.
+
+    Entries are spread over fixed-width time buckets; each bucket is a
+    small binary heap on the full ``(time, priority, seq)`` key and a
+    heap of bucket indices tracks the earliest non-empty bucket.  Events
+    at non-finite times (the flow model parks stalled transfers at
+    ``inf``) live in a dedicated overflow heap that is only consulted
+    when every finite bucket has drained.
+
+    Because the bucket index is monotone in time, the minimum entry of
+    the earliest non-empty bucket *is* the global minimum, so the pop
+    sequence equals the plain heap's for any push/pop interleaving --
+    the property that lets the two backends sit behind one
+    ``Environment`` API with bit-for-bit identical simulations.
+    """
+
+    __slots__ = ("width", "_buckets", "_idx_heap", "_overflow", "_size")
+
+    def __init__(self, width: float = 1.0):
+        if not (width > 0):
+            raise ValueError(f"bucket width must be positive, got {width!r}")
+        self.width = float(width)
+        self._buckets: dict = {}
+        self._idx_heap: List[int] = []
+        self._overflow: List[list] = []
+        self._size = 0
+
+    def __len__(self) -> int:
+        return self._size
+
+    def push(self, entry: list) -> None:
+        when = entry[0]
+        if when == _INF or when != when:  # inf or NaN-safe guard
+            heappush(self._overflow, entry)
+        else:
+            idx = int(when / self.width)
+            bucket = self._buckets.get(idx)
+            if bucket:
+                heappush(bucket, entry)
+            else:
+                # New or drained bucket: (re)announce its index.  A
+                # drained bucket's index may still sit in the index heap;
+                # duplicates are harmless (skipped when found empty).
+                if bucket is None:
+                    self._buckets[idx] = [entry]
+                else:
+                    bucket.append(entry)
+                heappush(self._idx_heap, idx)
+        self._size += 1
+
+    def _min_bucket(self) -> Optional[list]:
+        idx_heap = self._idx_heap
+        buckets = self._buckets
+        while idx_heap:
+            bucket = buckets.get(idx_heap[0])
+            if bucket:
+                return bucket
+            heappop(idx_heap)
+        return None
+
+    def peek_entry(self) -> Optional[list]:
+        """The minimum entry without removing it (None when empty)."""
+        bucket = self._min_bucket()
+        if bucket is not None:
+            return bucket[0]
+        return self._overflow[0] if self._overflow else None
+
+    def pop(self) -> list:
+        """Remove and return the minimum entry (IndexError when empty)."""
+        bucket = self._min_bucket()
+        if bucket is None:
+            bucket = self._overflow
+        entry = heappop(bucket)
+        self._size -= 1
+        return entry
+
+    def compact(self) -> None:
+        """Drop lazily-deleted entries and rebuild the bucket heaps."""
+        alive = 0
+        for idx in list(self._buckets):
+            bucket = [e for e in self._buckets[idx] if e[3] is not None]
+            if bucket:
+                heapq.heapify(bucket)
+                self._buckets[idx] = bucket
+                alive += len(bucket)
+            else:
+                del self._buckets[idx]
+        self._idx_heap = sorted(self._buckets)
+        self._overflow = [e for e in self._overflow if e[3] is not None]
+        heapq.heapify(self._overflow)
+        self._size = alive + len(self._overflow)
+
+
+#: Compaction is considered once the calendar holds this many entries.
+_COMPACT_MIN = 64
+
+
 class Environment:
     """The event loop: virtual clock plus a deterministic event calendar.
 
     Calendar entries are mutable 4-slot lists ``[time, priority, seq,
     event]``; cancelling or rescheduling an entry sets its event slot to
-    ``None`` (lazy deletion) instead of removing it from the heap.  Dead
-    entries are discarded as they surface at the heap top.
+    ``None`` (lazy deletion) instead of removing it from the queue.  Dead
+    entries are discarded as they surface at the queue head, and
+    :meth:`cancel`/:meth:`reschedule` trigger a full O(n) compaction
+    whenever more than half of a non-trivial calendar is dead, so heavy
+    rebalance churn cannot grow the calendar without bound.
+
+    Parameters
+    ----------
+    initial_time:
+        Starting value of the virtual clock.
+    queue:
+        Calendar backend: ``"heap"`` (default; a single binary heap) or
+        ``"bucket"`` (a calendar queue of fixed-width time buckets --
+        see :class:`BucketQueue`).  Both produce identical simulations.
+    bucket_width:
+        Bucket span in simulated seconds for the ``"bucket"`` backend
+        (ignored by ``"heap"``).
     """
 
-    def __init__(self, initial_time: float = 0.0):
-        self._now = float(initial_time)
-        self._queue: List[list] = []
+    def __init__(
+        self,
+        initial_time: float = 0.0,
+        queue: str = "heap",
+        bucket_width: float = 1.0,
+    ):
+        #: Current simulated time (seconds by convention in this repo).
+        #: A plain attribute, not a property: the kernel reads it on
+        #: every schedule and the model layers on every op, so the
+        #: descriptor overhead was measurable.  Treat it as read-only.
+        self.now = float(initial_time)
+        if queue == "heap":
+            self._queue: Any = []
+            self._bucket: Optional[BucketQueue] = None
+        elif queue == "bucket":
+            self._bucket = BucketQueue(bucket_width)
+            self._queue = self._bucket
+        else:
+            raise ValueError(
+                f"unknown queue backend {queue!r}; expected 'heap' or 'bucket'"
+            )
         self._seq = count()
+        self._dead = 0
         self._active_process: Optional[Process] = None
 
     # -- clock ------------------------------------------------------------
 
     @property
-    def now(self) -> float:
-        """Current simulated time (seconds by convention in this repo)."""
-        return self._now
-
-    @property
     def active_process(self) -> Optional[Process]:
         """The process currently executing, if any."""
         return self._active_process
+
+    @property
+    def queue_backend(self) -> str:
+        """Which calendar implementation this environment runs on."""
+        return "heap" if self._bucket is None else "bucket"
+
+    @property
+    def queued(self) -> int:
+        """Calendar entries currently held (live + lazily-deleted)."""
+        return len(self._queue)
 
     # -- event factories ----------------------------------------------------
 
@@ -449,9 +633,12 @@ class Environment:
     def _schedule(
         self, event: Event, priority: int, delay: float = 0.0
     ) -> None:
-        entry = [self._now + delay, priority, next(self._seq), event]
+        entry = [self.now + delay, priority, next(self._seq), event]
         event._entry = entry
-        heapq.heappush(self._queue, entry)
+        if self._bucket is None:
+            heappush(self._queue, entry)
+        else:
+            self._bucket.push(entry)
 
     def reschedule(
         self,
@@ -474,11 +661,12 @@ class Environment:
             raise SimulationError(f"{event!r} is not scheduled; cannot reschedule")
         entry[3] = None  # lazy-delete the stale entry
         self._schedule(event, entry[1] if priority is None else priority, delay)
+        self._note_dead()
 
     def cancel(self, event: Event) -> None:
         """Withdraw a scheduled, not-yet-processed event from the calendar.
 
-        O(1) lazy deletion: the entry stays in the heap but is skipped
+        O(1) lazy deletion: the entry stays in the queue but is skipped
         (and purged) when it surfaces.  The event will never fire.
         """
         entry = event._entry
@@ -486,31 +674,76 @@ class Environment:
             raise SimulationError(f"{event!r} is not scheduled; cannot cancel")
         entry[3] = None
         event._entry = None
+        self._note_dead()
+
+    def _note_dead(self) -> None:
+        """Account one lazily-deleted entry; compact past the 50% mark."""
+        self._dead += 1
+        size = len(self._queue)
+        if size > _COMPACT_MIN and self._dead * 2 > size:
+            self._compact()
+
+    def _compact(self) -> None:
+        """Drop every dead entry in one pass and restore the heap shape.
+
+        Mutates the existing queue object in place (local aliases held
+        by a running :meth:`run` loop stay valid).  Order is unaffected:
+        entries are totally ordered by their unique ``(time, priority,
+        seq)`` key, so re-heapifying the surviving entries cannot change
+        the pop sequence.
+        """
+        if self._bucket is None:
+            queue = self._queue
+            queue[:] = [e for e in queue if e[3] is not None]
+            heapq.heapify(queue)
+        else:
+            self._bucket.compact()
+        self._dead = 0
 
     def peek(self) -> float:
         """Time of the next scheduled event, or ``inf`` if none.
 
-        Purges lazily-deleted entries from the heap top as a side effect.
+        Purges lazily-deleted entries from the queue head as a side effect.
         """
         queue = self._queue
-        while queue and queue[0][3] is None:
-            heapq.heappop(queue)
-        return queue[0][0] if queue else float("inf")
+        if self._bucket is None:
+            while queue and queue[0][3] is None:
+                heappop(queue)
+                self._dead -= 1
+            return queue[0][0] if queue else _INF
+        while queue:
+            entry = queue.peek_entry()
+            if entry[3] is not None:
+                return entry[0]
+            queue.pop()
+            self._dead -= 1
+        return _INF
 
     def step(self) -> None:
         """Pop and process exactly one (live) event."""
-        while self._queue:
-            when, _prio, _seq, event = heapq.heappop(self._queue)
-            if event is None:
-                continue  # lazily-deleted (cancelled or rescheduled)
-            break
+        queue = self._queue
+        if self._bucket is None:
+            while queue:
+                entry = heappop(queue)
+                event = entry[3]
+                if event is not None:
+                    break
+                self._dead -= 1  # lazily-deleted (cancelled or rescheduled)
+            else:
+                raise SimulationError("No scheduled events")
         else:
-            raise SimulationError("No scheduled events")
-        self._now = when
+            while queue:
+                entry = queue.pop()
+                event = entry[3]
+                if event is not None:
+                    break
+                self._dead -= 1
+            else:
+                raise SimulationError("No scheduled events")
+        self.now = entry[0]
         event._entry = None
-        callbacks, event.callbacks = event.callbacks, None
-        if callbacks is None:
-            return  # cancelled / already processed
+        callbacks = event.callbacks
+        event.callbacks = None
         for cb in callbacks:
             cb(event)
         if not event._ok and not event.defused:
@@ -525,40 +758,75 @@ class Environment:
         until:
             ``None`` -- run to exhaustion; a number -- run until that
             simulated time; an :class:`Event` -- run until it fires, and
-            return its value.
+            return its value (or raise its exception if it failed --
+            the same contract whether the event fires during this call
+            or had already been processed before it).
         """
         stop_event: Optional[Event] = None
         if until is None:
-            deadline = float("inf")
+            deadline = _INF
         elif isinstance(until, Event):
             stop_event = until
-            deadline = float("inf")
+            deadline = _INF
             if stop_event.processed:
-                return stop_event.value
+                # Mirror the post-loop path: a failed 'until' event
+                # raises instead of handing back the exception object.
+                if not stop_event._ok:
+                    raise stop_event._value
+                return stop_event._value
         else:
             deadline = float(until)
-            if deadline < self._now:
+            if deadline < self.now:
                 raise ValueError(
-                    f"until={deadline} is in the past (now={self._now})"
+                    f"until={deadline} is in the past (now={self.now})"
                 )
 
-        while self._queue:
-            if stop_event is not None and stop_event.processed:
+        # The loop below is Environment.step() inlined: the entry at the
+        # head was already verified live, so popping and dispatching it
+        # here avoids a re-peek and a method call per event -- this is
+        # the hottest loop in the whole simulator.
+        queue = self._queue
+        heap_mode = self._bucket is None
+        while queue:
+            if stop_event is not None and stop_event.callbacks is None:
+                break  # the 'until' event has been processed
+            # Inline peek: purge dead entries, read the horizon.
+            if heap_mode:
+                entry = queue[0]
+                if entry[3] is None:
+                    heappop(queue)
+                    self._dead -= 1
+                    continue
+            else:
+                entry = queue.peek_entry()
+                if entry[3] is None:
+                    queue.pop()
+                    self._dead -= 1
+                    continue
+            if entry[0] > deadline:
+                self.now = deadline
                 break
-            horizon = self.peek()  # purges dead entries at the heap top
-            if not self._queue:
-                continue  # only dead entries remained: drained naturally
-            if horizon > deadline:
-                self._now = deadline
-                break
+            if heap_mode:
+                heappop(queue)
+            else:
+                queue.pop()
+            event = entry[3]
+            self.now = entry[0]
+            event._entry = None
+            callbacks = event.callbacks
+            event.callbacks = None
             try:
-                self.step()
+                for cb in callbacks:
+                    cb(event)
             except StopSimulation as stop:
                 return stop.value
+            if not event._ok and not event.defused:
+                # A failure nobody waited on: surface it, don't lose it.
+                raise event._value
         else:
             # Queue drained naturally.
-            if stop_event is None and deadline != float("inf"):
-                self._now = deadline
+            if stop_event is None and deadline != _INF:
+                self.now = deadline
 
         if stop_event is not None:
             if not stop_event.processed:
@@ -571,4 +839,4 @@ class Environment:
         return None
 
     def __repr__(self) -> str:
-        return f"<Environment t={self._now} queued={len(self._queue)}>"
+        return f"<Environment t={self.now} queued={len(self._queue)}>"

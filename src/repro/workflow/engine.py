@@ -247,7 +247,7 @@ class WorkflowEngine:
         # tag, so the completion-time filter only scans the run's own
         # window of the shared record list (keeps a long workload's
         # attribution linear instead of quadratic in total op count).
-        ops_before = len(self.strategy.stats.records)
+        ops_before = len(self.strategy.stats)
         self._materialize_initial_inputs(workflow, input_site)
 
         provisioner = None

@@ -126,7 +126,7 @@ class WorkloadRunner:
         self._epoch += 1
         plan = generate_instances(spec)
         records: List[InstanceRecord] = []
-        ops_before = len(self.strategy.stats.records)
+        ops_before = len(self.strategy.stats)
         wan_before = self.engine.transfer.wan_bytes
         self._peak_in_flight = 0
         started = self.env.now
@@ -166,7 +166,7 @@ class WorkloadRunner:
             finished_at=self.env.now,
             peak_in_flight=self._peak_in_flight,
             admission_bound=self.admission.bound,
-            total_ops=len(self.strategy.stats.records) - ops_before,
+            total_ops=len(self.strategy.stats) - ops_before,
             wan_bytes=self.engine.transfer.wan_bytes - wan_before,
         )
 

@@ -47,7 +47,7 @@ class TestConsistencyTracker:
     def test_window_measurement(self, env):
         tr = ConsistencyTracker(env)
         tr.on_created("k")
-        env._now = 3.0  # direct clock poke is fine for this unit test
+        env.now = 3.0  # direct clock poke is fine for this unit test
         tr.on_fully_visible("k")
         assert tr.windows == [3.0]
         assert tr.mean_window() == 3.0
@@ -56,9 +56,9 @@ class TestConsistencyTracker:
     def test_first_creation_wins(self, env):
         tr = ConsistencyTracker(env)
         tr.on_created("k")
-        env._now = 1.0
+        env.now = 1.0
         tr.on_created("k")  # re-created: window measured from first
-        env._now = 2.0
+        env.now = 2.0
         tr.on_fully_visible("k")
         assert tr.windows == [2.0]
 

@@ -1,0 +1,205 @@
+"""Calendar-backend equivalence and dead-entry compaction.
+
+The ``Environment`` can run its calendar on a binary heap (default) or a
+bucketed calendar queue (``queue="bucket"``).  The contract is that the
+two are *indistinguishable*: identical pop order -- including
+same-timestamp priority and insertion-order ties -- and therefore
+identical simulations.  These tests drive both backends through the same
+schedules (plus cancel/reschedule churn) and require identical traces.
+
+Compaction: lazy deletion leaves dead entries in the calendar; the
+kernel compacts whenever more than half of a non-trivial queue is dead,
+so rebalance-style churn (the flow solver reschedules every affected
+completion on every perturbation) cannot grow the calendar without
+bound.
+"""
+
+import random
+
+import pytest
+
+from repro.sim import Environment, EventPriority
+from repro.sim.core import _COMPACT_MIN, BucketQueue
+
+
+def _trace_of(env, n_events, plan):
+    """Run ``plan(env, log)`` and return the (time, tag) pop trace."""
+    log = []
+    plan(env, log)
+    env.run()
+    assert len(log) == n_events
+    return log
+
+
+class TestPopOrderEquivalence:
+    @pytest.mark.parametrize("width", [0.1, 1.0, 7.3])
+    def test_same_trace_on_random_schedule(self, width):
+        """Heap and bucket backends pop an identical event order."""
+
+        def plan(env, log):
+            rng = random.Random(42)
+            for i in range(500):
+                delay = rng.choice([0.0, 0.25, 1.0, rng.random() * 20])
+                ev = env.timeout(delay, value=i)
+                ev.callbacks.append(
+                    lambda e, i=i: log.append((e.env.now, i))
+                )
+
+        heap_trace = _trace_of(Environment(), 500, plan)
+        bucket_trace = _trace_of(
+            Environment(queue="bucket", bucket_width=width), 500, plan
+        )
+        assert heap_trace == bucket_trace
+
+    def test_priority_ties_at_same_timestamp(self):
+        """URGENT < NORMAL < LOW at one instant, insertion order within."""
+
+        def plan(env, log):
+            prios = [
+                EventPriority.LOW,
+                EventPriority.NORMAL,
+                EventPriority.URGENT,
+                EventPriority.NORMAL,
+                EventPriority.URGENT,
+                EventPriority.LOW,
+            ]
+            for i, prio in enumerate(prios):
+                ev = env.event()
+                ev._ok = True
+                ev._value = i
+                ev.callbacks.append(
+                    lambda e: log.append((e.env.now, e._value))
+                )
+                env._schedule(ev, prio, 1.0)
+
+        heap_trace = _trace_of(Environment(), 6, plan)
+        bucket_trace = _trace_of(Environment(queue="bucket"), 6, plan)
+        assert heap_trace == bucket_trace
+        # URGENT pair first (insertion order), then NORMAL, then LOW.
+        assert [tag for _, tag in heap_trace] == [2, 4, 1, 3, 0, 5]
+
+    def test_trace_stable_under_cancel_and_reschedule_churn(self):
+        """Backends agree after interleaved cancels and reschedules."""
+
+        def plan(env, log):
+            rng = random.Random(7)
+            events = []
+            for i in range(300):
+                ev = env.timeout(rng.random() * 10, value=i)
+                ev.callbacks.append(
+                    lambda e: log.append((e.env.now, e._value))
+                )
+                events.append(ev)
+            for i in range(0, 300, 3):
+                env.cancel(events[i])
+            for i in range(1, 300, 3):
+                env.reschedule(events[i], rng.random() * 5)
+
+        def run(env):
+            log = []
+            plan(env, log)
+            env.run()
+            return log
+
+        heap_trace = run(Environment())
+        bucket_trace = run(Environment(queue="bucket", bucket_width=0.5))
+        assert heap_trace == bucket_trace
+        assert len(heap_trace) == 200
+
+    def test_nonfinite_times_go_to_overflow(self):
+        """A bucket queue accepts inf-delay entries without dying."""
+        env = Environment(queue="bucket")
+        never = env.timeout(float("inf"), value="never")
+        soon = env.timeout(1.0, value="soon")
+        fired = []
+        soon.callbacks.append(lambda e: fired.append(e._value))
+        env.run(until=10.0)
+        assert fired == ["soon"]
+        assert not never.processed
+        assert env.queued == 1  # the inf entry is still held
+
+    def test_backend_property_reports(self):
+        assert Environment().queue_backend == "heap"
+        assert Environment(queue="bucket").queue_backend == "bucket"
+        with pytest.raises(ValueError):
+            Environment(queue="calendar-wheel")
+
+
+class TestBucketQueueUnit:
+    def test_pop_orders_across_buckets(self):
+        q = BucketQueue(width=1.0)
+        entries = [
+            [5.0, 1, 0, "a"],
+            [0.5, 1, 1, "b"],
+            [0.6, 0, 2, "c"],
+            [5.0, 0, 3, "d"],
+            [2.2, 1, 4, "e"],
+        ]
+        for e in entries:
+            q.push(e)
+        assert [q.pop()[3] for _ in range(len(q))] == [
+            "b", "c", "e", "d", "a",
+        ]
+
+    def test_peek_does_not_consume(self):
+        q = BucketQueue(width=2.0)
+        q.push([3.0, 1, 0, "x"])
+        assert q.peek_entry()[3] == "x"
+        assert len(q) == 1
+
+    def test_compact_drops_dead_entries(self):
+        q = BucketQueue(width=1.0)
+        live = [1.0, 1, 0, "keep"]
+        dead = [2.0, 1, 1, None]
+        q.push(live)
+        q.push(dead)
+        q.compact()
+        assert len(q) == 1
+        assert q.pop() is live
+
+
+class TestCompaction:
+    @pytest.mark.parametrize("backend", ["heap", "bucket"])
+    def test_reschedule_churn_keeps_queue_bounded(self, backend):
+        """S3: heavy reschedule churn cannot grow the calendar unboundedly.
+
+        Every reschedule lazily kills one entry and pushes a fresh one;
+        without compaction N reschedules leave N dead entries behind.
+        The 50%-dead threshold bounds the calendar at O(live).
+        """
+        env = Environment(queue=backend)
+        live = 64
+        events = [env.timeout(1000.0 + i) for i in range(live)]
+        for round_ in range(100):
+            for ev in events:
+                env.reschedule(ev, 1000.0 + round_)
+        # 6400 reschedules happened; the queue must stay O(live), far
+        # below the dead-entry pile lazy deletion alone would leave.
+        assert env.queued <= 2 * live + 1
+        assert env._dead * 2 <= env.queued + 1
+
+    def test_no_compaction_below_minimum(self):
+        """Tiny calendars skip compaction (not worth the heapify)."""
+        env = Environment()
+        ev = env.timeout(5.0)
+        other = env.timeout(7.0)
+        env.cancel(ev)
+        # One dead of two entries: over 50% threshold but under the
+        # size floor, so the dead entry is still in the queue.
+        assert env.queued == 2
+        assert _COMPACT_MIN > 2
+        assert not other.processed
+
+    def test_compaction_preserves_pop_order(self):
+        env = Environment()
+        keep = []
+        events = []
+        for i in range(_COMPACT_MIN * 2):
+            ev = env.timeout(float(i), value=i)
+            ev.callbacks.append(lambda e: keep.append(e._value))
+            events.append(ev)
+        # Cancel every other event to push past the 50% dead mark.
+        for ev in events[::2]:
+            env.cancel(ev)
+        env.run()
+        assert keep == list(range(1, _COMPACT_MIN * 2, 2))
