@@ -20,8 +20,14 @@
 #      pair every artifact), and a quick BENCH trajectory run
 #      (scripts/bench.py) gated against BENCH_seed.json -- any pinned
 #      scenario whose --quick wall exceeds 1.25x the committed seed
-#      full-run wall fails the check (kernel-regression smoke);
-#   4. unused-import lint over the source tree.
+#      full-run wall fails the check (kernel-regression smoke); the
+#      bench runs with tracing disabled, so the gate doubles as the
+#      observability plane's zero-overhead guard
+#      (docs/observability.md);
+#   4. a trace smoke: a quick fully-traced scenario must export valid,
+#      non-empty Chrome trace-event JSON covering the kernel, network,
+#      scheduler and span layers;
+#   5. unused-import lint over the source tree.
 #
 # Usage, from the repo root:
 #   scripts/check.sh            # fast profile + lint
@@ -73,6 +79,20 @@ for name, got, ref in bad:
     print(f"bench regression: {name} quick wall {got}s > "
           f"1.25 x seed wall {ref}s", file=sys.stderr)
 sys.exit(1 if bad else 0)
+PY
+
+# Trace smoke: full tracing on a quick scenario must yield a valid,
+# non-empty Chrome trace with every major layer represented.
+python -m repro.cli trace fanout_bandwidth_aware --quick \
+    --out "$TMP/trace.json" > /dev/null
+python - "$TMP/trace.json" <<'PY'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+events = doc["traceEvents"]
+assert events, "empty Chrome trace"
+cats = {e.get("cat") for e in events}
+missing = {"kernel", "network", "scheduler", "span"} - cats
+assert not missing, f"trace missing categories: {sorted(missing)}"
 PY
 
 python -m repro.util.lint src

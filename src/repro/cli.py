@@ -10,6 +10,8 @@
     python -m repro.cli run --workflow montage --tenants 8 --admission max_in_flight --max-in-flight 4
     python -m repro.cli run --workflow montage --dump-spec scenario.json
     python -m repro.cli run --spec scenario.json
+    python -m repro.cli trace fanout_bandwidth_aware --quick --out trace.json
+    python -m repro.cli run --workflow montage --tenants 4 --metrics
     python -m repro.cli sweep --scenario paper_synthetic --set "strategy.name=centralized,hybrid"
     python -m repro.cli sweep --scenario paper_synthetic --set "seed=0,1,2,3" --jobs 4 --out runs/
     python -m repro.cli results runs/
@@ -47,6 +49,7 @@ from repro.scenario import (
     SCENARIOS,
     WORKFLOW_BUILDERS,
     NetworkSpec,
+    ObservabilitySpec,
     ScenarioSpec,
     SchedulerSpec,
     StrategySpec,
@@ -299,8 +302,60 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="admission token_bucket only: per-tenant burst allowance",
     )
+    runp.add_argument(
+        "--metrics",
+        action="store_true",
+        help=(
+            "run with the metrics plane enabled and print counters and "
+            "latency-sketch quantiles after the report "
+            "(docs/observability.md); composes with --spec"
+        ),
+    )
     _RUN_FLAG_DEFAULTS.update(
         {name: runp.get_default(name) for name in _RUN_SPEC_CLASH_FLAGS}
+    )
+
+    tracep = sub.add_parser(
+        "trace",
+        help=(
+            "run a scenario with full tracing and export a Chrome "
+            "trace-event file (chrome://tracing, Perfetto)"
+        ),
+    )
+    tracep.add_argument(
+        "scenario",
+        nargs="?",
+        help="named scenario to trace (repro.cli scenarios)",
+    )
+    tracep.add_argument(
+        "--spec",
+        metavar="FILE",
+        help="trace a scenario spec file instead of a named scenario",
+    )
+    tracep.add_argument(
+        "--out",
+        metavar="PATH",
+        default="trace.json",
+        help="Chrome trace-event JSON output path (default: trace.json)",
+    )
+    tracep.add_argument(
+        "--jsonl",
+        metavar="PATH",
+        help="also write the raw event stream as JSON lines",
+    )
+    tracep.add_argument(
+        "--categories",
+        metavar="CAT,CAT",
+        default=None,
+        help=(
+            "comma-separated event categories to record "
+            "(default: all; see docs/observability.md)"
+        ),
+    )
+    tracep.add_argument(
+        "--quick",
+        action="store_true",
+        help="trace the CI-sized variant of the scenario",
     )
 
     sweep = sub.add_parser(
@@ -585,6 +640,8 @@ def _cmd_run(args) -> int:
         # (e.g. a string n_nodes) surfacing from validate().
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    if args.metrics and not spec.observability.enabled:
+        spec = spec.replace(observability=ObservabilitySpec(enabled=True))
     if args.dump_spec:
         text = spec.to_json()
         if args.dump_spec == "-":
@@ -600,11 +657,102 @@ def _cmd_run(args) -> int:
         print(f"error: {exc}", file=sys.stderr)
         return 2
     print(result.render())
+    if args.metrics and result.obs is not None:
+        print()
+        print(_render_obs(result.obs))
     if args.export:
         from repro.analysis.export import export_json
 
         export_json(result.result, args.export)
         print(f"\nresult written to {args.export}")
+    return 0
+
+
+def _render_obs(obs: dict) -> str:
+    """The metrics-plane summary tables of one traced run."""
+    parts = []
+    events = obs.get("events") or {}
+    if events:
+        rows = [[cat, n] for cat, n in sorted(events.items())]
+        rows.append(["(spans)", obs.get("n_spans", 0)])
+        if obs.get("dropped"):
+            rows.append(["(dropped)", obs["dropped"]])
+        parts.append(
+            render_table(
+                ["category", "events"], rows, title="trace events"
+            )
+        )
+    metrics = obs.get("metrics") or {}
+    counters = metrics.get("counters") or {}
+    if counters:
+        rows = [[name, v] for name, v in sorted(counters.items())]
+        parts.append(render_table(["counter", "value"], rows))
+    histograms = metrics.get("histograms") or {}
+    if histograms:
+        rows = [
+            [
+                name,
+                int(h["count"]),
+                f"{h['mean']:.6f}",
+                f"{h['p50']:.6f}",
+                f"{h['p90']:.6f}",
+                f"{h['p99']:.6f}",
+            ]
+            for name, h in sorted(histograms.items())
+        ]
+        parts.append(
+            render_table(
+                ["latency histogram", "n", "mean", "p50", "p90", "p99"],
+                rows,
+                title="streaming sketches (seconds)",
+            )
+        )
+    return "\n\n".join(parts) if parts else "no metrics recorded"
+
+
+def _cmd_trace(args) -> int:
+    from repro.obs import write_chrome_trace, write_jsonl
+
+    try:
+        if bool(args.scenario) == bool(args.spec):
+            raise ValueError(
+                "trace takes exactly one target: a scenario name or "
+                "--spec FILE"
+            )
+        if args.spec:
+            spec = ScenarioSpec.load(args.spec)
+        else:
+            spec = get_scenario(args.scenario)
+        categories = (
+            tuple(c.strip() for c in args.categories.split(",") if c.strip())
+            if args.categories
+            else None
+        )
+        spec = spec.replace(
+            observability=ObservabilitySpec(
+                enabled=True, categories=categories
+            )
+        )
+        spec.validate()
+        result = spec.run(quick=args.quick)
+    except (ValueError, TypeError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    write_chrome_trace(result.tracer, args.out)
+    if args.jsonl:
+        write_jsonl(result.tracer, args.jsonl)
+    obs = result.obs or {}
+    total = obs.get("n_events", 0)
+    print(
+        f"traced {spec.name}: {total} events, "
+        f"{obs.get('n_spans', 0)} spans "
+        f"({obs.get('dropped', 0)} dropped)"
+    )
+    print(f"chrome trace written to {args.out}")
+    if args.jsonl:
+        print(f"event stream written to {args.jsonl}")
+    print()
+    print(_render_obs(obs))
     return 0
 
 
@@ -829,6 +977,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "simulate": _cmd_simulate,
         "advise": _cmd_advise,
         "run": _cmd_run,
+        "trace": _cmd_trace,
         "sweep": _cmd_sweep,
         "results": _cmd_results,
         "diff": _cmd_diff,

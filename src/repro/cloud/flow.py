@@ -497,6 +497,12 @@ class FlowNetwork:
         self._down_until: Dict[str, float] = {}
         #: Global rebalance count (diagnostics).
         self.rebalances = 0
+        # Observability: re-solve scope events under the "flow" category.
+        tr = getattr(env, "tracer", None)
+        self._tracer = tr
+        self._trace_flow = (
+            tr is not None and tr.enabled and tr.wants("flow")
+        )
 
     # -- construction -------------------------------------------------------
 
@@ -695,12 +701,21 @@ class FlowNetwork:
         now = self.env.now
         self.rebalances += 1
         if changed is None or self.solver == "global":
+            scope = "global"
             links = self._active_links()
         else:
+            scope = "component"
             if isinstance(changed, FairShareLink):
                 changed = (changed,)
             links = self._component(
                 {(link.src, link.dst) for link in changed}
+            )
+        if self._trace_flow:
+            self._tracer.emit(
+                "flow", "rebalance",
+                scope=scope,
+                links=len(links),
+                flows=sum(len(link.flows) for link in links),
             )
         for link in links:
             link.stats.rebalances += 1

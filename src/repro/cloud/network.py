@@ -48,6 +48,7 @@ from typing import Any, Dict, Generator, Iterable, Optional, Tuple
 from repro.sim import Environment, Resource, Timeout
 from repro.cloud.flow import FairShareLink, FlowAborted, FlowNetwork
 from repro.cloud.topology import CloudTopology
+from repro.obs import NULL_TRACER
 from repro.util.rng import RngStreams
 
 __all__ = [
@@ -191,6 +192,24 @@ class Network:
             else None
         )
         self.stats = NetworkStats()
+        # Observability: category flags cached as plain booleans (the
+        # tracer must already be attached to env -- see
+        # Environment.attach_tracer).  WAN transfer/RPC events live
+        # under "network"; interval spans under "span".
+        tr = getattr(env, "tracer", None) or NULL_TRACER
+        self._tracer = tr
+        self._trace_net = tr.enabled and tr.wants("network")
+        self._trace_span = tr.enabled and tr.wants("span")
+        self._h_transfer = (
+            tr.metrics.histogram("network.transfer_latency_s")
+            if self._trace_net
+            else None
+        )
+        self._h_rpc = (
+            tr.metrics.histogram("network.rpc_latency_s")
+            if self._trace_net
+            else None
+        )
 
     # -- delay model --------------------------------------------------------
 
@@ -347,6 +366,8 @@ class Network:
         """Account one transfer re-issued after an abort (storage layer)."""
         self.stats.retried_transfers += 1
         self.stats.retried_bytes += size
+        if self._trace_net:
+            self._tracer.emit("network", "transfer_retry", size=size)
 
     # -- primitives -----------------------------------------------------------
 
@@ -358,8 +379,13 @@ class Network:
         payload: Any = None,
         weight: float = 1.0,
         retry_on_abort: bool = False,
+        span_parent=None,
     ) -> Generator:
         """Process: move ``size`` bytes from ``src`` to ``dst``.
+
+        ``span_parent`` optionally links this transfer's trace span
+        under a caller-owned span (RPC legs, staging phases); ignored
+        when tracing is off.
 
         Yields until the message has fully arrived; returns the
         :class:`NetworkMessage` that was delivered.  Latency statistics
@@ -377,6 +403,20 @@ class Network:
         re-source, like the storage layer.
         """
         msg = NetworkMessage(src, dst, size, payload, sent_at=self.env.now)
+        # Inter-site traffic only: local messages dominate event volume
+        # and carry no WAN signal.
+        trace = self._trace_net and src != dst
+        if trace:
+            self._tracer.emit(
+                "network", "transfer_open", src=src, dst=dst, size=size
+            )
+        sp = (
+            self._tracer.span(
+                "transfer", parent=span_parent, src=src, dst=dst, size=size
+            )
+            if self._trace_span and src != dst
+            else None
+        )
         if self._fair and src != dst and size > 0:
             while True:
                 # A down endpoint queues the transfer until recovery
@@ -398,7 +438,14 @@ class Network:
                 except FlowAborted:
                     self.stats.aborted_transfers += 1
                     self.stats.aborted_bytes += flow.remaining
+                    if trace:
+                        self._tracer.emit(
+                            "network", "transfer_abort",
+                            src=src, dst=dst, remaining=flow.remaining,
+                        )
                     if not retry_on_abort:
+                        if sp is not None:
+                            sp.finish(aborted=True)
                         raise
                     self.count_retry(size)
                     continue
@@ -447,6 +494,15 @@ class Network:
             stats.same_region_messages += 1
         else:
             stats.geo_distant_messages += 1
+        if trace:
+            latency = self.env.now - msg.sent_at
+            self._tracer.emit(
+                "network", "transfer_done",
+                src=src, dst=dst, size=size, latency=latency,
+            )
+            self._h_transfer.add(latency)
+        if sp is not None:
+            sp.finish()
         return msg
 
     def rpc(
@@ -469,11 +525,19 @@ class Network:
         retransmit on fault teardown -- an RPC's endpoints are fixed, so
         unlike a storage fetch it cannot re-source around a failure.
         """
+        trace = self._trace_net
+        sp = (
+            self._tracer.span("rpc", src=src, dst=dst)
+            if self._trace_span
+            else None
+        )
+        t0 = self.env.now
         # Request leg.
         yield from self.transfer(
             src, dst, request_size,
-            weight=self.rpc_weight, retry_on_abort=True,
+            weight=self.rpc_weight, retry_on_abort=True, span_parent=sp,
         )
+        t1 = self.env.now
         # Server-side processing.
         if hasattr(service, "send"):
             result = yield from service
@@ -481,11 +545,22 @@ class Network:
             result = service()
         else:
             result = service
+        t2 = self.env.now
         # Response leg.
         yield from self.transfer(
             dst, src, response_size,
-            weight=self.rpc_weight, retry_on_abort=True,
+            weight=self.rpc_weight, retry_on_abort=True, span_parent=sp,
         )
+        if trace:
+            t3 = self.env.now
+            self._tracer.emit(
+                "network", "rpc",
+                src=src, dst=dst,
+                request_s=t1 - t0, service_s=t2 - t1, response_s=t3 - t2,
+            )
+            self._h_rpc.add(t3 - t0)
+        if sp is not None:
+            sp.finish(request_s=t1 - t0, service_s=t2 - t1)
         return result
 
     def reset_stats(self) -> None:

@@ -48,6 +48,17 @@ class MetadataRegistry:
         self.ops_served = 0
         self.entries_merged = 0
         self.busy_time = 0.0
+        # Observability: slot-wait events under "registry" (the queueing
+        # at a saturated instance is the paper's central contention
+        # effect, so it gets first-class tracing).
+        tr = getattr(env, "tracer", None)
+        self._tracer = tr
+        self._trace_reg = tr is not None and tr.enabled and tr.wants("registry")
+        self._h_wait = (
+            tr.metrics.histogram("registry.slot_wait_s")
+            if self._trace_reg
+            else None
+        )
 
     # -- internal: pay service time inside a server slot -------------------------
 
@@ -56,7 +67,16 @@ class MetadataRegistry:
         req = server.try_acquire()
         if req is None:
             with server.request() as req:
+                enqueued = self.env.now
                 yield req
+                if self._trace_reg:
+                    wait = self.env.now - enqueued
+                    self._tracer.emit(
+                        "registry", "slot_wait",
+                        site=self.site, wait=wait,
+                        queue=len(server.queue),
+                    )
+                    self._h_wait.add(wait)
                 start = self.env.now
                 yield Timeout(self.env, duration)
                 self.busy_time += self.env.now - start

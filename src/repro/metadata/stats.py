@@ -288,6 +288,24 @@ class OpStats:
             setattr(out, col, [src[i] for i in idx])
         return out
 
+    def tail_for_run(self, start: int, run: str) -> "OpStats":
+        """Records at index ``start`` onward tagged with ``run``.
+
+        The engine's per-execution snapshot: ``start`` is the record
+        count captured when the run began (records appended before that
+        instant cannot carry its tag), so only the run's own window of
+        the shared list is scanned -- attribution stays linear in a long
+        workload instead of quadratic.  Column-level filtering: no
+        record objects are materialized.
+        """
+        runs = self._run
+        idx = [i for i in range(start, len(runs)) if runs[i] == run]
+        out = OpStats()
+        for col in _COLUMNS:
+            src = getattr(self, col)
+            setattr(out, col, [src[i] for i in idx])
+        return out
+
     def runs(self) -> Dict[str, int]:
         """Record count per run tag (untagged ops under ``""``)."""
         out: Dict[str, int] = {}

@@ -25,6 +25,7 @@ from typing import Dict, Generator, List, Optional
 from repro.sim import Environment, Timeout
 from repro.cloud.network import Network
 from repro.metadata.config import MetadataConfig
+from repro.obs import NULL_TRACER
 from repro.metadata.consistency import ConsistencyTracker
 from repro.metadata.entry import RegistryEntry
 from repro.metadata.registry import MetadataRegistry
@@ -68,6 +69,36 @@ class MetadataStrategy:
         self.stats = OpStats()
         self.tracker = ConsistencyTracker(env)
         self.registries: Dict[str, MetadataRegistry] = {}
+        # Observability: client-op events under "registry", with
+        # per-kind latency histograms feeding the metrics plane (their
+        # quantiles mirror OpStats.latency_percentile within the
+        # documented sketch error).
+        tr = getattr(env, "tracer", None) or NULL_TRACER
+        self._tracer = tr
+        self._trace_ops = tr.enabled and tr.wants("registry")
+        if self._trace_ops:
+            self._h_op = tr.metrics.histogram("ops.latency_s")
+            self._h_read = tr.metrics.histogram("ops.read_latency_s")
+            self._h_write = tr.metrics.histogram("ops.write_latency_s")
+        else:
+            self._h_op = self._h_read = self._h_write = None
+
+    def _trace_op(
+        self, kind: str, key: str, site: str, start: float,
+        local: bool, retries: int = 0,
+    ) -> None:
+        """Emit one completed-op event + histogram samples (traced runs)."""
+        latency = self.env.now - start
+        self._tracer.emit(
+            "registry", "op",
+            kind=kind, key=key, site=site,
+            latency=latency, local=local, retries=retries,
+        )
+        self._h_op.add(latency)
+        if kind == "read":
+            self._h_read.add(latency)
+        elif kind == "write":
+            self._h_write.add(latency)
 
     # -- public API ----------------------------------------------------------------
 
@@ -89,6 +120,8 @@ class MetadataStrategy:
             OpKind.WRITE, entry.key, site, start, self.env.now,
             local, True, 0, run,
         )
+        if self._trace_ops:
+            self._trace_op("write", entry.key, site, start, local)
         return stored
 
     def read(
@@ -127,6 +160,8 @@ class MetadataStrategy:
             OpKind.READ, key, site, start, self.env.now,
             local, entry is not None, retries, run,
         )
+        if self._trace_ops:
+            self._trace_op("read", key, site, start, local, retries)
         return entry
 
     def delete(self, site: str, key: str, run: str = "") -> Generator:
@@ -137,6 +172,8 @@ class MetadataStrategy:
             OpKind.DELETE, key, site, start, self.env.now,
             local, existed, 0, run,
         )
+        if self._trace_ops:
+            self._trace_op("delete", key, site, start, local)
         return existed
 
     # -- hooks for subclasses ----------------------------------------------------------

@@ -1,0 +1,138 @@
+"""Trace exporters: Chrome trace-event JSON and flat JSONL.
+
+Chrome format (load in ``chrome://tracing`` / Perfetto):
+
+- point events become ``ph: "i"`` (instant) records;
+- spans become ``ph: "X"`` (complete) records carrying ``span_id`` /
+  ``parent`` in their args;
+- simulated seconds map to trace microseconds (``ts = now * 1e6``);
+- ``pid`` is always 0; ``tid`` lanes group records -- spans land on a
+  lane named after their ``vm``/``site`` arg when present (so
+  concurrent tasks render side by side), everything else on its
+  category lane.
+
+JSONL is one JSON object per line in emission order -- grep-friendly
+and streamable; spans carry ``"ph": "span"`` plus ``dur``/``id``/
+``parent``.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, Iterator, List
+
+__all__ = [
+    "chrome_trace_doc",
+    "write_chrome_trace",
+    "events_jsonl",
+    "write_jsonl",
+]
+
+
+def _span_lane(span) -> str:
+    args = span.args
+    lane = args.get("vm") or args.get("site")
+    return str(lane) if lane is not None else span.cat
+
+
+def chrome_trace_doc(tracer) -> Dict[str, object]:
+    """Build the Chrome trace-event document for ``tracer``."""
+    lanes: Dict[str, int] = {}
+
+    def tid(label: str) -> int:
+        t = lanes.get(label)
+        if t is None:
+            t = lanes[label] = len(lanes)
+        return t
+
+    records: List[dict] = []
+    for ts, cat, name, args in tracer.events:
+        records.append(
+            {
+                "ph": "i",
+                "name": name,
+                "cat": cat,
+                "ts": ts * 1e6,
+                "pid": 0,
+                "tid": tid(cat),
+                "s": "t",
+                "args": args or {},
+            }
+        )
+    for span in tracer.spans:
+        end = span.end if span.end is not None else span.start
+        args = dict(span.args)
+        args["span_id"] = span.id
+        if span.parent is not None:
+            args["parent"] = span.parent
+        records.append(
+            {
+                "ph": "X",
+                "name": span.name,
+                "cat": span.cat,
+                "ts": span.start * 1e6,
+                "dur": (end - span.start) * 1e6,
+                "pid": 0,
+                "tid": tid(_span_lane(span)),
+                "args": args,
+            }
+        )
+    meta = [
+        {
+            "ph": "M",
+            "name": "process_name",
+            "pid": 0,
+            "tid": 0,
+            "args": {"name": "repro-sim"},
+        }
+    ]
+    for label, t in lanes.items():
+        meta.append(
+            {
+                "ph": "M",
+                "name": "thread_name",
+                "pid": 0,
+                "tid": t,
+                "args": {"name": label},
+            }
+        )
+    records.sort(key=lambda r: (r["ts"], r["tid"]))
+    return {"traceEvents": meta + records, "displayTimeUnit": "ms"}
+
+
+def write_chrome_trace(tracer, path: str) -> None:
+    with open(path, "w") as fh:
+        json.dump(chrome_trace_doc(tracer), fh)
+
+
+def events_jsonl(tracer) -> Iterator[str]:
+    """Yield one JSON line per event/span, ordered by simulated time."""
+    rows: List[dict] = []
+    for ts, cat, name, args in tracer.events:
+        row = {"ts": ts, "cat": cat, "name": name}
+        if args:
+            row.update(args)
+        rows.append(row)
+    for span in tracer.spans:
+        end = span.end if span.end is not None else span.start
+        row = {
+            "ts": span.start,
+            "cat": span.cat,
+            "name": span.name,
+            "ph": "span",
+            "dur": end - span.start,
+            "id": span.id,
+        }
+        if span.parent is not None:
+            row["parent"] = span.parent
+        row.update(span.args)
+        rows.append(row)
+    rows.sort(key=lambda r: r["ts"])
+    for row in rows:
+        yield json.dumps(row)
+
+
+def write_jsonl(tracer, path: str) -> None:
+    with open(path, "w") as fh:
+        for line in events_jsonl(tracer):
+            fh.write(line + "\n")

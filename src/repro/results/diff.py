@@ -63,6 +63,9 @@ class ArtifactDiff:
     metrics: Dict[str, Tuple[Optional[float], Optional[float]]] = field(
         default_factory=dict
     )
+    #: provenance key -> (value in A, value in B); changed keys only
+    #: (queue backend, flow solver, processed-event count).
+    provenance: Dict[str, Tuple[Any, Any]] = field(default_factory=dict)
 
     def metric_deltas(self) -> Dict[str, float]:
         """B minus A for every metric present on both sides."""
@@ -115,6 +118,16 @@ class ArtifactDiff:
             )
         else:
             text += "\nspec: identical (same spec hash)"
+        if self.provenance:
+            rows = [
+                [key, _fmt(a), _fmt(b)]
+                for key, (a, b) in sorted(self.provenance.items())
+            ]
+            text += "\n\n" + render_table(
+                ["provenance", self.a_label, self.b_label],
+                rows,
+                title="changed provenance (how the run was computed)",
+            )
         return text
 
 
@@ -140,11 +153,19 @@ def diff_artifacts(
         name: (metrics_a.get(name), metrics_b.get(name))
         for name in sorted(set(metrics_a) | set(metrics_b))
     }
+    prov_a = a.get("provenance") or {}
+    prov_b = b.get("provenance") or {}
+    provenance = {
+        key: (prov_a.get(key), prov_b.get(key))
+        for key in sorted(set(prov_a) | set(prov_b))
+        if prov_a.get(key) != prov_b.get(key)
+    }
     return ArtifactDiff(
         a_label=a_label,
         b_label=b_label,
         spec_changes=spec_changes,
         metrics=metrics,
+        provenance=provenance,
     )
 
 

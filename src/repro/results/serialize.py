@@ -117,7 +117,11 @@ def scenario_result_to_dict(
     Carries the full spec (so the artifact alone reproduces the run
     via ``ScenarioSpec.from_dict(doc["spec"]).run()``), the spec's
     content hash, the flat ``metrics`` diff keys, the fault events
-    that fired, and the surface's native payload under ``result``.
+    that fired, execution ``provenance`` (kernel queue backend, flow
+    solver mode, processed-event count -- facts about *how* the run
+    was computed, surfaced separately by ``repro.cli diff``), the
+    observability summary under ``obs`` when tracing was on, and the
+    surface's native payload under ``result``.
     """
     res = result.result
     if result.surface == "synthetic":
@@ -126,7 +130,7 @@ def scenario_result_to_dict(
         payload = workflow_result_to_dict(res, include_ops=include_ops)
     else:
         payload = workload_result_to_dict(res)
-    return {
+    doc = {
         "schema": 1,
         "kind": "scenario-result",
         "name": result.spec.name,
@@ -147,8 +151,12 @@ def scenario_result_to_dict(
             for ev in result.fault_events
         ],
         "metrics": result_metrics(result),
+        "provenance": dict(result.provenance),
         "result": payload,
     }
+    if result.obs is not None:
+        doc["obs"] = result.obs
+    return doc
 
 
 def sweep_cell_to_dict(

@@ -18,6 +18,7 @@ from repro.scenario.spec import (
     FAULT_KINDS,
     FaultSpec,
     NetworkSpec,
+    ObservabilitySpec,
     SURFACES,
     ScenarioSpec,
     SchedulerSpec,
@@ -42,6 +43,7 @@ __all__ = [
     "FAULT_KINDS",
     "FaultSpec",
     "NetworkSpec",
+    "ObservabilitySpec",
     "SCENARIOS",
     "SCENARIO_NAMES",
     "SURFACES",

@@ -17,7 +17,7 @@ spec-driven run issues exactly the calls the pre-spec plumbing did
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 from repro.cloud.deployment import Deployment
@@ -30,7 +30,9 @@ from repro.cloud.faults import (
 )
 from repro.metadata.config import MetadataConfig
 from repro.metadata.controller import ArchitectureController
+from repro.obs import Tracer
 from repro.scenario.spec import ScenarioSpec
+from repro.sim import Environment
 from repro.util.units import MB
 from repro.workflow.engine import WorkflowEngine
 from repro.workload.runner import WorkloadRunner
@@ -47,7 +49,10 @@ class ScenarioResult:
     :class:`~repro.experiments.synthetic.SyntheticResult` or
     :class:`~repro.workload.result.WorkloadResult`); the wrapper adds
     what the spec layer owns -- the resolved scheduler/admission names,
-    the fault events that actually fired, and WAN accounting.
+    the fault events that actually fired, WAN accounting, execution
+    provenance (kernel queue backend, flow-solver mode, processed-event
+    count) and, when tracing was on, the observability summary plus the
+    live tracer for the Chrome/JSONL exporters.
     """
 
     spec: ScenarioSpec
@@ -56,6 +61,11 @@ class ScenarioResult:
     admission: Optional[str] = None
     fault_events: Tuple[FaultEvent, ...] = ()
     wan_bytes: int = 0
+    provenance: Dict[str, object] = field(default_factory=dict)
+    obs: Optional[Dict[str, object]] = None
+    #: The live tracer (None when tracing was off).  Not serialized --
+    #: the exporters in ``repro.obs.export`` consume it directly.
+    tracer: Optional[Tracer] = field(default=None, repr=False)
 
     @property
     def surface(self) -> str:
@@ -201,6 +211,28 @@ def _collect_events(injectors: List[object]) -> Tuple[FaultEvent, ...]:
     return tuple(ev for inj in injectors for ev in inj.events)
 
 
+def _provenance(deployment: Deployment) -> Dict[str, object]:
+    """Execution provenance: *how* the run was computed.
+
+    These facts never change the simulated numbers (the backends and
+    solvers are pinned equivalent by goldens), which is exactly why
+    they are recorded separately from ``metrics`` -- ``repro.cli diff``
+    surfaces a backend/solver swap without flagging the results.
+    """
+    env = deployment.env
+    network = deployment.network
+    flow_solver = (
+        f"fair/{network.flow_net.solver}"
+        if network.flow_net is not None
+        else "slots"
+    )
+    return {
+        "queue_backend": env.queue_backend,
+        "flow_solver": flow_solver,
+        "events_processed": env.events_processed,
+    }
+
+
 def _build_workflow(spec: ScenarioSpec):
     """The workflow-surface DAG, built exactly like the CLI built it."""
     if spec.workflow_file is not None:
@@ -248,7 +280,23 @@ def run_scenario(
         )
     config = spec.to_metadata_config(base=config_base)
     net = spec.network
+    # The tracer must be attached before the deployment is built:
+    # network/registry/engine components cache their tracer category
+    # flags at construction time.
+    env = Environment()
+    tracer: Optional[Tracer] = None
+    obs = spec.observability
+    if obs.enabled:
+        tracer = Tracer(
+            env,
+            categories=obs.categories,
+            max_events=obs.max_events,
+            sample_interval=obs.sample_interval,
+            histogram_capacity=obs.histogram_capacity,
+        )
+        env.attach_tracer(tracer)
     deployment = Deployment(
+        env=env,
         topology=spec.topology.build(),
         n_nodes=spec.n_nodes,
         seed=spec.seed,
@@ -284,6 +332,9 @@ def run_scenario(
             spec=spec,
             result=result,
             fault_events=_collect_events(injectors),
+            provenance=_provenance(deployment),
+            obs=tracer.export() if tracer is not None else None,
+            tracer=tracer,
         )
 
     controller = ArchitectureController(
@@ -308,6 +359,9 @@ def run_scenario(
             scheduler=engine.policy.name,
             fault_events=_collect_events(injectors),
             wan_bytes=engine.transfer.wan_bytes,
+            provenance=_provenance(deployment),
+            obs=tracer.export() if tracer is not None else None,
+            tracer=tracer,
         )
 
     runner = WorkloadRunner(deployment, controller.strategy)
@@ -320,4 +374,7 @@ def run_scenario(
         admission=result.admission,
         fault_events=_collect_events(injectors),
         wan_bytes=result.wan_bytes,
+        provenance=_provenance(deployment),
+        obs=tracer.export() if tracer is not None else None,
+        tracer=tracer,
     )

@@ -49,6 +49,7 @@ from repro.cloud.presets import (
 from repro.cloud.topology import CloudTopology
 from repro.metadata.config import MetadataConfig
 from repro.metadata.controller import STRATEGIES, StrategyName
+from repro.obs import TRACE_CATEGORIES
 from repro.scheduling import SCHEDULER_NAMES
 from repro.util.units import MB
 from repro.workflow.applications import buzzflow, montage
@@ -59,6 +60,7 @@ __all__ = [
     "FAULT_KINDS",
     "FaultSpec",
     "NetworkSpec",
+    "ObservabilitySpec",
     "SURFACES",
     "ScenarioSpec",
     "SchedulerSpec",
@@ -486,6 +488,81 @@ class FaultSpec:
                     )
 
 
+@dataclass(frozen=True)
+class ObservabilitySpec:
+    """Tracing + metrics plane configuration (see ``repro.obs``).
+
+    Disabled by default: a run with ``enabled=False`` attaches no
+    tracer at all, keeping the kernel hot paths on their no-op fast
+    path.  Because the tracer only *observes* (it schedules no events
+    and consumes no randomness), this block is deliberately **excluded
+    from** :meth:`ScenarioSpec.canonical_json` / ``spec_hash`` -- the
+    same experiment traced and untraced stores under the same artifact
+    key.
+
+    Attributes
+    ----------
+    enabled:
+        Master switch.  The remaining knobs require it (pinning
+        sampling detail on a disabled tracer would masquerade as an
+        observed run).
+    categories:
+        Subset of :data:`repro.obs.TRACE_CATEGORIES` to record;
+        ``None`` means all of them.
+    sample_interval:
+        Simulated seconds between counter/gauge time-series samples.
+    max_events:
+        Retained event/span cap; beyond it events are counted as
+        dropped, bounding trace memory.
+    histogram_capacity:
+        Reservoir size per streaming histogram (quantiles are exact up
+        to this many observations; see ``docs/observability.md``).
+    """
+
+    enabled: bool = False
+    categories: Optional[Tuple[str, ...]] = None
+    sample_interval: float = 1.0
+    max_events: int = 1_000_000
+    histogram_capacity: int = 2048
+
+    def __post_init__(self):
+        if self.categories is not None:
+            object.__setattr__(self, "categories", tuple(self.categories))
+
+    def validate(self) -> None:
+        if self.categories is not None:
+            if not self.categories:
+                raise ValueError(
+                    "categories must be None (all) or a non-empty tuple"
+                )
+            unknown = sorted(set(self.categories) - set(TRACE_CATEGORIES))
+            if unknown:
+                raise ValueError(
+                    f"unknown trace categories {unknown}; expected a "
+                    f"subset of {list(TRACE_CATEGORIES)}"
+                )
+        if self.sample_interval <= 0:
+            raise ValueError("sample_interval must be positive")
+        if self.max_events <= 0:
+            raise ValueError("max_events must be positive")
+        if self.histogram_capacity < 5:
+            raise ValueError(
+                "histogram_capacity must be >= 5 (quantile sketches "
+                "need at least five retained points)"
+            )
+        if not self.enabled and (
+            self.categories is not None
+            or self.sample_interval != 1.0
+            or self.max_events != 1_000_000
+            or self.histogram_capacity != 2048
+        ):
+            # The spec tree's masquerade guard: tuning a tracer that
+            # records nothing would silently present as an observed run.
+            raise ValueError(
+                "observability knobs require enabled=True"
+            )
+
+
 def _validate_admission_knobs(
     admission: Optional[str],
     max_in_flight: Optional[int],
@@ -619,6 +696,10 @@ class ScenarioSpec:
         requires an embedded ``workload``).
     topology / network / strategy / scheduler / faults:
         The axes of the comparison matrix, one sub-spec each.
+    observability:
+        Tracing/metrics plane (:class:`ObservabilitySpec`); off by
+        default, and excluded from :meth:`spec_hash` because it only
+        observes the run.
     workload:
         Workload surface only: the embedded
         :class:`~repro.workload.spec.WorkloadSpec`.
@@ -643,6 +724,7 @@ class ScenarioSpec:
     network: NetworkSpec = field(default_factory=NetworkSpec)
     strategy: StrategySpec = field(default_factory=StrategySpec)
     scheduler: SchedulerSpec = field(default_factory=SchedulerSpec)
+    observability: ObservabilitySpec = field(default_factory=ObservabilitySpec)
     faults: Tuple[FaultSpec, ...] = ()
     workload: Optional[WorkloadSpec] = None
     admission: Optional[str] = None
@@ -672,6 +754,7 @@ class ScenarioSpec:
         self.network.validate()
         self.strategy.validate()
         self.scheduler.validate()
+        self.observability.validate()
         sites = self.topology.site_names()
         for label in ("home_site", "input_site"):
             owner = self.strategy if label == "home_site" else self.scheduler
@@ -871,6 +954,7 @@ class ScenarioSpec:
             ("network", NetworkSpec),
             ("strategy", StrategySpec),
             ("scheduler", SchedulerSpec),
+            ("observability", ObservabilitySpec),
         ):
             if isinstance(data.get(key), Mapping):
                 data[key] = _sub_from_dict(sub, data[key])
@@ -890,11 +974,15 @@ class ScenarioSpec:
         """The canonical serialized form :meth:`spec_hash` digests.
 
         Sorted keys, minimal separators: any two specs with equal
-        :meth:`to_dict` output produce the identical string.
+        :meth:`to_dict` output produce the identical string -- except
+        the ``observability`` block, which is dropped before hashing.
+        Tracing only observes a run (same seeds, same events, same
+        metrics), so a traced re-run of a stored experiment must land
+        on the same artifact key.
         """
-        return json.dumps(
-            self.to_dict(), sort_keys=True, separators=(",", ":")
-        )
+        doc = self.to_dict()
+        del doc["observability"]
+        return json.dumps(doc, sort_keys=True, separators=(",", ":"))
 
     def spec_hash(self) -> str:
         """A stable content hash of this spec (hex SHA-256).
@@ -902,7 +990,9 @@ class ScenarioSpec:
         The key under which :class:`~repro.results.ResultStore`
         persists run artifacts: equal specs hash equally across
         processes and sessions, and *any* field change (including
-        nested sub-spec fields) changes the hash.  The hash of the
+        nested sub-spec fields) changes the hash -- except
+        ``observability``, which never affects simulated behaviour and
+        is excluded (see :meth:`canonical_json`).  The hash of the
         ``paper_default`` scenario is pinned by a golden test --
         accidental spec-shape changes that would orphan stored
         artifacts fail loudly there.

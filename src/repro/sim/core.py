@@ -243,6 +243,11 @@ class Timeout(Event):
             heappush(env._queue, entry)
         else:
             env._bucket.push(entry)
+        if env._trace_kernel:
+            env.tracer.emit(
+                "kernel", "schedule",
+                t=entry[0], prio=1, kind="Timeout", depth=len(env._queue),
+            )
 
     def __repr__(self) -> str:
         return f"<Timeout delay={self._delay}>"
@@ -266,6 +271,11 @@ class Initialize(Event):
             heappush(env._queue, entry)
         else:
             env._bucket.push(entry)
+        if env._trace_kernel:
+            env.tracer.emit(
+                "kernel", "schedule",
+                t=entry[0], prio=0, kind="Initialize", depth=len(env._queue),
+            )
 
 
 class Interrupt(Exception):
@@ -590,6 +600,17 @@ class Environment:
         self._seq = count()
         self._dead = 0
         self._active_process: Optional[Process] = None
+        #: Observability hook (a ``repro.obs.Tracer``), attached via
+        #: :meth:`attach_tracer`; ``None`` while tracing is off.
+        #: ``_trace_kernel`` caches ``tracer.wants("kernel")`` as a plain
+        #: bool so the hot paths pay one attribute load and a falsy
+        #: branch when disabled.
+        self.tracer = None
+        self._trace_kernel = False
+        #: Events dispatched by :meth:`run`/:meth:`step` over this
+        #: environment's lifetime -- the cheapest observability counter,
+        #: maintained whether or not a tracer is attached.
+        self.events_processed = 0
 
     # -- clock ------------------------------------------------------------
 
@@ -607,6 +628,19 @@ class Environment:
     def queued(self) -> int:
         """Calendar entries currently held (live + lazily-deleted)."""
         return len(self._queue)
+
+    def attach_tracer(self, tracer) -> None:
+        """Hook an observability tracer (``repro.obs.Tracer``) in.
+
+        Must happen before the components under observation are built:
+        they cache ``tracer.wants(category)`` booleans at construction.
+        The tracer only *records*; it never schedules events or consumes
+        randomness, so attaching one cannot change simulated behaviour.
+        """
+        self.tracer = tracer
+        self._trace_kernel = bool(
+            tracer is not None and tracer.enabled and tracer.wants("kernel")
+        )
 
     # -- event factories ----------------------------------------------------
 
@@ -639,6 +673,12 @@ class Environment:
             heappush(self._queue, entry)
         else:
             self._bucket.push(entry)
+        if self._trace_kernel:
+            self.tracer.emit(
+                "kernel", "schedule",
+                t=entry[0], prio=priority, kind=type(event).__name__,
+                depth=len(self._queue),
+            )
 
     def reschedule(
         self,
@@ -661,6 +701,11 @@ class Environment:
             raise SimulationError(f"{event!r} is not scheduled; cannot reschedule")
         entry[3] = None  # lazy-delete the stale entry
         self._schedule(event, entry[1] if priority is None else priority, delay)
+        if self._trace_kernel:
+            self.tracer.emit(
+                "kernel", "reschedule",
+                old_t=entry[0], t=event._entry[0], depth=len(self._queue),
+            )
         self._note_dead()
 
     def cancel(self, event: Event) -> None:
@@ -674,6 +719,10 @@ class Environment:
             raise SimulationError(f"{event!r} is not scheduled; cannot cancel")
         entry[3] = None
         event._entry = None
+        if self._trace_kernel:
+            self.tracer.emit(
+                "kernel", "cancel", t=entry[0], depth=len(self._queue)
+            )
         self._note_dead()
 
     def _note_dead(self) -> None:
@@ -741,6 +790,12 @@ class Environment:
             else:
                 raise SimulationError("No scheduled events")
         self.now = entry[0]
+        self.events_processed += 1
+        if self._trace_kernel:
+            self.tracer.emit(
+                "kernel", "pop",
+                t=entry[0], prio=entry[1], depth=len(queue),
+            )
         event._entry = None
         callbacks = event.callbacks
         event.callbacks = None
@@ -787,46 +842,61 @@ class Environment:
         # the hottest loop in the whole simulator.
         queue = self._queue
         heap_mode = self._bucket is None
-        while queue:
-            if stop_event is not None and stop_event.callbacks is None:
-                break  # the 'until' event has been processed
-            # Inline peek: purge dead entries, read the horizon.
-            if heap_mode:
-                entry = queue[0]
-                if entry[3] is None:
+        trace = self._trace_kernel
+        processed = 0
+        # The dispatch count is kept in a local and folded back in the
+        # finally block (the loop has three exits: break, early return,
+        # raise) -- one C-level int add per event instead of an
+        # attribute store, keeping the tracing-off cost unmeasurable.
+        try:
+            while queue:
+                if stop_event is not None and stop_event.callbacks is None:
+                    break  # the 'until' event has been processed
+                # Inline peek: purge dead entries, read the horizon.
+                if heap_mode:
+                    entry = queue[0]
+                    if entry[3] is None:
+                        heappop(queue)
+                        self._dead -= 1
+                        continue
+                else:
+                    entry = queue.peek_entry()
+                    if entry[3] is None:
+                        queue.pop()
+                        self._dead -= 1
+                        continue
+                if entry[0] > deadline:
+                    self.now = deadline
+                    break
+                if heap_mode:
                     heappop(queue)
-                    self._dead -= 1
-                    continue
-            else:
-                entry = queue.peek_entry()
-                if entry[3] is None:
+                else:
                     queue.pop()
-                    self._dead -= 1
-                    continue
-            if entry[0] > deadline:
-                self.now = deadline
-                break
-            if heap_mode:
-                heappop(queue)
+                event = entry[3]
+                self.now = entry[0]
+                processed += 1
+                if trace:
+                    self.tracer.emit(
+                        "kernel", "pop",
+                        t=entry[0], prio=entry[1], depth=len(queue),
+                    )
+                event._entry = None
+                callbacks = event.callbacks
+                event.callbacks = None
+                try:
+                    for cb in callbacks:
+                        cb(event)
+                except StopSimulation as stop:
+                    return stop.value
+                if not event._ok and not event.defused:
+                    # A failure nobody waited on: surface it, don't lose it.
+                    raise event._value
             else:
-                queue.pop()
-            event = entry[3]
-            self.now = entry[0]
-            event._entry = None
-            callbacks = event.callbacks
-            event.callbacks = None
-            try:
-                for cb in callbacks:
-                    cb(event)
-            except StopSimulation as stop:
-                return stop.value
-            if not event._ok and not event.defused:
-                # A failure nobody waited on: surface it, don't lose it.
-                raise event._value
-        else:
-            # Queue drained naturally.
-            if stop_event is None and deadline != _INF:
-                self.now = deadline
+                # Queue drained naturally.
+                if stop_event is None and deadline != _INF:
+                    self.now = deadline
+        finally:
+            self.events_processed += processed
 
         if stop_event is not None:
             if not stop_event.processed:

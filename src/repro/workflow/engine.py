@@ -33,6 +33,7 @@ from repro.cloud.vm import VirtualMachine
 from repro.metadata.entry import RegistryEntry
 from repro.metadata.stats import OpStats
 from repro.metadata.strategies.base import MetadataStrategy
+from repro.obs import NULL_TRACER
 from repro.scheduling import ClusterView, PlacementPolicy, make_scheduler
 from repro.storage.filestore import StoredFile
 from repro.storage.transfer import TransferService
@@ -169,6 +170,14 @@ class WorkflowEngine:
         }
         self.cluster = ClusterView(deployment, self.transfer, self._vm_load)
         self.policy = self._resolve_policy(scheduler, config)
+        # Observability: placement decisions under "scheduler" (with
+        # per-site candidate scores), task lifecycles as spans with
+        # staging/compute/publish children.  Category flags are cached
+        # at construction like the network's fairness flag.
+        tr = getattr(self.env, "tracer", None) or NULL_TRACER
+        self._tracer = tr
+        self._trace_sched = tr.enabled and tr.wants("scheduler")
+        self._trace_span = tr.enabled and tr.wants("span")
 
     def _resolve_policy(
         self,
@@ -276,12 +285,7 @@ class WorkflowEngine:
             )
         yield AllOf(self.env, list(completion.values()))
 
-        ops = OpStats()
-        ops.records = [
-            r
-            for r in self.strategy.stats.records[ops_before:]
-            if r.run == run
-        ]
+        ops = self.strategy.stats.tail_for_run(ops_before, run)
         return WorkflowResult(
             workflow=workflow.name,
             strategy=self.strategy.name,
@@ -337,17 +341,28 @@ class WorkflowEngine:
             yield AllOf(self.env, parent_events)
         parent_sites = [ev.value for ev in parent_events]
         vm = self._place(workflow, task, parent_sites)
+        if self._trace_sched:
+            self._emit_placement(task, vm, parent_sites)
         self.policy.on_task_placed(task, vm, self.cluster)
         if provisioner is not None:
             provisioner.on_task_placed(task, vm.site)
         self._vm_load[vm.name] += 1
+        span = (
+            self._tracer.span(
+                "task", task=task.task_id, vm=vm.name, site=vm.site, run=run
+            )
+            if self._trace_span
+            else None
+        )
         try:
             result = yield from self._execute_task(
-                task, vm, workflow.parents(task), run
+                task, vm, workflow.parents(task), run, span
             )
         finally:
             self._vm_load[vm.name] -= 1
             self.policy.on_task_complete(task, vm, self.cluster)
+            if span is not None:
+                span.finish()
         results.append(result)
         if provisioner is not None:
             provisioner.on_task_complete(task, vm.site)
@@ -361,6 +376,33 @@ class WorkflowEngine:
     ) -> VirtualMachine:
         """Pick the VM for a ready task (delegates to the policy)."""
         return self.policy.place(task, workflow, parent_sites, self.cluster)
+
+    def _emit_placement(
+        self,
+        task: Task,
+        vm: VirtualMachine,
+        parent_sites: List[str],
+    ) -> None:
+        """One "scheduler"/"place" event per decision, with per-site
+        candidate scores (estimated staging seconds -- the quantity
+        bandwidth-aware policies minimize).  Score computation is pure
+        and only runs when the category is enabled."""
+        scores = {
+            site: round(
+                self.policy.staging_time(task, site, self.cluster), 6
+            )
+            for site in self.deployment.sites
+        }
+        self._tracer.emit(
+            "scheduler",
+            "place",
+            task=task.task_id,
+            vm=vm.name,
+            site=vm.site,
+            policy=self.policy.name,
+            parent_sites=sorted(set(parent_sites)),
+            scores=scores,
+        )
 
     @staticmethod
     def scratch_keys(task: Task) -> List[str]:
@@ -381,6 +423,7 @@ class WorkflowEngine:
         vm: VirtualMachine,
         parents: Optional[List[Task]] = None,
         run: str = "",
+        span=None,
     ) -> Generator:
         start = self.env.now
         metadata_time = 0.0
@@ -388,6 +431,11 @@ class WorkflowEngine:
 
         # 1-2. Resolve and stage inputs (concurrently under proactive
         # provisioning, sequentially otherwise).
+        stage_span = (
+            span.child("stage", inputs=len(task.inputs))
+            if span is not None and task.inputs
+            else None
+        )
         if self.proactive_provisioning and len(task.inputs) > 1:
             t0 = self.env.now
             staged = [
@@ -417,6 +465,10 @@ class WorkflowEngine:
                     f.name, vm.site, known_locations=locations
                 )
                 transfer_time += self.env.now - t0
+        if stage_span is not None:
+            stage_span.finish(
+                metadata_s=metadata_time, transfer_s=transfer_time
+            )
         self.policy.on_inputs_staged(task, vm, self.cluster)
 
         # 3. Compute (a sleep, as in the paper).  Tasks with extra
@@ -430,10 +482,20 @@ class WorkflowEngine:
         )
         if not task.extra_ops:
             t0 = self.env.now
+            compute_span = (
+                span.child("compute") if span is not None else None
+            )
             yield from vm.compute(task.compute_time)
             compute_time = self.env.now - t0
+            if compute_span is not None:
+                compute_span.finish()
 
         # 4. Store and publish outputs.
+        publish_span = (
+            span.child("publish", outputs=len(task.outputs))
+            if span is not None and task.outputs
+            else None
+        )
         for f in task.outputs:
             self.transfer.store(
                 vm.site,
@@ -448,6 +510,8 @@ class WorkflowEngine:
                 run=run,
             )
             metadata_time += self.env.now - t0
+        if publish_span is not None:
+            publish_span.finish()
 
         # 5. Extra registry ops in the write-once/read-many pattern:
         # even ops publish this task's own scratch entries; odd ops read
@@ -459,6 +523,11 @@ class WorkflowEngine:
             parent_keys.extend(self.scratch_keys(p))
             parent_keys.extend(f.name for f in p.outputs)
         own_written: List[str] = []
+        ops_span = (
+            span.child("ops", extra_ops=task.extra_ops)
+            if span is not None and task.extra_ops
+            else None
+        )
         for i in range(task.extra_ops):
             if think_slice > 0:
                 t0 = self.env.now
@@ -480,6 +549,8 @@ class WorkflowEngine:
                     vm.site, key, require_found=True, run=run
                 )
             metadata_time += self.env.now - t0
+        if ops_span is not None:
+            ops_span.finish()
 
         return TaskResult(
             task_id=task.task_id,

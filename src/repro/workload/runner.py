@@ -27,6 +27,7 @@ from typing import Generator, List, Optional, Union
 from repro.sim import AllOf
 from repro.cloud.deployment import Deployment
 from repro.metadata.strategies.base import MetadataStrategy
+from repro.obs import NULL_TRACER
 from repro.scheduling import PlacementPolicy
 from repro.storage.transfer import TransferService
 from repro.workflow.engine import WorkflowEngine
@@ -78,6 +79,17 @@ class WorkloadRunner:
             deployment, strategy, transfer=transfer, scheduler=scheduler
         )
         self.admission = self._resolve_admission(admission)
+        # Observability: instance arrival/admission/completion under
+        # "workload", with an admission-wait histogram.  ("reject" is
+        # reserved in the taxonomy; no controller drops work today.)
+        tr = getattr(self.env, "tracer", None) or NULL_TRACER
+        self._tracer = tr
+        self._trace_wl = tr.enabled and tr.wants("workload")
+        self._h_admit = (
+            tr.metrics.histogram("workload.admission_wait_s")
+            if self._trace_wl
+            else None
+        )
         self._in_flight = 0
         self._peak_in_flight = 0
         # run() call counter: sequential specs on one runner get their
@@ -210,8 +222,20 @@ class WorkloadRunner:
             workflow = workflow.namespaced(f"r{self._epoch}")
             run_tag = f"r{self._epoch}/{inst.namespace}"
         submitted = self.env.now
+        if self._trace_wl:
+            self._tracer.emit(
+                "workload", "submit", tenant=tenant.name, run=run_tag
+            )
         token = yield from self.admission.admit(tenant.name)
         admitted = self.env.now
+        if self._trace_wl:
+            wait = admitted - submitted
+            self._tracer.emit(
+                "workload", "admit",
+                tenant=tenant.name, run=run_tag,
+                wait=wait, in_flight=self._in_flight + 1,
+            )
+            self._h_admit.add(wait)
         self._in_flight += 1
         self._peak_in_flight = max(self._peak_in_flight, self._in_flight)
         try:
@@ -223,6 +247,12 @@ class WorkloadRunner:
         finally:
             self._in_flight -= 1
             self.admission.release(token)
+        if self._trace_wl:
+            self._tracer.emit(
+                "workload", "complete",
+                tenant=tenant.name, run=run_tag,
+                makespan=result.makespan,
+            )
         records.append(
             InstanceRecord(
                 tenant=tenant.name,

@@ -636,3 +636,149 @@ class TestDiffCommand:
         rc = main(["diff", str(a), str(file_a)])
         assert rc == 2
         assert "two artifact files or two store" in capsys.readouterr().err
+
+
+class TestTraceCommand:
+    def test_trace_named_scenario_writes_chrome_json(self, capsys, tmp_path):
+        import json
+
+        out = tmp_path / "trace.json"
+        jsonl = tmp_path / "trace.jsonl"
+        assert (
+            main(
+                [
+                    "trace",
+                    "fanout_bandwidth_aware",
+                    "--quick",
+                    "--out",
+                    str(out),
+                    "--jsonl",
+                    str(jsonl),
+                ]
+            )
+            == 0
+        )
+        printed = capsys.readouterr().out
+        assert "traced fanout_bandwidth_aware" in printed
+        assert "streaming sketches" in printed
+        doc = json.loads(out.read_text())
+        cats = {e.get("cat") for e in doc["traceEvents"]}
+        assert {"kernel", "network", "scheduler", "span"} <= cats
+        lines = jsonl.read_text().splitlines()
+        assert lines and all(json.loads(line) for line in lines)
+
+    def test_trace_category_subset(self, capsys, tmp_path):
+        import json
+
+        out = tmp_path / "trace.json"
+        assert (
+            main(
+                [
+                    "trace",
+                    "fanout_bandwidth_aware",
+                    "--quick",
+                    "--categories",
+                    "scheduler,span",
+                    "--out",
+                    str(out),
+                ]
+            )
+            == 0
+        )
+        capsys.readouterr()
+        cats = {
+            e.get("cat")
+            for e in json.loads(out.read_text())["traceEvents"]
+        }
+        assert "kernel" not in cats
+        assert {"scheduler", "span"} <= cats
+
+    def test_trace_spec_file(self, capsys, tmp_path):
+        from repro.scenario import ScenarioSpec
+
+        spec_path = tmp_path / "spec.json"
+        spec_path.write_text(
+            ScenarioSpec(
+                name="cli-trace-spec",
+                surface="workflow",
+                application="montage",
+                ops_per_task=4,
+                n_nodes=8,
+            ).to_json()
+        )
+        out = tmp_path / "trace.json"
+        assert (
+            main(["trace", "--spec", str(spec_path), "--out", str(out)])
+            == 0
+        )
+        assert "cli-trace-spec" in capsys.readouterr().out
+        assert out.exists()
+
+    def test_trace_requires_exactly_one_target(self, capsys, tmp_path):
+        rc = main(["trace", "--out", str(tmp_path / "t.json")])
+        assert rc == 2
+        assert "exactly one target" in capsys.readouterr().err
+        rc = main(
+            [
+                "trace",
+                "fanout_bandwidth_aware",
+                "--spec",
+                "x.json",
+                "--out",
+                str(tmp_path / "t.json"),
+            ]
+        )
+        assert rc == 2
+
+    def test_trace_unknown_category_errors(self, capsys, tmp_path):
+        rc = main(
+            [
+                "trace",
+                "fanout_bandwidth_aware",
+                "--quick",
+                "--categories",
+                "bogus",
+                "--out",
+                str(tmp_path / "t.json"),
+            ]
+        )
+        assert rc == 2
+        assert "unknown" in capsys.readouterr().err
+
+
+class TestRunMetricsFlag:
+    def test_run_with_metrics_prints_sketches(self, capsys):
+        assert (
+            main(
+                [
+                    "run",
+                    "--workflow",
+                    "montage",
+                    "--ops",
+                    "6",
+                    "--nodes",
+                    "8",
+                    "--metrics",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "streaming sketches" in out
+        assert "ops.latency_s" in out
+
+    def test_metrics_flag_composes_with_spec(self, capsys, tmp_path):
+        from repro.scenario import ScenarioSpec
+
+        spec_path = tmp_path / "spec.json"
+        spec_path.write_text(
+            ScenarioSpec(
+                name="cli-metrics-spec",
+                surface="workflow",
+                application="montage",
+                ops_per_task=4,
+                n_nodes=8,
+            ).to_json()
+        )
+        assert main(["run", "--spec", str(spec_path), "--metrics"]) == 0
+        assert "trace events" in capsys.readouterr().out
