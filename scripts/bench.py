@@ -25,6 +25,11 @@ Usage, from the repo root::
 ``--quick`` runs the CI-friendly reductions (same shapes, smaller op
 volumes); ``--store DIR`` additionally persists each run's full
 artifact through the result store for later ``repro.cli diff``.
+
+``--print-baseline`` runs nothing: it prints the path of the newest
+*committed* ``BENCH_*.json`` (by last git commit date, falling back to
+``BENCH_seed.json``) so ``scripts/check.sh`` always gates against the
+most recent trajectory rather than a hardcoded file.
 """
 
 from __future__ import annotations
@@ -97,6 +102,37 @@ def run_bench(quick=False, label=None, store_dir=None):
     return doc
 
 
+def newest_committed_baseline() -> Path:
+    """The most recently *committed* BENCH file (default: the seed).
+
+    Uncommitted BENCH files never win: the gate must compare against a
+    trajectory some past commit vouched for, not a local scratch run.
+    """
+    import subprocess
+
+    best, best_stamp = REPO_ROOT / "BENCH_seed.json", -1
+    for path in sorted(REPO_ROOT.glob("BENCH_*.json")):
+        try:
+            out = subprocess.run(
+                [
+                    "git", "log", "-1", "--format=%ct", "--",
+                    path.name,
+                ],
+                cwd=REPO_ROOT,
+                capture_output=True,
+                text=True,
+                check=True,
+            ).stdout.strip()
+        except (OSError, subprocess.CalledProcessError):
+            continue
+        if not out:  # untracked / never committed
+            continue
+        stamp = int(out)
+        if stamp > best_stamp:
+            best, best_stamp = path, stamp
+    return best
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
@@ -122,7 +158,18 @@ def main(argv=None) -> int:
         metavar="DIR",
         help="also persist full run artifacts to this result store",
     )
+    parser.add_argument(
+        "--print-baseline",
+        action="store_true",
+        help=(
+            "print the newest committed BENCH_*.json path (the "
+            "regression-gate baseline) and exit without running"
+        ),
+    )
     args = parser.parse_args(argv)
+    if args.print_baseline:
+        print(newest_committed_baseline())
+        return 0
     doc = run_bench(
         quick=args.quick, label=args.label, store_dir=args.store
     )

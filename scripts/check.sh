@@ -18,16 +18,20 @@
 #   3. the parallel experiment plane: a --jobs 2 sweep persisted to a
 #      result store, the serial twin, a store diff between them (must
 #      pair every artifact), and a quick BENCH trajectory run
-#      (scripts/bench.py) gated against BENCH_seed.json -- any pinned
-#      scenario whose --quick wall exceeds 1.25x the committed seed
-#      full-run wall fails the check (kernel-regression smoke); the
-#      bench runs with tracing disabled, so the gate doubles as the
-#      observability plane's zero-overhead guard
-#      (docs/observability.md);
+#      (scripts/bench.py) gated against the newest *committed*
+#      BENCH_*.json (scripts/bench.py --print-baseline; falls back to
+#      BENCH_seed.json) -- any pinned scenario whose --quick wall
+#      exceeds 1.25x that baseline's full-run wall fails the check
+#      (kernel-regression smoke); the bench runs with tracing
+#      disabled, so the gate doubles as the observability plane's
+#      zero-overhead guard (docs/observability.md);
 #   4. a trace smoke: a quick fully-traced scenario must export valid,
 #      non-empty Chrome trace-event JSON covering the kernel, network,
 #      scheduler and span layers;
-#   5. unused-import lint over the source tree.
+#   5. an analyze smoke: repro.cli analyze on the SLO-bearing registry
+#      scenario must render an observed-critical-path section and an
+#      SLO verdict line (docs/observability.md);
+#   6. unused-import lint over the source tree.
 #
 # Usage, from the repo root:
 #   scripts/check.sh            # fast profile + lint
@@ -62,22 +66,25 @@ doc = json.load(open(sys.argv[1])); \
 assert doc['kind'] == 'bench-trajectory' and len(doc['scenarios']) >= 3" \
     "$TMP/BENCH_check.json"
 # Bench-regression smoke: a --quick run covers a fraction of each full
-# pinned scenario, so its wall must sit far below the committed seed
-# wall; any quick scenario exceeding 1.25x the seed's FULL wall means
-# an order-of-magnitude kernel/solver regression, not timer noise.
-python - "$TMP/BENCH_check.json" BENCH_seed.json <<'PY'
+# pinned scenario, so its wall must sit far below the committed
+# baseline wall; any quick scenario exceeding 1.25x the baseline's
+# FULL wall means an order-of-magnitude kernel/solver regression, not
+# timer noise.  The baseline is the newest committed BENCH_*.json so
+# the bar tracks the trajectory instead of pinning the seed forever.
+BASELINE=$(python scripts/bench.py --print-baseline)
+python - "$TMP/BENCH_check.json" "$BASELINE" <<'PY'
 import json, sys
 quick = json.load(open(sys.argv[1]))["scenarios"]
-seed = json.load(open(sys.argv[2]))["scenarios"]
+base = json.load(open(sys.argv[2]))["scenarios"]
 bad = [
     (name, quick[name]["wall_time_s"], entry["wall_time_s"])
-    for name, entry in seed.items()
+    for name, entry in base.items()
     if name in quick
     and quick[name]["wall_time_s"] > 1.25 * entry["wall_time_s"]
 ]
 for name, got, ref in bad:
     print(f"bench regression: {name} quick wall {got}s > "
-          f"1.25 x seed wall {ref}s", file=sys.stderr)
+          f"1.25 x baseline wall {ref}s ({sys.argv[2]})", file=sys.stderr)
 sys.exit(1 if bad else 0)
 PY
 
@@ -94,6 +101,13 @@ cats = {e.get("cat") for e in events}
 missing = {"kernel", "network", "scheduler", "span"} - cats
 assert not missing, f"trace missing categories: {sorted(missing)}"
 PY
+
+# Analyze smoke: the trace-analysis plane must turn a quick traced
+# run into a bottleneck report with an observed critical path and a
+# judged SLO verdict.
+python -m repro.cli analyze multi_tenant_slo --quick > "$TMP/analyze.txt"
+grep -qi "observed critical path" "$TMP/analyze.txt"
+grep -q "SLO verdict:" "$TMP/analyze.txt"
 
 python -m repro.util.lint src
 

@@ -28,6 +28,7 @@ as a JSON artifact and ``--spec`` replays one (see ``docs/scenarios.md``).
 from __future__ import annotations
 
 import argparse
+import dataclasses
 import json
 import sys
 from typing import List, Optional
@@ -356,6 +357,43 @@ def build_parser() -> argparse.ArgumentParser:
         "--quick",
         action="store_true",
         help="trace the CI-sized variant of the scenario",
+    )
+
+    analyzep = sub.add_parser(
+        "analyze",
+        help=(
+            "trace a scenario and report where the time went: observed "
+            "critical path, attribution buckets, hottest site/link, "
+            "SLO verdicts (docs/observability.md)"
+        ),
+    )
+    analyzep.add_argument(
+        "scenario",
+        nargs="?",
+        help="named scenario to analyze (repro.cli scenarios)",
+    )
+    analyzep.add_argument(
+        "--spec",
+        metavar="FILE",
+        help="analyze a scenario spec file instead of a named scenario",
+    )
+    analyzep.add_argument(
+        "--artifact",
+        metavar="FILE",
+        help=(
+            "render the report from a stored run artifact (must carry "
+            "an 'analysis' or 'slo' block) instead of running anything"
+        ),
+    )
+    analyzep.add_argument(
+        "--quick",
+        action="store_true",
+        help="analyze the CI-sized variant of the scenario",
+    )
+    analyzep.add_argument(
+        "--out",
+        metavar="PATH",
+        help="also write the report to a text file",
     )
 
     sweep = sub.add_parser(
@@ -756,6 +794,257 @@ def _cmd_trace(args) -> int:
     return 0
 
 
+def _render_slo_dict(slo: dict) -> str:
+    """The SLO verdict table from an artifact's (or fresh run's)
+    serialized ``slo`` block."""
+    head = f"SLO verdict: {slo.get('status', '?')}"
+    if slo.get("n_violated"):
+        head += (
+            f" ({slo['n_violated']} rule(s) violated, total debt "
+            f"{slo.get('total_debt', 0.0):.3g}"
+        )
+        first = slo.get("first_violation_at")
+        if first is not None:
+            head += f", first violation at t={first:.3g}s"
+        head += ")"
+    rows = []
+    for rule in slo.get("rules", []):
+        observed = rule.get("observed")
+        first = rule.get("first_violation_at")
+        rows.append(
+            [
+                rule.get("rule", "?"),
+                rule.get("status", "?"),
+                f"{observed:.4g}" if observed is not None else "--",
+                f"{rule.get('target', 0.0):.4g}",
+                f"{rule.get('debt', 0.0):.4g}",
+                f"{first:.4g}" if first is not None else "--",
+                rule.get("note", ""),
+            ]
+        )
+    if not rows:
+        return head
+    return head + "\n" + render_table(
+        ["rule", "status", "observed", "target", "debt", "first at", "note"],
+        rows,
+    )
+
+
+def _render_analysis(analysis: dict) -> str:
+    """The bottleneck report from a serialized ``analysis`` block."""
+    parts = []
+    buckets = analysis.get("buckets") or {}
+    total = sum(buckets.values())
+    workflows = analysis.get("workflows") or []
+    if buckets and total > 0:
+        rows = [
+            [bucket, f"{seconds:.3f}", f"{seconds / total:.1%}"]
+            for bucket, seconds in sorted(
+                buckets.items(), key=lambda kv: -kv[1]
+            )
+        ]
+        top = rows[0][0]
+        parts.append(
+            render_table(
+                ["bucket", "seconds", "share"],
+                rows,
+                title=(
+                    f"time attribution over {len(workflows)} "
+                    f"workflow(s) -- bottleneck: {top}"
+                ),
+            )
+        )
+    if workflows:
+        slowest = max(workflows, key=lambda w: w.get("makespan", 0.0))
+        rows = []
+        for step in slowest.get("path", []):
+            rows.append(
+                [
+                    step.get("task", "?"),
+                    step.get("site", "?"),
+                    f"{step.get('start', 0.0):.2f}",
+                    f"{step.get('end', 0.0) - step.get('start', 0.0):.2f}",
+                    f"{step.get('wait_before', 0.0):.2f}",
+                    f"{step.get('compute', 0.0):.2f}",
+                    f"{step.get('metadata', 0.0):.2f}",
+                    f"{step.get('wan_transfer', 0.0):.2f}",
+                ]
+            )
+        parts.append(
+            render_table(
+                [
+                    "task", "site", "start", "dur (s)", "wait",
+                    "compute", "metadata", "transfer",
+                ],
+                rows,
+                title=(
+                    f"observed critical path of {slowest.get('run', '?')!r}"
+                    f" -- {len(rows)} of {slowest.get('n_tasks', 0)} tasks,"
+                    f" makespan {slowest.get('makespan', 0.0):.3f}s"
+                ),
+            )
+        )
+    sites = analysis.get("sites") or {}
+    if sites:
+        rows = [
+            [
+                key,
+                s.get("vms_seen", 0),
+                s.get("peak", 0),
+                f"{s.get('mean', 0.0):.2f}",
+                f"{s.get('busy_s', 0.0):.2f}",
+                f"{s.get('idle_fraction', 0.0):.1%}",
+            ]
+            for key, s in sorted(
+                sites.items(), key=lambda kv: -kv[1].get("busy_s", 0.0)
+            )
+        ]
+        parts.append(
+            render_table(
+                ["site", "vms", "peak", "mean", "busy (s)", "idle"],
+                rows,
+                title=(
+                    "VM occupancy by site -- hottest: "
+                    f"{analysis.get('hottest_site') or '-'}"
+                ),
+            )
+        )
+    links = analysis.get("links") or {}
+    if links:
+        ranked = sorted(
+            links.items(), key=lambda kv: -kv[1].get("busy_s", 0.0)
+        )
+        rows = [
+            [
+                key,
+                s.get("n_intervals", 0),
+                f"{s.get('bytes', 0.0) / 1e6:.1f}",
+                s.get("peak", 0),
+                f"{s.get('busy_s', 0.0):.2f}",
+                f"{s.get('idle_fraction', 0.0):.1%}",
+            ]
+            for key, s in ranked[:10]
+        ]
+        title = (
+            "WAN link busy time -- hottest: "
+            f"{analysis.get('hottest_link') or '-'}"
+        )
+        if len(ranked) > 10:
+            title += f" (top 10 of {len(ranked)})"
+        parts.append(
+            render_table(
+                ["link", "transfers", "MB", "peak flows", "busy (s)", "idle"],
+                rows,
+                title=title,
+            )
+        )
+    registry_wait = analysis.get("registry_wait") or {}
+    if registry_wait:
+        rows = [
+            [
+                site,
+                int(w.get("count", 0)),
+                f"{w.get('total_s', 0.0):.3f}",
+                f"{w.get('max_s', 0.0):.4f}",
+            ]
+            for site, w in sorted(
+                registry_wait.items(),
+                key=lambda kv: -kv[1].get("total_s", 0.0),
+            )
+        ]
+        parts.append(
+            render_table(
+                ["registry site", "waits", "total (s)", "max (s)"],
+                rows,
+                title="registry slot-wait pressure",
+            )
+        )
+    if not analysis.get("complete", True):
+        parts.append(
+            "warning: the tracer dropped events (max_events budget hit);"
+            " this analysis is partial"
+        )
+    if not parts:
+        parts.append(
+            "no task spans recorded -- nothing to analyze (the "
+            "synthetic surface has no workflow tasks)"
+        )
+    return "\n\n".join(parts)
+
+
+def _cmd_analyze(args) -> int:
+    targets = [
+        bool(args.scenario), bool(args.spec), bool(args.artifact)
+    ]
+    try:
+        if sum(targets) != 1:
+            raise ValueError(
+                "analyze takes exactly one target: a scenario name, "
+                "--spec FILE or --artifact FILE"
+            )
+        if args.artifact:
+            with open(args.artifact) as fh:
+                doc = json.load(fh)
+            analysis = doc.get("analysis")
+            slo = doc.get("slo")
+            if analysis is None and slo is None:
+                raise ValueError(
+                    f"{args.artifact} carries no 'analysis' or 'slo' "
+                    "block; re-run it traced (repro.cli analyze "
+                    "<scenario>) or with an slo spec to get one"
+                )
+            parts = [
+                f"analysis of stored run {doc.get('name', '?')!r} "
+                f"(surface {doc.get('surface', '?')}, makespan "
+                f"{doc.get('metrics', {}).get('makespan_s', 0.0):.3f}s)"
+            ]
+            if analysis is not None:
+                parts.append(_render_analysis(analysis))
+            parts.append(
+                _render_slo_dict(slo)
+                if slo is not None
+                else "SLO: none declared"
+            )
+            report = "\n\n".join(parts)
+        else:
+            if args.spec:
+                spec = ScenarioSpec.load(args.spec)
+            else:
+                spec = get_scenario(args.scenario)
+            obs = spec.observability
+            if not obs.enabled:
+                obs = ObservabilitySpec(enabled=True)
+            elif obs.categories is not None and (
+                "span" not in obs.categories
+            ):
+                # Critical-path analysis needs spans; widen to all.
+                obs = dataclasses.replace(obs, categories=None)
+            spec = spec.replace(observability=obs)
+            spec.validate()
+            result = spec.run(quick=args.quick)
+            parts = [
+                f"analyzed {spec.name!r} (surface {result.surface}, "
+                f"makespan {result.makespan:.3f}s)"
+            ]
+            if result.analysis is not None:
+                parts.append(_render_analysis(result.analysis.to_dict()))
+            parts.append(
+                _render_slo_dict(result.slo.to_dict())
+                if result.slo is not None
+                else "SLO: none declared"
+            )
+            report = "\n\n".join(parts)
+    except (ValueError, TypeError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(report)
+    if args.out:
+        with open(args.out, "w") as fh:
+            fh.write(report + "\n")
+        print(f"\nreport written to {args.out}")
+    return 0
+
+
 def _cmd_strategies(_args) -> int:
     rows = []
     for name in sorted(STRATEGIES):
@@ -790,6 +1079,8 @@ def _cmd_scenarios(_args) -> int:
             knobs.append(f"{spec.workload.n_tenants} tenants")
         if spec.faults:
             knobs.append(f"{len(spec.faults)} faults")
+        if spec.slo is not None:
+            knobs.append("slo")
         rows.append([name, spec.surface, "/".join(knobs), spec.description])
     print(
         render_table(
@@ -891,19 +1182,34 @@ def _cmd_results(args) -> int:
     for doc in docs:
         meta = doc.get("meta") or {}
         wall = meta.get("wall_time_s")
+        # Pre-obs / pre-SLO artifacts simply show "-" in these columns.
+        obs = doc.get("obs")
+        if obs is not None:
+            obs_label = f"{obs.get('n_events', 0)} ev"
+            if doc.get("analysis") is not None:
+                obs_label += "+an"
+        else:
+            obs_label = "-"
+        slo_block = doc.get("slo")
         rows.append(
             [
                 doc["key"],
                 doc.get("name", "?"),
                 doc.get("surface", "?"),
                 f"{doc.get('metrics', {}).get('makespan_s', 0.0):.3f}",
+                obs_label,
+                slo_block.get("status", "?") if slo_block else "-",
+                (doc.get("provenance") or {}).get("flow_solver") or "-",
                 meta.get("git_rev") or "-",
                 f"{wall:.2f}" if wall is not None else "-",
             ]
         )
     print(
         render_table(
-            ["key", "scenario", "surface", "makespan (s)", "rev", "wall (s)"],
+            [
+                "key", "scenario", "surface", "makespan (s)", "obs",
+                "SLO", "flow solver", "rev", "wall (s)",
+            ],
             rows,
             title=f"result store {args.store} -- {len(docs)} artifacts",
         )
@@ -978,6 +1284,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "advise": _cmd_advise,
         "run": _cmd_run,
         "trace": _cmd_trace,
+        "analyze": _cmd_analyze,
         "sweep": _cmd_sweep,
         "results": _cmd_results,
         "diff": _cmd_diff,

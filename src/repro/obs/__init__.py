@@ -6,6 +6,15 @@ workload -- can import it without cycles.  See ``docs/observability.md``
 for the event taxonomy, span model and exporter formats.
 """
 
+from repro.obs.analyze import (
+    ATTRIBUTION_BUCKETS,
+    PathStep,
+    RunAnalysis,
+    UtilizationSummary,
+    WorkflowAnalysis,
+    analyze_tracer,
+    concurrency_profile,
+)
 from repro.obs.trace import (
     NULL_TRACER,
     NullTracer,
@@ -28,6 +37,13 @@ from repro.obs.export import (
 )
 
 __all__ = [
+    "ATTRIBUTION_BUCKETS",
+    "PathStep",
+    "RunAnalysis",
+    "UtilizationSummary",
+    "WorkflowAnalysis",
+    "analyze_tracer",
+    "concurrency_profile",
     "NULL_TRACER",
     "NullTracer",
     "Span",

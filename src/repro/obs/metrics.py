@@ -136,7 +136,13 @@ class P2Quantile:
         )
 
     def value(self) -> float:
-        """Current estimate (exact while fewer than five samples)."""
+        """Current estimate (exact while fewer than five samples).
+
+        **Sentinel:** an estimator that has seen no observations
+        returns ``0.0`` rather than raising -- consumers polling
+        quantiles mid-run must not die on a quiet stream (check
+        ``len(p2)`` to distinguish "no data" from a true zero).
+        """
         if self._count == 0:
             return 0.0
         if len(self._q) < 5:
@@ -205,7 +211,13 @@ class ReservoirHistogram:
                 self._samples[j] = x
 
     def quantile(self, q: float) -> float:
-        """The q-th percentile (``0 <= q <= 100``) of the retained sample."""
+        """The q-th percentile (``0 <= q <= 100``) of the retained sample.
+
+        **Sentinel:** an empty histogram returns ``0.0`` for every
+        valid ``q`` rather than raising (``len(hist)`` distinguishes
+        "no data" from a true zero); an out-of-range ``q`` is still a
+        ``ValueError`` -- that is a caller bug, not a data condition.
+        """
         if not 0.0 <= q <= 100.0:
             raise ValueError(f"q must be in [0, 100], got {q}")
         if not self._samples:
@@ -297,6 +309,39 @@ class MetricsRegistry:
             snap[name] = g.value()
         self.series.append((now, snap))
         self._last = now
+
+    def series_stats(self, name: str) -> Dict[str, float]:
+        """Summary of one counter/gauge's sampled time-series.
+
+        Returns ``{"count", "t0", "t1", "min", "max", "last"}`` over
+        the samples that carry ``name``.  **Sentinel:** a zero-length
+        series (nothing sampled yet, or an unknown name) returns the
+        all-zero summary rather than raising, mirroring the empty-
+        histogram quantile contract; ``count`` distinguishes the two.
+        """
+        points = [
+            (t, values[name])
+            for t, values in self.series
+            if name in values
+        ]
+        if not points:
+            return {
+                "count": 0.0,
+                "t0": 0.0,
+                "t1": 0.0,
+                "min": 0.0,
+                "max": 0.0,
+                "last": 0.0,
+            }
+        vs = [v for _, v in points]
+        return {
+            "count": float(len(points)),
+            "t0": points[0][0],
+            "t1": points[-1][0],
+            "min": min(vs),
+            "max": max(vs),
+            "last": vs[-1],
+        }
 
     # -- export ---------------------------------------------------------------------
 

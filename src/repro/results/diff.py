@@ -66,6 +66,17 @@ class ArtifactDiff:
     #: provenance key -> (value in A, value in B); changed keys only
     #: (queue backend, flow solver, processed-event count).
     provenance: Dict[str, Tuple[Any, Any]] = field(default_factory=dict)
+    #: SLO rule -> (verdict label in A, verdict label in B); present
+    #: whenever either artifact carries an ``slo`` block (``None`` on
+    #: the side without one -- pre-SLO artifacts diff cleanly).
+    slo: Dict[str, Tuple[Optional[str], Optional[str]]] = field(
+        default_factory=dict
+    )
+    #: Observed-attribution bucket -> (seconds in A, seconds in B);
+    #: present when either artifact carries a trace ``analysis`` block.
+    attribution: Dict[
+        str, Tuple[Optional[float], Optional[float]]
+    ] = field(default_factory=dict)
 
     def metric_deltas(self) -> Dict[str, float]:
         """B minus A for every metric present on both sides."""
@@ -128,6 +139,40 @@ class ArtifactDiff:
                 rows,
                 title="changed provenance (how the run was computed)",
             )
+        if self.slo:
+            rows = [
+                [rule, a if a is not None else "--",
+                 b if b is not None else "--"]
+                for rule, (a, b) in sorted(self.slo.items())
+            ]
+            text += "\n\n" + render_table(
+                ["SLO rule", self.a_label, self.b_label],
+                rows,
+                title="SLO verdicts",
+            )
+        if self.attribution:
+            rows = []
+            for bucket, (a, b) in sorted(
+                self.attribution.items(),
+                key=lambda kv: -max(kv[1][0] or 0.0, kv[1][1] or 0.0),
+            ):
+                if a is None or b is None:
+                    delta = "--"
+                else:
+                    delta = f"{b - a:+.4g}"
+                rows.append(
+                    [
+                        bucket,
+                        _fmt(a) if a is not None else "--",
+                        _fmt(b) if b is not None else "--",
+                        delta,
+                    ]
+                )
+            text += "\n\n" + render_table(
+                ["bucket (s)", self.a_label, self.b_label, "delta (B-A)"],
+                rows,
+                title="observed critical-path attribution",
+            )
         return text
 
 
@@ -166,7 +211,53 @@ def diff_artifacts(
         spec_changes=spec_changes,
         metrics=metrics,
         provenance=provenance,
+        slo=_diff_slo(a, b),
+        attribution=_diff_attribution(a, b),
     )
+
+
+def _slo_labels(doc: Mapping[str, Any]) -> Optional[Dict[str, str]]:
+    """Compact per-rule verdict labels of one artifact's ``slo`` block
+    (plus the headline ``verdict`` rollup); None when absent --
+    pre-SLO artifacts are first-class citizens of a diff."""
+    block = doc.get("slo")
+    if not isinstance(block, Mapping):
+        return None
+    labels = {"verdict": str(block.get("status", "?"))}
+    for rule in block.get("rules", []):
+        status = str(rule.get("status", "?"))
+        if status == "violated" and rule.get("debt"):
+            status += f" (debt {float(rule['debt']):.3g})"
+        labels[str(rule.get("rule", "?"))] = status
+    return labels
+
+
+def _diff_slo(
+    a: Mapping[str, Any], b: Mapping[str, Any]
+) -> Dict[str, Tuple[Optional[str], Optional[str]]]:
+    la, lb = _slo_labels(a), _slo_labels(b)
+    if la is None and lb is None:
+        return {}
+    return {
+        rule: ((la or {}).get(rule), (lb or {}).get(rule))
+        for rule in sorted(set(la or {}) | set(lb or {}))
+    }
+
+
+def _diff_attribution(
+    a: Mapping[str, Any], b: Mapping[str, Any]
+) -> Dict[str, Tuple[Optional[float], Optional[float]]]:
+    ba = (a.get("analysis") or {}).get("buckets")
+    bb = (b.get("analysis") or {}).get("buckets")
+    if not ba and not bb:
+        return {}
+    return {
+        bucket: (
+            float(ba[bucket]) if ba and bucket in ba else None,
+            float(bb[bucket]) if bb and bucket in bb else None,
+        )
+        for bucket in sorted(set(ba or {}) | set(bb or {}))
+    }
 
 
 @dataclass

@@ -156,6 +156,10 @@ def scenario_result_to_dict(
     }
     if result.obs is not None:
         doc["obs"] = result.obs
+    if result.analysis is not None:
+        doc["analysis"] = result.analysis.to_dict()
+    if result.slo is not None:
+        doc["slo"] = result.slo.to_dict()
     return doc
 
 

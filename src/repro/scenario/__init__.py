@@ -14,6 +14,12 @@ from repro.scenario.registry import (
     register_scenario,
 )
 from repro.scenario.runner import ScenarioResult, run_scenario
+from repro.scenario.slo import (
+    SLOReport,
+    SLORule,
+    SLOSpec,
+    evaluate_slo,
+)
 from repro.scenario.spec import (
     FAULT_KINDS,
     FaultSpec,
@@ -46,6 +52,9 @@ __all__ = [
     "ObservabilitySpec",
     "SCENARIOS",
     "SCENARIO_NAMES",
+    "SLOReport",
+    "SLORule",
+    "SLOSpec",
     "SURFACES",
     "Scenario",
     "ScenarioResult",
@@ -59,6 +68,7 @@ __all__ = [
     "WORKFLOW_APPLICATIONS",
     "WORKFLOW_BUILDERS",
     "config_from_specs",
+    "evaluate_slo",
     "get_scenario",
     "register_scenario",
     "run_cells",

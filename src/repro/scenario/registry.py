@@ -17,9 +17,11 @@ from __future__ import annotations
 from typing import Dict, Tuple
 
 from repro.cloud.presets import AZURE_4DC
+from repro.scenario.slo import SLOSpec
 from repro.scenario.spec import (
     FaultSpec,
     NetworkSpec,
+    ObservabilitySpec,
     ScenarioSpec,
     SchedulerSpec,
     StrategySpec,
@@ -124,6 +126,47 @@ def _build_registry() -> Dict[str, ScenarioSpec]:
             ),
             admission="max_in_flight",
             max_in_flight=4,
+            n_nodes=16,
+            seed=17,
+        ),
+        ScenarioSpec(
+            name="multi_tenant_slo",
+            description=(
+                "multi_tenant_8 judged against per-tenant response-time "
+                "deadlines, an ops-latency percentile target and a "
+                "throughput floor (traced; see repro.cli analyze)"
+            ),
+            surface="workload",
+            strategy=StrategySpec(name="decentralized"),
+            workload=WorkloadSpec.uniform(
+                8,
+                applications=(
+                    "montage-small",
+                    "buzzflow-small",
+                    "scatter",
+                    "pipeline",
+                ),
+                n_instances=1,
+                input_sites=AZURE_4DC,
+                ops_per_task=8,
+                compute_time=0.25,
+                seed=17,
+                name="multi_tenant_8",
+            ),
+            admission="max_in_flight",
+            max_in_flight=4,
+            observability=ObservabilitySpec(enabled=True),
+            slo=SLOSpec(
+                # Deliberately one tight tenant deadline among lax
+                # ones, so the analyze report demonstrates a violated
+                # verdict with debt + first-violation time.
+                tenant_deadlines=(
+                    ("tenant-00", 2.0),
+                    ("tenant-01", 600.0),
+                ),
+                latency_targets=(("ops.latency_s", 95.0, 0.5),),
+                min_throughput_ops_s=5.0,
+            ),
             n_nodes=16,
             seed=17,
         ),

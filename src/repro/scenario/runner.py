@@ -30,7 +30,8 @@ from repro.cloud.faults import (
 )
 from repro.metadata.config import MetadataConfig
 from repro.metadata.controller import ArchitectureController
-from repro.obs import Tracer
+from repro.obs import RunAnalysis, Tracer, analyze_tracer
+from repro.scenario.slo import SLOReport, evaluate_slo
 from repro.scenario.spec import ScenarioSpec
 from repro.sim import Environment
 from repro.util.units import MB
@@ -63,6 +64,13 @@ class ScenarioResult:
     wan_bytes: int = 0
     provenance: Dict[str, object] = field(default_factory=dict)
     obs: Optional[Dict[str, object]] = None
+    #: Post-run trace analysis (critical paths, attribution buckets,
+    #: utilization; None when tracing was off or spans were not
+    #: recorded).  A pure consumer of the trace -- computing it cannot
+    #: change any metric.
+    analysis: Optional[RunAnalysis] = None
+    #: SLO verdicts (None when the spec declares no objectives).
+    slo: Optional[SLOReport] = None
     #: The live tracer (None when tracing was off).  Not serialized --
     #: the exporters in ``repro.obs.export`` consume it directly.
     tracer: Optional[Tracer] = field(default=None, repr=False)
@@ -137,6 +145,8 @@ class ScenarioResult:
                 for ev in sorted(self.fault_events, key=lambda e: e.at)
             )
             text += "\n".join(lines)
+        if self.slo is not None:
+            text += "\n\n" + self.slo.render()
         return text
 
     def __repr__(self) -> str:
@@ -231,6 +241,22 @@ def _provenance(deployment: Deployment) -> Dict[str, object]:
         "flow_solver": flow_solver,
         "events_processed": env.events_processed,
     }
+
+
+def _finalize(result: ScenarioResult) -> ScenarioResult:
+    """Post-run passes: trace analysis and SLO judgement.
+
+    Both are strictly read-only consumers of the finished run (no
+    simulation RNG, no events), so a finalized run's metrics are
+    bit-for-bit the metrics of the bare run -- pinned by
+    ``tests/obs/test_analyze.py``.
+    """
+    tracer = result.tracer
+    if tracer is not None and tracer.wants("span"):
+        result.analysis = analyze_tracer(tracer)
+    if result.spec.slo is not None and not result.spec.slo.empty:
+        result.slo = evaluate_slo(result.spec.slo, result)
+    return result
 
 
 def _build_workflow(spec: ScenarioSpec):
@@ -328,13 +354,15 @@ def run_scenario(
             config=config,
             deployment=deployment,
         )
-        return ScenarioResult(
-            spec=spec,
-            result=result,
-            fault_events=_collect_events(injectors),
-            provenance=_provenance(deployment),
-            obs=tracer.export() if tracer is not None else None,
-            tracer=tracer,
+        return _finalize(
+            ScenarioResult(
+                spec=spec,
+                result=result,
+                fault_events=_collect_events(injectors),
+                provenance=_provenance(deployment),
+                obs=tracer.export() if tracer is not None else None,
+                tracer=tracer,
+            )
         )
 
     controller = ArchitectureController(
@@ -353,28 +381,32 @@ def run_scenario(
             workflow if workflow is not None else _build_workflow(spec)
         )
         controller.shutdown()
-        return ScenarioResult(
-            spec=spec,
-            result=result,
-            scheduler=engine.policy.name,
-            fault_events=_collect_events(injectors),
-            wan_bytes=engine.transfer.wan_bytes,
-            provenance=_provenance(deployment),
-            obs=tracer.export() if tracer is not None else None,
-            tracer=tracer,
+        return _finalize(
+            ScenarioResult(
+                spec=spec,
+                result=result,
+                scheduler=engine.policy.name,
+                fault_events=_collect_events(injectors),
+                wan_bytes=engine.transfer.wan_bytes,
+                provenance=_provenance(deployment),
+                obs=tracer.export() if tracer is not None else None,
+                tracer=tracer,
+            )
         )
 
     runner = WorkloadRunner(deployment, controller.strategy)
     result = runner.run(spec.workload)
     controller.shutdown()
-    return ScenarioResult(
-        spec=spec,
-        result=result,
-        scheduler=result.scheduler,
-        admission=result.admission,
-        fault_events=_collect_events(injectors),
-        wan_bytes=result.wan_bytes,
-        provenance=_provenance(deployment),
-        obs=tracer.export() if tracer is not None else None,
-        tracer=tracer,
+    return _finalize(
+        ScenarioResult(
+            spec=spec,
+            result=result,
+            scheduler=result.scheduler,
+            admission=result.admission,
+            fault_events=_collect_events(injectors),
+            wan_bytes=result.wan_bytes,
+            provenance=_provenance(deployment),
+            obs=tracer.export() if tracer is not None else None,
+            tracer=tracer,
+        )
     )

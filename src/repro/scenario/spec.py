@@ -50,6 +50,7 @@ from repro.cloud.topology import CloudTopology
 from repro.metadata.config import MetadataConfig
 from repro.metadata.controller import STRATEGIES, StrategyName
 from repro.obs import TRACE_CATEGORIES
+from repro.scenario.slo import SLOSpec
 from repro.scheduling import SCHEDULER_NAMES
 from repro.util.units import MB
 from repro.workflow.applications import buzzflow, montage
@@ -61,6 +62,7 @@ __all__ = [
     "FaultSpec",
     "NetworkSpec",
     "ObservabilitySpec",
+    "SLOSpec",
     "SURFACES",
     "ScenarioSpec",
     "SchedulerSpec",
@@ -700,6 +702,12 @@ class ScenarioSpec:
         Tracing/metrics plane (:class:`ObservabilitySpec`); off by
         default, and excluded from :meth:`spec_hash` because it only
         observes the run.
+    slo:
+        Optional service-level objectives
+        (:class:`~repro.scenario.slo.SLOSpec`) judged post-run into
+        ``ScenarioResult.slo``; excluded from :meth:`spec_hash` for
+        the same reason as ``observability`` (re-judging a stored
+        experiment must not orphan its artifact).
     workload:
         Workload surface only: the embedded
         :class:`~repro.workload.spec.WorkloadSpec`.
@@ -725,6 +733,7 @@ class ScenarioSpec:
     strategy: StrategySpec = field(default_factory=StrategySpec)
     scheduler: SchedulerSpec = field(default_factory=SchedulerSpec)
     observability: ObservabilitySpec = field(default_factory=ObservabilitySpec)
+    slo: Optional[SLOSpec] = None
     faults: Tuple[FaultSpec, ...] = ()
     workload: Optional[WorkloadSpec] = None
     admission: Optional[str] = None
@@ -755,6 +764,20 @@ class ScenarioSpec:
         self.strategy.validate()
         self.scheduler.validate()
         self.observability.validate()
+        if self.slo is not None:
+            self.slo.validate()
+            if self.slo.latency_targets and not self.observability.enabled:
+                # Latency objectives are judged against the obs
+                # histograms; without tracing they would silently skip
+                # every run (the masquerade class this tree rejects).
+                raise ValueError(
+                    "slo.latency_targets require observability.enabled "
+                    "(they are judged against the obs histograms)"
+                )
+            if self.slo.tenant_deadlines and self.surface != "workload":
+                raise ValueError(
+                    "slo.tenant_deadlines is a workload-surface knob"
+                )
         sites = self.topology.site_names()
         for label in ("home_site", "input_site"):
             owner = self.strategy if label == "home_site" else self.scheduler
@@ -782,6 +805,15 @@ class ScenarioSpec:
                     "surface='workload' needs an embedded workload spec"
                 )
             self.workload.validate()
+            if self.slo is not None and self.slo.tenant_deadlines:
+                tenant_names = {t.name for t in self.workload.tenants}
+                for tenant, _ in self.slo.tenant_deadlines:
+                    if tenant not in tenant_names:
+                        raise ValueError(
+                            f"slo.tenant_deadlines names unknown tenant "
+                            f"{tenant!r}; workload has "
+                            f"{sorted(tenant_names)}"
+                        )
             for tenant in self.workload.tenants:
                 if (
                     tenant.input_site is not None
@@ -955,6 +987,7 @@ class ScenarioSpec:
             ("strategy", StrategySpec),
             ("scheduler", SchedulerSpec),
             ("observability", ObservabilitySpec),
+            ("slo", SLOSpec),
         ):
             if isinstance(data.get(key), Mapping):
                 data[key] = _sub_from_dict(sub, data[key])
@@ -975,13 +1008,15 @@ class ScenarioSpec:
 
         Sorted keys, minimal separators: any two specs with equal
         :meth:`to_dict` output produce the identical string -- except
-        the ``observability`` block, which is dropped before hashing.
-        Tracing only observes a run (same seeds, same events, same
-        metrics), so a traced re-run of a stored experiment must land
-        on the same artifact key.
+        the ``observability`` and ``slo`` blocks, which are dropped
+        before hashing.  Tracing only observes a run (same seeds, same
+        events, same metrics) and objectives only judge one, so a
+        traced or re-judged re-run of a stored experiment must land on
+        the same artifact key.
         """
         doc = self.to_dict()
         del doc["observability"]
+        doc.pop("slo", None)
         return json.dumps(doc, sort_keys=True, separators=(",", ":"))
 
     def spec_hash(self) -> str:
@@ -991,8 +1026,9 @@ class ScenarioSpec:
         persists run artifacts: equal specs hash equally across
         processes and sessions, and *any* field change (including
         nested sub-spec fields) changes the hash -- except
-        ``observability``, which never affects simulated behaviour and
-        is excluded (see :meth:`canonical_json`).  The hash of the
+        ``observability`` and ``slo``, which never affect simulated
+        behaviour and are excluded (see :meth:`canonical_json`).  The
+        hash of the
         ``paper_default`` scenario is pinned by a golden test --
         accidental spec-shape changes that would orphan stored
         artifacts fail loudly there.

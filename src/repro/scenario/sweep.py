@@ -124,31 +124,93 @@ class SweepResult:
             )
         return f"transfer {res.total_transfer_time:.2f}s"
 
+    def has_slo(self) -> bool:
+        return any(
+            c.ok and c.result.slo is not None for c in self.cells
+        )
+
+    def has_analysis(self) -> bool:
+        return any(
+            c.ok and c.result.analysis is not None for c in self.cells
+        )
+
+    def slo_ranking(self) -> List[SweepCell]:
+        """Cells ordered best-first by SLO attainment.
+
+        Sort key: violated-rule count, then total debt, then makespan
+        -- so fully-met cells lead and the deepest-in-debt cell is
+        last.  Errored and SLO-less cells sort to the end (grid
+        order preserved among themselves).
+        """
+        def key(indexed):
+            i, c = indexed
+            if not c.ok:
+                return (2, 0, 0.0, 0.0, i)
+            if c.result.slo is None:
+                return (1, 0, 0.0, 0.0, i)
+            report = c.result.slo
+            return (
+                0,
+                report.n_violated,
+                report.total_debt,
+                c.result.makespan,
+                i,
+            )
+
+        return [c for _, c in sorted(enumerate(self.cells), key=key)]
+
     def render(self) -> str:
         from repro.experiments.reporting import render_table
 
-        headers = list(self.axes) + ["makespan (s)", "detail"]
+        with_slo = self.has_slo()
+        with_analysis = self.has_analysis()
+        headers = list(self.axes) + ["makespan (s)"]
+        if with_slo:
+            headers.append("SLO")
+        if with_analysis:
+            headers.append("bottleneck")
+        headers.append("detail")
         rows = []
-        for cell in self.cells:
+        cells = self.slo_ranking() if with_slo else self.cells
+        for cell in cells:
             labels = [
                 _axis_label(axis, cell.overrides[axis])
                 for axis in self.axes
             ]
             if cell.error is not None:
-                rows.append(labels + ["--", f"ERROR: {cell.error}"])
-            else:
+                pad = ["--"] * (with_slo + with_analysis)
                 rows.append(
-                    labels
-                    + [f"{cell.result.makespan:.3f}", self._detail(cell)]
+                    labels + ["--"] + pad + [f"ERROR: {cell.error}"]
                 )
-        return render_table(
-            headers,
-            rows,
-            title=(
-                f"sweep over {self.base.name!r} -- "
-                f"{len(self.cells)} combinations"
-            ),
+                continue
+            row = labels + [f"{cell.result.makespan:.3f}"]
+            if with_slo:
+                report = cell.result.slo
+                if report is None:
+                    row.append("--")
+                elif report.status == "violated":
+                    row.append(
+                        f"violated x{report.n_violated} "
+                        f"(debt {report.total_debt:.3g})"
+                    )
+                else:
+                    row.append(report.status)
+            if with_analysis:
+                analysis = cell.result.analysis
+                if analysis is None or not analysis.workflows:
+                    row.append("--")
+                else:
+                    buckets = analysis.buckets
+                    top = max(buckets, key=lambda b: buckets[b])
+                    row.append(f"{top} ({buckets[top]:.3g}s)")
+            rows.append(row + [self._detail(cell)])
+        title = (
+            f"sweep over {self.base.name!r} -- "
+            f"{len(self.cells)} combinations"
         )
+        if with_slo:
+            title += " (ranked by SLO attainment)"
+        return render_table(headers, rows, title=title)
 
 
 def _run_cell(

@@ -496,6 +496,7 @@ class WorkflowEngine:
             if span is not None and task.outputs
             else None
         )
+        publish_meta0 = metadata_time
         for f in task.outputs:
             self.transfer.store(
                 vm.site,
@@ -511,7 +512,7 @@ class WorkflowEngine:
             )
             metadata_time += self.env.now - t0
         if publish_span is not None:
-            publish_span.finish()
+            publish_span.finish(metadata_s=metadata_time - publish_meta0)
 
         # 5. Extra registry ops in the write-once/read-many pattern:
         # even ops publish this task's own scratch entries; odd ops read
@@ -528,6 +529,7 @@ class WorkflowEngine:
             if span is not None and task.extra_ops
             else None
         )
+        ops_meta0, ops_compute0 = metadata_time, compute_time
         for i in range(task.extra_ops):
             if think_slice > 0:
                 t0 = self.env.now
@@ -550,7 +552,12 @@ class WorkflowEngine:
                 )
             metadata_time += self.env.now - t0
         if ops_span is not None:
-            ops_span.finish()
+            # Attribution split for repro.obs.analyze: the ops loop
+            # interleaves think slices (compute) with registry traffic.
+            ops_span.finish(
+                metadata_s=metadata_time - ops_meta0,
+                compute_s=compute_time - ops_compute0,
+            )
 
         return TaskResult(
             task_id=task.task_id,

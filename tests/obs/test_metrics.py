@@ -174,3 +174,46 @@ class TestMetricsRegistry:
     def test_sample_interval_validated(self):
         with pytest.raises(ValueError):
             MetricsRegistry(sample_interval=0.0)
+
+
+class TestDegenerateInputSentinels:
+    """Empty sketches and zero-length series answer with documented
+    sentinels, never exceptions -- analysis code paths that run before
+    any sample lands must not crash a finished run."""
+
+    def test_empty_histogram_quantiles_are_zero(self):
+        h = ReservoirHistogram("empty")
+        for q in (0, 50, 100):
+            assert h.quantile(q) == 0.0
+        assert h.mean() == 0.0
+
+    def test_empty_histogram_still_validates_q(self):
+        # The sentinel covers emptiness, not malformed queries.
+        with pytest.raises(ValueError):
+            ReservoirHistogram("empty").quantile(101)
+
+    def test_empty_p2_value_is_zero(self):
+        assert P2Quantile(0.9).value() == 0.0
+
+    def test_series_stats_empty_sentinel(self):
+        reg = MetricsRegistry()
+        zero = {
+            "count": 0.0, "t0": 0.0, "t1": 0.0,
+            "min": 0.0, "max": 0.0, "last": 0.0,
+        }
+        assert reg.series_stats("never-sampled") == zero
+        # Known counter, but nothing sampled yet: same sentinel.
+        reg.counter("ops").inc()
+        assert reg.series_stats("ops") == zero
+
+    def test_series_stats_summarizes_samples(self):
+        reg = MetricsRegistry(sample_interval=1.0)
+        c = reg.counter("ops")
+        c.inc(2)
+        reg.maybe_sample(0.0)
+        c.inc(3)
+        reg.maybe_sample(2.0)
+        assert reg.series_stats("ops") == {
+            "count": 2.0, "t0": 0.0, "t1": 2.0,
+            "min": 2.0, "max": 5.0, "last": 5.0,
+        }

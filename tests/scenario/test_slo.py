@@ -1,0 +1,219 @@
+"""SLOSpec validation/round-trip and the post-run verdict engine."""
+
+import json
+
+import pytest
+
+from repro.results import ResultStore, scenario_result_to_dict
+from repro.results.diff import diff_artifacts
+from repro.scenario import (
+    ObservabilitySpec,
+    ScenarioSpec,
+    SLOSpec,
+    evaluate_slo,
+    get_scenario,
+)
+
+
+def workload_spec(slo, **over):
+    return get_scenario("multi_tenant_8").replace(name="slo-test").replace(
+        slo=slo, **over
+    )
+
+
+class TestValidation:
+    def test_defaults_valid_and_empty(self):
+        slo = SLOSpec()
+        slo.validate()
+        assert slo.empty
+        assert not SLOSpec(deadline_s=5.0).empty
+
+    def test_bounds(self):
+        with pytest.raises(ValueError, match="deadline_s"):
+            SLOSpec(deadline_s=0.0).validate()
+        with pytest.raises(ValueError, match="positive"):
+            SLOSpec(tenant_deadlines=(("t", -1.0),)).validate()
+        with pytest.raises(ValueError, match="repeats"):
+            SLOSpec(
+                tenant_deadlines=(("t", 1.0), ("t", 2.0))
+            ).validate()
+        with pytest.raises(ValueError, match="percentile"):
+            SLOSpec(latency_targets=(("h", 0.0, 1.0),)).validate()
+        with pytest.raises(ValueError, match="percentile"):
+            SLOSpec(latency_targets=(("h", 101.0, 1.0),)).validate()
+        with pytest.raises(ValueError, match="target"):
+            SLOSpec(latency_targets=(("h", 95.0, 0.0),)).validate()
+        with pytest.raises(ValueError, match="min_throughput"):
+            SLOSpec(min_throughput_ops_s=0.0).validate()
+
+    def test_latency_targets_require_observability(self):
+        spec = workload_spec(
+            SLOSpec(latency_targets=(("ops.latency_s", 95.0, 1.0),))
+        )
+        with pytest.raises(ValueError, match="observability"):
+            spec.validate()
+        spec.replace(
+            observability=ObservabilitySpec(enabled=True)
+        ).validate()
+
+    def test_tenant_deadlines_are_workload_only(self):
+        spec = get_scenario("fanout_bandwidth_aware").replace(
+            slo=SLOSpec(tenant_deadlines=(("tenant-00", 5.0),))
+        )
+        with pytest.raises(ValueError, match="workload"):
+            spec.validate()
+
+    def test_unknown_tenant_rejected(self):
+        spec = workload_spec(
+            SLOSpec(tenant_deadlines=(("nobody", 5.0),))
+        )
+        with pytest.raises(ValueError, match="unknown tenant"):
+            spec.validate()
+
+
+class TestSerialization:
+    def test_round_trip(self):
+        spec = workload_spec(
+            SLOSpec(
+                deadline_s=60.0,
+                tenant_deadlines=(("tenant-00", 5.0),),
+                latency_targets=(("ops.latency_s", 95.0, 0.5),),
+                min_throughput_ops_s=2.0,
+            ),
+            observability=ObservabilitySpec(enabled=True),
+        )
+        again = ScenarioSpec.from_dict(
+            json.loads(json.dumps(spec.to_dict()))
+        )
+        assert again == spec
+        assert again.slo.tenant_deadlines == (("tenant-00", 5.0),)
+
+    def test_spec_hash_ignores_slo(self):
+        """Objectives are a lens, not an experiment input: re-judging a
+        stored run must not orphan its artifact key."""
+        plain = workload_spec(None)
+        judged = workload_spec(SLOSpec(deadline_s=1.0))
+        assert plain.spec_hash() == judged.spec_hash()
+        assert '"slo"' not in plain.canonical_json()
+
+    def test_to_dict_still_carries_slo(self):
+        doc = workload_spec(SLOSpec(deadline_s=9.0)).to_dict()
+        assert doc["slo"]["deadline_s"] == 9.0
+
+
+class TestVerdicts:
+    def test_tight_deadline_violated_with_debt_and_first_time(self):
+        spec = workload_spec(
+            SLOSpec(
+                deadline_s=1.0,
+                tenant_deadlines=(("tenant-00", 0.5),),
+            )
+        )
+        result = spec.run(quick=True)
+        report = result.slo
+        assert report is not None
+        assert report.status == "violated"
+        assert report.n_violated == 2
+        assert report.total_debt > 0
+        assert report.first_violation_at is not None
+        by_rule = {r.rule: r for r in report.rules}
+        deadline = by_rule["deadline"]
+        assert deadline.status == "violated"
+        assert deadline.debt == pytest.approx(result.makespan - 1.0)
+        tenant = by_rule["tenant_deadline:tenant-00"]
+        assert tenant.status == "violated"
+        assert tenant.first_violation_at is not None
+        assert "late" in tenant.note
+        assert "SLO verdict: violated" in result.render()
+
+    def test_lax_objectives_met(self):
+        spec = workload_spec(
+            SLOSpec(deadline_s=1e6, min_throughput_ops_s=1e-6)
+        )
+        report = spec.run(quick=True).slo
+        assert report.status == "met"
+        assert report.total_debt == 0.0
+        assert report.first_violation_at is None
+
+    def test_latency_rule_judged_against_obs_histograms(self):
+        spec = workload_spec(
+            SLOSpec(latency_targets=(("ops.latency_s", 95.0, 1e-9),)),
+            observability=ObservabilitySpec(enabled=True),
+        )
+        (rule,) = spec.run(quick=True).slo.rules
+        assert rule.rule == "latency:ops.latency_s:p95"
+        assert rule.status == "violated"
+        assert rule.observed > 0
+
+    def test_unevaluable_rules_skip_not_raise(self):
+        spec = workload_spec(None)
+        result = spec.run(quick=True)
+        report = evaluate_slo(
+            SLOSpec(latency_targets=(("ops.latency_s", 95.0, 1.0),)),
+            result,
+        )
+        (rule,) = report.rules
+        assert rule.status == "skipped"
+        assert "not traced" in rule.note
+        assert report.status == "skipped"
+
+    def test_no_slo_spec_no_report(self):
+        assert workload_spec(None).run(quick=True).slo is None
+
+
+class TestSweepRanking:
+    def test_cells_ranked_by_slo_attainment(self):
+        from repro.scenario import run_sweep
+
+        base = workload_spec(SLOSpec(tenant_deadlines=(("tenant-00", 4.0),)))
+        sweep = run_sweep(
+            base,
+            {"max_in_flight": [1, 8]},
+            quick=True,
+        )
+        assert sweep.has_slo()
+        ranked = sweep.slo_ranking()
+        debts = [c.result.slo.total_debt for c in ranked]
+        assert debts == sorted(debts) or [
+            c.result.slo.n_violated for c in ranked
+        ] == sorted(c.result.slo.n_violated for c in ranked)
+        rendered = sweep.render()
+        assert "ranked by SLO attainment" in rendered
+        assert "SLO" in rendered and "bottleneck" not in rendered
+
+    def test_slo_less_sweep_renders_without_slo_column(self):
+        from repro.scenario import get_scenario, run_sweep
+
+        sweep = run_sweep(
+            get_scenario("paper_synthetic"),
+            {"seed": [0, 1]},
+            quick=True,
+        )
+        assert not sweep.has_slo()
+        assert "SLO" not in sweep.render()
+
+
+class TestPersistence:
+    def test_verdict_survives_a_result_store_round_trip(self, tmp_path):
+        spec = workload_spec(SLOSpec(deadline_s=1.0))
+        result = spec.run(quick=True)
+        store = ResultStore(tmp_path)
+        key = store.save(result)
+        doc = store.load(key)
+        assert doc["slo"]["status"] == "violated"
+        assert doc["slo"]["total_debt"] > 0
+        assert doc["slo"]["first_violation_at"] is not None
+        assert doc["slo"]["rules"][0]["rule"] == "deadline"
+
+    def test_diff_carries_slo_and_tolerates_pre_slo_artifacts(self):
+        judged = scenario_result_to_dict(
+            workload_spec(SLOSpec(deadline_s=1.0)).run(quick=True)
+        )
+        legacy = scenario_result_to_dict(
+            workload_spec(None).run(quick=True)
+        )
+        diff = diff_artifacts(legacy, judged)
+        assert diff.slo["verdict"] == (None, "violated")
+        assert "SLO verdicts" in diff.render()
+        # two pre-SLO artifacts: the section stays absent entirely
+        assert diff_artifacts(legacy, legacy).slo == {}
