@@ -31,7 +31,11 @@
 #   5. an analyze smoke: repro.cli analyze on the SLO-bearing registry
 #      scenario must render an observed-critical-path section and an
 #      SLO verdict line (docs/observability.md);
-#   6. unused-import lint over the source tree.
+#   6. an elasticity smoke: a quick autoscale_ramp run must emit at
+#      least one scale_up event under the elastic trace category, and
+#      repro.cli analyze on it must render the capacity-timeline
+#      section (docs/elasticity.md);
+#   7. unused-import lint over the source tree.
 #
 # Usage, from the repo root:
 #   scripts/check.sh            # fast profile + lint
@@ -108,6 +112,25 @@ PY
 python -m repro.cli analyze multi_tenant_slo --quick > "$TMP/analyze.txt"
 grep -qi "observed critical path" "$TMP/analyze.txt"
 grep -q "SLO verdict:" "$TMP/analyze.txt"
+
+# Elasticity smoke: the autoscaler must actually scale on the ramp
+# scenario (>= 1 scale_up trace event) and the analyze report must
+# carry the capacity timeline built from those events.
+python - <<'PY'
+from repro.scenario import get_scenario
+
+res = get_scenario("autoscale_ramp").run(quick=True)
+ups = [
+    (ts, args)
+    for ts, cat, name, args in res.tracer.events
+    if cat == "elastic" and name == "scale_up"
+]
+assert ups, "autoscale_ramp --quick ordered no capacity"
+assert res.elastic is not None and res.elastic.stranded_tasks == 0
+PY
+python -m repro.cli analyze autoscale_ramp --quick > "$TMP/elastic.txt"
+grep -q "capacity timeline" "$TMP/elastic.txt"
+grep -q "elastic policy predictive" "$TMP/elastic.txt"
 
 python -m repro.util.lint src
 

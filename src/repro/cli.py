@@ -35,6 +35,7 @@ from typing import List, Optional
 
 from repro.analysis.advisor import profile_workflow, recommend_strategy
 from repro.cloud.network import BANDWIDTH_MODELS
+from repro.elastic import ELASTICITY_NAMES, ELASTICITY_POLICIES
 from repro.experiments import (
     run_fig1,
     run_fig3,
@@ -49,6 +50,7 @@ from repro.metadata.controller import STRATEGIES, StrategyName
 from repro.scenario import (
     SCENARIOS,
     WORKFLOW_BUILDERS,
+    ElasticitySpec,
     NetworkSpec,
     ObservabilitySpec,
     ScenarioSpec,
@@ -304,6 +306,57 @@ def build_parser() -> argparse.ArgumentParser:
         help="admission token_bucket only: per-tenant burst allowance",
     )
     runp.add_argument(
+        "--elastic",
+        choices=ELASTICITY_NAMES,
+        default=None,
+        help=(
+            "enable the elastic provisioning control plane with this "
+            "policy (docs/elasticity.md); the fleet then starts at "
+            "--nodes and is resized at runtime"
+        ),
+    )
+    runp.add_argument(
+        "--elastic-min",
+        type=int,
+        default=1,
+        metavar="N",
+        help="elastic only: per-site fleet floor (default 1)",
+    )
+    runp.add_argument(
+        "--elastic-max",
+        type=int,
+        default=8,
+        metavar="N",
+        help="elastic only: per-site fleet ceiling (default 8)",
+    )
+    runp.add_argument(
+        "--elastic-lag",
+        type=float,
+        default=30.0,
+        metavar="S",
+        help=(
+            "elastic only: provisioning lag between ordering a VM and "
+            "it becoming placeable (default 30s)"
+        ),
+    )
+    runp.add_argument(
+        "--elastic-warmup",
+        type=float,
+        default=0.0,
+        metavar="S",
+        help=(
+            "elastic only: warm-up window during which a fresh VM "
+            "computes degraded (default 0: none)"
+        ),
+    )
+    runp.add_argument(
+        "--elastic-interval",
+        type=float,
+        default=5.0,
+        metavar="S",
+        help="elastic only: control-loop sampling interval (default 5s)",
+    )
+    runp.add_argument(
         "--metrics",
         action="store_true",
         help=(
@@ -478,6 +531,10 @@ def build_parser() -> argparse.ArgumentParser:
         help="list workload applications and admission policies",
     )
     sub.add_parser(
+        "elasticity",
+        help="list elastic autoscaling policies (docs/elasticity.md)",
+    )
+    sub.add_parser(
         "scenarios",
         help="list the named scenario registry (docs/scenarios.md)",
     )
@@ -573,6 +630,12 @@ _RUN_SPEC_CLASH_FLAGS = (
     "max_in_flight",
     "token_rate",
     "token_burst",
+    "elastic",
+    "elastic_min",
+    "elastic_max",
+    "elastic_lag",
+    "elastic_warmup",
+    "elastic_interval",
 )
 _RUN_FLAG_DEFAULTS: dict = {}
 
@@ -605,6 +668,28 @@ def _spec_from_run_args(args) -> ScenarioSpec:
             "--admission/--instances/--mode/--think-time/"
             "--arrival-rate require --tenants > 1"
         )
+    if args.elastic is None and (
+        args.elastic_min != 1
+        or args.elastic_max != 8
+        or args.elastic_lag != 30.0
+        or args.elastic_warmup != 0.0
+        or args.elastic_interval != 5.0
+    ):
+        raise ValueError(
+            "--elastic-min/--elastic-max/--elastic-lag/--elastic-warmup/"
+            "--elastic-interval require --elastic POLICY"
+        )
+    elasticity = ElasticitySpec()
+    if args.elastic is not None:
+        elasticity = ElasticitySpec(
+            enabled=True,
+            policy=args.elastic,
+            interval_s=args.elastic_interval,
+            lag_s=args.elastic_lag,
+            warmup_s=args.elastic_warmup,
+            min_vms_per_site=args.elastic_min,
+            max_vms_per_site=args.elastic_max,
+        )
     scheduler = SchedulerSpec(
         name=args.scheduler,
         hybrid_locality_weight=args.hybrid_locality_weight,
@@ -634,6 +719,7 @@ def _spec_from_run_args(args) -> ScenarioSpec:
             max_in_flight=args.max_in_flight,
             token_rate=args.token_rate,
             token_burst=args.token_burst,
+            elasticity=elasticity,
             n_nodes=args.nodes,
             seed=args.seed,
         )
@@ -646,6 +732,7 @@ def _spec_from_run_args(args) -> ScenarioSpec:
             application=args.workflow or "montage",
             workflow_file=getattr(args, "file", None),
             ops_per_task=args.ops,
+            elasticity=elasticity,
             n_nodes=args.nodes,
             seed=args.seed,
         )
@@ -972,6 +1059,39 @@ def _render_analysis(analysis: dict) -> str:
     return "\n\n".join(parts)
 
 
+def _render_capacity_timeline(timeline: dict) -> str:
+    """The elastic fleet's placeable-VM step series, per site."""
+    rows = [
+        [site, f"{t:.2f}", vms]
+        for site in sorted(timeline)
+        for t, vms in timeline[site]
+    ]
+    return render_table(
+        ["site", "t (s)", "placeable VMs"],
+        rows,
+        title="capacity timeline (elastic fleet, placeable VMs by site)",
+    )
+
+
+def _render_elastic_dict(el: dict) -> str:
+    """The elastic summary from an artifact's serialized block."""
+    head = (
+        f"elastic policy {el.get('policy', '?')}: "
+        f"{el.get('n_scale_ups', 0)} scale-up(s), "
+        f"{el.get('n_scale_downs', 0)} scale-down(s); fleet "
+        f"{el.get('fleet_initial', 0)} -> peak {el.get('fleet_peak', 0)} "
+        f"-> final {el.get('fleet_final', 0)}; "
+        f"{el.get('vm_seconds', 0.0):.1f} vm-seconds"
+    )
+    rows = [
+        [f"{a.get('t', 0.0):.2f}", a.get("site", "?"), a.get("delta", 0)]
+        for a in el.get("actions", [])
+    ]
+    if not rows:
+        return head
+    return head + "\n" + render_table(["t (s)", "site", "delta"], rows)
+
+
 def _cmd_analyze(args) -> int:
     targets = [
         bool(args.scenario), bool(args.spec), bool(args.artifact)
@@ -1000,6 +1120,8 @@ def _cmd_analyze(args) -> int:
             ]
             if analysis is not None:
                 parts.append(_render_analysis(analysis))
+            if doc.get("elastic") is not None:
+                parts.append(_render_elastic_dict(doc["elastic"]))
             parts.append(
                 _render_slo_dict(slo)
                 if slo is not None
@@ -1028,6 +1150,17 @@ def _cmd_analyze(args) -> int:
             ]
             if result.analysis is not None:
                 parts.append(_render_analysis(result.analysis.to_dict()))
+            if result.elastic is not None:
+                from repro.obs import capacity_timeline
+
+                parts.append(result.elastic.render())
+                timeline = (
+                    capacity_timeline(result.tracer)
+                    if result.tracer is not None
+                    else {}
+                )
+                if timeline:
+                    parts.append(_render_capacity_timeline(timeline))
             parts.append(
                 _render_slo_dict(result.slo.to_dict())
                 if result.slo is not None
@@ -1079,12 +1212,29 @@ def _cmd_scenarios(_args) -> int:
             knobs.append(f"{spec.workload.n_tenants} tenants")
         if spec.faults:
             knobs.append(f"{len(spec.faults)} faults")
-        if spec.slo is not None:
-            knobs.append("slo")
-        rows.append([name, spec.surface, "/".join(knobs), spec.description])
+        # Compact capability column: which optional planes the scenario
+        # exercises (observability / SLO judgement / elastic fleet).
+        caps = "+".join(
+            label
+            for label, on in (
+                ("obs", spec.observability.enabled),
+                ("slo", spec.slo is not None and not spec.slo.empty),
+                ("elastic", spec.elasticity.enabled),
+            )
+            if on
+        )
+        rows.append(
+            [
+                name,
+                spec.surface,
+                "/".join(knobs),
+                caps or "-",
+                spec.description,
+            ]
+        )
     print(
         render_table(
-            ["name", "surface", "key knobs", "summary"],
+            ["name", "surface", "key knobs", "caps", "summary"],
             rows,
             title="named scenarios (repro.cli run --spec / repro.cli sweep)",
         )
@@ -1246,6 +1396,24 @@ def _cmd_diff(args) -> int:
         return 2
 
 
+def _cmd_elasticity(_args) -> int:
+    rows = []
+    for name in ELASTICITY_NAMES:
+        doc = (ELASTICITY_POLICIES[name].__doc__ or "")
+        rows.append([name, doc.strip().splitlines()[0]])
+    print(
+        render_table(
+            ["policy", "summary"],
+            rows,
+            title=(
+                "elastic autoscaling policies "
+                "(repro.cli run --elastic POLICY; docs/elasticity.md)"
+            ),
+        )
+    )
+    return 0
+
+
 def _cmd_workloads(_args) -> int:
     rows = []
     for name in APPLICATION_NAMES:
@@ -1291,6 +1459,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "strategies": _cmd_strategies,
         "schedulers": _cmd_schedulers,
         "workloads": _cmd_workloads,
+        "elasticity": _cmd_elasticity,
         "scenarios": _cmd_scenarios,
     }
     return handlers[args.command](args)

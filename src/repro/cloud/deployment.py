@@ -9,7 +9,7 @@ the first place.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.sim import Environment
 from repro.cloud.network import Network
@@ -128,6 +128,18 @@ class Deployment:
         self._workers_by_site: Dict[str, List[VirtualMachine]] = {
             dc.name: [] for dc in self.topology
         }
+        # Elastic-fleet bookkeeping (repro.elastic): VMs mid-drain (no
+        # longer placeable, still finishing work), retired VMs with
+        # their decommission times (the vm-seconds cost ledger), and
+        # fleet-change listeners (the workflow engine registers one so
+        # its load map tracks additions/removals).
+        self._draining: List[VirtualMachine] = []
+        self._retired: List[Tuple[VirtualMachine, float]] = []
+        self._fleet_listeners: List[
+            Callable[
+                [Sequence[VirtualMachine], Sequence[VirtualMachine]], None
+            ]
+        ] = []
         sites = list(self.topology)
         for i in range(n_nodes):
             dc = sites[i % len(sites)]
@@ -149,16 +161,138 @@ class Deployment:
             size=self.vm_size,
             role=VMRole.CONTROL,
         )
+        self._next_worker_id = n_nodes
 
     def _check_core_limit(self, dc: Datacenter) -> None:
+        # Draining VMs no longer take placements but still hold their
+        # cores until retired, so they count against the cap.
         used = sum(
             vm.size.cores for vm in self._workers_by_site[dc.name]
+        ) + sum(
+            vm.size.cores for vm in self._draining if vm.site == dc.name
         )
         if used + self.vm_size.cores > dc.core_limit:
             raise ValueError(
                 f"Core limit exceeded at {dc.name}: the cloud provider caps "
                 f"{dc.core_limit} cores per deployment (use more sites)"
             )
+
+    # -- elastic fleet lifecycle (repro.elastic) -------------------------
+
+    def add_fleet_listener(
+        self,
+        callback: Callable[
+            [Sequence[VirtualMachine], Sequence[VirtualMachine]], None
+        ],
+    ) -> None:
+        """Register ``callback(added, removed)`` for fleet changes.
+
+        Fired synchronously by :meth:`add_vms` / :meth:`drain_vms`; with
+        no autoscaler attached it never fires, so registration alone is
+        free.
+        """
+        self._fleet_listeners.append(callback)
+
+    def add_vms(
+        self,
+        site: str,
+        count: int = 1,
+        warm_s: float = 0.0,
+        warmup_factor: float = 1.0,
+    ) -> List[VirtualMachine]:
+        """Provision ``count`` worker VMs at ``site``, placeable at once.
+
+        The new VMs run degraded (compute stretched by
+        ``warmup_factor``) until ``env.now + warm_s``.  Respects the
+        site's provider core cap; the caller models provisioning lag by
+        delaying this call, not by passing future times.
+        """
+        if count <= 0:
+            raise ValueError(f"add_vms needs a positive count, got {count}")
+        dc = self.topology.get(site)
+        added: List[VirtualMachine] = []
+        for _ in range(count):
+            self._check_core_limit(dc)
+            vm = VirtualMachine(
+                self.env,
+                name=f"worker-{self._next_worker_id}",
+                datacenter=dc,
+                size=self.vm_size,
+                role=VMRole.WORKER,
+            )
+            self._next_worker_id += 1
+            vm.warm_at = self.env.now + warm_s
+            vm.warmup_factor = warmup_factor
+            self.workers.append(vm)
+            self._workers_by_site[site].append(vm)
+            added.append(vm)
+        for listener in self._fleet_listeners:
+            listener(added, ())
+        return added
+
+    def drain_vms(self, site: str, count: int = 1) -> List[VirtualMachine]:
+        """Start draining ``count`` workers at ``site`` (newest first).
+
+        A draining VM leaves the placeable fleet immediately -- no new
+        tasks land on it -- but keeps running whatever is already placed
+        (work is never stranded).  Call :meth:`retire_vm` once its last
+        task finishes to close its cost ledger entry.  Refuses to drain
+        more VMs than the site hosts or to empty the fleet entirely.
+        """
+        if count <= 0:
+            raise ValueError(f"drain_vms needs a positive count, got {count}")
+        pool = self._workers_by_site[site]  # KeyError on unknown site
+        if count > len(pool):
+            raise ValueError(
+                f"cannot drain {count} VMs at {site}: only {len(pool)} there"
+            )
+        if count >= len(self.workers):
+            raise ValueError(
+                "cannot drain the entire fleet: at least one placeable "
+                "worker must remain"
+            )
+        drained = pool[-count:]
+        del pool[-count:]
+        for vm in drained:
+            vm.draining = True
+            self.workers.remove(vm)
+            self._draining.append(vm)
+        for listener in self._fleet_listeners:
+            listener((), drained)
+        return drained
+
+    def retire_vm(self, vm: VirtualMachine) -> None:
+        """Decommission a fully drained VM (stops its vm-seconds meter)."""
+        if vm not in self._draining:
+            raise ValueError(f"{vm.name} is not draining")
+        self._draining.remove(vm)
+        self._retired.append((vm, self.env.now))
+
+    @property
+    def draining(self) -> List[VirtualMachine]:
+        """VMs mid-drain: unplaceable, still finishing placed tasks."""
+        return list(self._draining)
+
+    def vm_seconds_by_site(self, now: Optional[float] = None) -> Dict[str, float]:
+        """Accumulated worker vm-seconds per site, up to ``now``.
+
+        Active and draining VMs bill from their provision time to
+        ``now``; retired VMs bill up to their decommission time.  This
+        is the capacity-cost ledger the elastic control plane reports.
+        """
+        now = self.env.now if now is None else now
+        bill: Dict[str, float] = {dc.name: 0.0 for dc in self.topology}
+        for vm in self.workers:
+            bill[vm.site] += max(0.0, now - vm.provisioned_at)
+        for vm in self._draining:
+            bill[vm.site] += max(0.0, now - vm.provisioned_at)
+        for vm, retired_at in self._retired:
+            bill[vm.site] += max(0.0, retired_at - vm.provisioned_at)
+        return bill
+
+    def vm_seconds(self, now: Optional[float] = None) -> float:
+        """Total accumulated worker vm-seconds (see ``vm_seconds_by_site``)."""
+        return sum(self.vm_seconds_by_site(now).values())
 
     # -- queries ---------------------------------------------------------
 

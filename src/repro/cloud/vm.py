@@ -69,6 +69,13 @@ class VirtualMachine:
         self._cores = Resource(env, capacity=self.size.cores)
         self.busy_time = 0.0
         self.tasks_executed = 0
+        # Elastic-fleet lifecycle (repro.elastic).  Statically deployed
+        # VMs are born warm at t=0 and never drain, so none of these
+        # change behavior unless an autoscaler touches the fleet.
+        self.provisioned_at = env.now
+        self.warm_at = env.now  # computes before this run degraded
+        self.warmup_factor = 1.0
+        self.draining = False
 
     @property
     def site(self) -> str:
@@ -76,11 +83,19 @@ class VirtualMachine:
         return self.datacenter.name
 
     def compute(self, duration: float) -> Generator:
-        """Process: occupy one core for ``duration`` seconds."""
+        """Process: occupy one core for ``duration`` seconds.
+
+        A freshly provisioned VM runs *degraded* until its warm-up
+        deadline: any compute that grabs a core before ``warm_at`` is
+        stretched by ``warmup_factor`` (cold caches, image pull, JIT --
+        the usual first-minutes tax an autoscaler must amortize).
+        """
         if duration < 0:
             raise ValueError(f"negative compute duration {duration}")
         with self._cores.request() as req:
             yield req
+            if self.env.now < self.warm_at:
+                duration *= self.warmup_factor
             start = self.env.now
             yield self.env.timeout(duration)
             self.busy_time += self.env.now - start

@@ -1,0 +1,344 @@
+"""Elasticity policies: turn signal snapshots into scale actions.
+
+An :class:`ElasticityPolicy` is the decision kernel of the control
+plane: every control interval the :class:`~repro.elastic.controller.
+ElasticController` hands it a :class:`SignalSnapshot` (what the system
+looks like right now) and a :class:`FleetView` (what capacity exists,
+what is already ordered, what the spec allows) and gets back a list of
+:class:`ScaleAction` deltas.  Policies may keep internal state (EWMA
+estimators, debt-rate trackers) but must stay deterministic and
+RNG-free: equal snapshot histories must yield equal actions, which is
+what makes the replay contract (same spec + seed => same action
+sequence) hold.
+
+Capacity math is always done against the *effective* fleet -- placeable
+VMs **plus** scale-ups still in their provisioning-lag window --
+otherwise a policy re-orders the same VMs every tick until the first
+batch lands.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Tuple, Type
+
+__all__ = [
+    "ELASTICITY_NAMES",
+    "ELASTICITY_POLICIES",
+    "ElasticityPolicy",
+    "FleetView",
+    "PredictivePolicy",
+    "SLODebtPolicy",
+    "ScaleAction",
+    "SignalSnapshot",
+    "ThresholdPolicy",
+    "make_elasticity_policy",
+]
+
+
+@dataclass(frozen=True)
+class SignalSnapshot:
+    """One control-interval observation of the running system.
+
+    Attributes
+    ----------
+    now:
+        Simulated time of the sample.
+    site_load:
+        Site -> tasks currently assigned to its workers (running or
+        staging), from the scheduler's ``ClusterView``.
+    admission_backlog:
+        Workload instances submitted but still waiting for an admission
+        token (0 on the workflow surface).
+    submitted_total:
+        Cumulative workload instances submitted so far (the arrival
+        counter the predictive policy differentiates).
+    slo_debt_s:
+        Deadline debt accrued so far: closed overshoots of completed
+        instances plus the live overshoot of in-flight ones.
+    tenant_load:
+        Tenant -> tasks in flight (empty off the workload surface).
+    """
+
+    now: float
+    site_load: Mapping[str, int]
+    admission_backlog: int = 0
+    submitted_total: int = 0
+    slo_debt_s: float = 0.0
+    tenant_load: Mapping[str, int] = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class FleetView:
+    """Capacity state + spec bounds, as the policy may see them.
+
+    ``pending`` counts scale-ups ordered but still inside their
+    provisioning lag; ``draining`` counts VMs finishing their last
+    tasks.  ``effective(site)`` -- placeable + pending -- is the figure
+    to compare demand against.
+    """
+
+    vms: Mapping[str, int]
+    pending: Mapping[str, int]
+    draining: Mapping[str, int]
+    min_vms: int
+    max_vms: int
+
+    def effective(self, site: str) -> int:
+        return self.vms.get(site, 0) + self.pending.get(site, 0)
+
+    @property
+    def sites(self) -> List[str]:
+        return sorted(self.vms)
+
+
+@dataclass(frozen=True)
+class ScaleAction:
+    """One fleet delta: add (``delta > 0``) or drain (``delta < 0``)."""
+
+    site: str
+    delta: int
+
+    def __post_init__(self):
+        if self.delta == 0:
+            raise ValueError("ScaleAction delta must be non-zero")
+
+
+class ElasticityPolicy:
+    """Abstract decision kernel; subclasses implement :meth:`decide`.
+
+    ``spec`` is the scenario's ``ElasticitySpec`` (duck-typed: this
+    package layers below ``repro.scenario``); policies read their knobs
+    off it and never mutate it.
+    """
+
+    #: Registry name (set by concrete policies).
+    name: str = "abstract"
+
+    def __init__(self, spec):
+        self.spec = spec
+
+    def decide(
+        self, snap: SignalSnapshot, fleet: FleetView
+    ) -> List[ScaleAction]:
+        """Actions for this interval (empty list = hold steady)."""
+        raise NotImplementedError
+
+    # -- shared helpers ---------------------------------------------------
+
+    def _clamped_delta(self, fleet: FleetView, site: str, want: int) -> int:
+        """Clamp a desired delta to the spec's per-site fleet bounds.
+
+        Scale-ups are judged against the *effective* fleet (placeable +
+        pending) so capacity is never double-ordered during the lag
+        window.  Drains are judged against the *placeable* count alone:
+        a pending VM cannot absorb work yet, so counting it toward the
+        floor could drain a site's last live worker.
+        """
+        if want > 0:
+            return min(want, fleet.max_vms - fleet.effective(site))
+        room = fleet.vms.get(site, 0) - fleet.min_vms
+        return -min(-want, max(0, room))
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} {self.name!r}>"
+
+
+class ThresholdPolicy(ElasticityPolicy):
+    """Queue-depth hysteresis bands, judged per site.
+
+    Scale **up** by ``scale_step`` when a site's tasks-per-effective-VM
+    ratio exceeds ``up_threshold``; scale **down** by one when it falls
+    below ``down_threshold`` (with the site genuinely quiet: no
+    admission backlog credited to it).  The gap between the two bands
+    is the hysteresis that keeps the controller from flapping; the
+    controller's per-site cooldown adds dwell time on top.
+
+    The admission backlog is folded into demand proportionally (an
+    instance stuck at admission is load the engine has not seen yet --
+    ignoring it would tell the policy a saturated system is idle).
+    """
+
+    name = "threshold"
+
+    def decide(
+        self, snap: SignalSnapshot, fleet: FleetView
+    ) -> List[ScaleAction]:
+        sites = fleet.sites
+        # Credit the admission backlog evenly: submission is not yet
+        # placed, so no site owns it, but it is demand all the same.
+        backlog_share = (
+            snap.admission_backlog / len(sites) if sites else 0.0
+        )
+        actions: List[ScaleAction] = []
+        for site in sites:
+            effective = fleet.effective(site)
+            if effective <= 0:
+                continue
+            demand = snap.site_load.get(site, 0) + backlog_share
+            ratio = demand / effective
+            if ratio > self.spec.up_threshold:
+                delta = self._clamped_delta(
+                    fleet, site, self.spec.scale_step
+                )
+            elif ratio < self.spec.down_threshold:
+                delta = self._clamped_delta(fleet, site, -1)
+            else:
+                continue
+            if delta:
+                actions.append(ScaleAction(site, delta))
+        return actions
+
+
+class SLODebtPolicy(ElasticityPolicy):
+    """Scale when *projected* deadline debt crosses the budget.
+
+    Tracks the debt growth rate across snapshots and projects it one
+    provisioning lag ahead: capacity ordered when the budget is already
+    blown arrives too late to defend it.  Scale-up targets the most
+    backlogged site; scale-down (one VM from the least backlogged site)
+    only once debt has stopped growing and the fleet is quiet, so a
+    temporary lull mid-incident does not shed the capacity servicing
+    the recovery.
+    """
+
+    name = "slo_debt"
+
+    def __init__(self, spec):
+        super().__init__(spec)
+        self._prev_debt = 0.0
+        self._prev_now: float | None = None
+
+    def decide(
+        self, snap: SignalSnapshot, fleet: FleetView
+    ) -> List[ScaleAction]:
+        rate = 0.0
+        if self._prev_now is not None and snap.now > self._prev_now:
+            rate = (snap.slo_debt_s - self._prev_debt) / (
+                snap.now - self._prev_now
+            )
+        self._prev_debt = snap.slo_debt_s
+        self._prev_now = snap.now
+
+        projected = snap.slo_debt_s + max(0.0, rate) * self.spec.lag_s
+        sites = fleet.sites
+        if not sites:
+            return []
+        if projected > self.spec.debt_budget_s:
+            # Most pressure first: highest load per effective VM.
+            site = max(
+                sites,
+                key=lambda s: (
+                    snap.site_load.get(s, 0) / max(1, fleet.effective(s)),
+                    s,
+                ),
+            )
+            delta = self._clamped_delta(fleet, site, self.spec.scale_step)
+            return [ScaleAction(site, delta)] if delta else []
+        if rate <= 0.0 and snap.admission_backlog == 0:
+            # Debt stable and nothing queued upstream: shed idle tail.
+            for site in sites:
+                effective = fleet.effective(site)
+                if effective <= 0:
+                    continue
+                ratio = snap.site_load.get(site, 0) / effective
+                if ratio < self.spec.down_threshold:
+                    delta = self._clamped_delta(fleet, site, -1)
+                    if delta:
+                        return [ScaleAction(site, delta)]
+        return []
+
+
+class PredictivePolicy(ElasticityPolicy):
+    """EWMA arrival-rate forecast; pre-provisions ahead of ramps.
+
+    Differentiates the cumulative submission counter into an arrival
+    rate, smooths it with an EWMA (``ewma_alpha``), extrapolates the
+    EWMA's own trend one provisioning lag ahead, and sizes the fleet to
+    ``forecast_rate * target_task_s`` vm-equivalents (Little's law with
+    the spec's per-instance service-demand estimate).  On an open-loop
+    ramp the trend term is what orders capacity *before* the queue
+    exists -- the whole point over the reactive policies.
+    """
+
+    name = "predictive"
+
+    def __init__(self, spec):
+        super().__init__(spec)
+        self._prev_submitted: int | None = None
+        self._prev_now: float | None = None
+        self._ewma: float | None = None
+        self._prev_ewma: float | None = None
+
+    def _forecast_rate(self, snap: SignalSnapshot) -> float:
+        if self._prev_now is None or snap.now <= self._prev_now:
+            self._prev_now = snap.now
+            self._prev_submitted = snap.submitted_total
+            return 0.0
+        dt = snap.now - self._prev_now
+        rate = (snap.submitted_total - (self._prev_submitted or 0)) / dt
+        self._prev_now = snap.now
+        self._prev_submitted = snap.submitted_total
+        alpha = self.spec.ewma_alpha
+        self._prev_ewma, self._ewma = self._ewma, (
+            rate if self._ewma is None else
+            alpha * rate + (1 - alpha) * self._ewma
+        )
+        trend = 0.0
+        if self._prev_ewma is not None and dt > 0:
+            trend = (self._ewma - self._prev_ewma) / dt
+        return max(0.0, self._ewma + max(0.0, trend) * self.spec.lag_s)
+
+    def decide(
+        self, snap: SignalSnapshot, fleet: FleetView
+    ) -> List[ScaleAction]:
+        rate = self._forecast_rate(snap)
+        sites = fleet.sites
+        if not sites:
+            return []
+        target_total = math.ceil(rate * self.spec.target_task_s)
+        target_total = min(
+            max(target_total, self.spec.min_vms_per_site * len(sites)),
+            self.spec.max_vms_per_site * len(sites),
+        )
+        # Spread the target evenly, earlier (name-sorted) sites taking
+        # the remainder -- deterministic and topology-agnostic.
+        base, extra = divmod(target_total, len(sites))
+        actions: List[ScaleAction] = []
+        for i, site in enumerate(sites):
+            target = base + (1 if i < extra else 0)
+            effective = fleet.effective(site)
+            want = target - effective
+            if want > 0:
+                delta = self._clamped_delta(fleet, site, want)
+            elif want < 0 and snap.site_load.get(site, 0) < effective:
+                # Shrink only while the site is not fully busy, one VM
+                # per tick: a forecast dip must not mass-drain a fleet
+                # that is still working through its queue.
+                delta = self._clamped_delta(fleet, site, -1)
+            else:
+                continue
+            if delta:
+                actions.append(ScaleAction(site, delta))
+        return actions
+
+
+ELASTICITY_POLICIES: Dict[str, Type[ElasticityPolicy]] = {
+    cls.name: cls
+    for cls in (ThresholdPolicy, SLODebtPolicy, PredictivePolicy)
+}
+
+ELASTICITY_NAMES: Tuple[str, ...] = tuple(sorted(ELASTICITY_POLICIES))
+
+
+def make_elasticity_policy(name: str, spec) -> ElasticityPolicy:
+    """Instantiate the named policy over an ``ElasticitySpec``."""
+    try:
+        cls = ELASTICITY_POLICIES[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown elasticity policy {name!r}; expected one of "
+            f"{ELASTICITY_NAMES}"
+        ) from None
+    return cls(spec)

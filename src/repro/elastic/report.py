@@ -1,0 +1,106 @@
+"""The elastic control plane's run summary: actions taken, capacity paid.
+
+An :class:`ElasticReport` rides on ``ScenarioResult.elastic`` and
+persists into result artifacts.  Cost is the deployment's vm-seconds
+ledger (provision -> decommission per VM, run end for survivors)
+priced per **site class** -- the datacenter's region tag -- through the
+spec's ``cost_rates`` multipliers (unlisted classes bill at 1.0
+vm-second per vm-second), so a Pareto scenario can make geo-distant
+capacity literally more expensive than local capacity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+__all__ = ["ElasticReport"]
+
+
+@dataclass
+class ElasticReport:
+    """What the autoscaler did and what the fleet cost.
+
+    Attributes
+    ----------
+    policy:
+        Name of the deciding :class:`ElasticityPolicy`.
+    actions:
+        The decision log, in order: ``(t, site, delta)`` with positive
+        deltas for scale-ups (decision time, not arrival time) and
+        negative for drains.
+    vm_seconds_by_site:
+        The deployment's capacity ledger at run end.
+    cost_by_class:
+        vm-seconds aggregated per site class and priced by the spec's
+        ``cost_rates``.
+    fleet_initial / fleet_peak / fleet_final:
+        Placeable worker counts: at controller start, at the high-water
+        mark, and at run end.
+    stranded_tasks:
+        Tasks still assigned to draining VMs at run end.  Always zero
+        under the drain contract; reported so a violation is loud.
+    """
+
+    policy: str
+    actions: List[Tuple[float, str, int]] = field(default_factory=list)
+    vm_seconds_by_site: Dict[str, float] = field(default_factory=dict)
+    cost_by_class: Dict[str, float] = field(default_factory=dict)
+    fleet_initial: int = 0
+    fleet_peak: int = 0
+    fleet_final: int = 0
+    stranded_tasks: int = 0
+
+    @property
+    def vm_seconds(self) -> float:
+        return sum(self.vm_seconds_by_site.values())
+
+    @property
+    def cost(self) -> float:
+        return sum(self.cost_by_class.values())
+
+    @property
+    def n_scale_ups(self) -> int:
+        return sum(1 for _, _, d in self.actions if d > 0)
+
+    @property
+    def n_scale_downs(self) -> int:
+        return sum(1 for _, _, d in self.actions if d < 0)
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "policy": self.policy,
+            "actions": [
+                {"t": t, "site": site, "delta": delta}
+                for t, site, delta in self.actions
+            ],
+            "n_scale_ups": self.n_scale_ups,
+            "n_scale_downs": self.n_scale_downs,
+            "vm_seconds": self.vm_seconds,
+            "vm_seconds_by_site": dict(self.vm_seconds_by_site),
+            "cost": self.cost,
+            "cost_by_class": dict(self.cost_by_class),
+            "fleet_initial": self.fleet_initial,
+            "fleet_peak": self.fleet_peak,
+            "fleet_final": self.fleet_final,
+            "stranded_tasks": self.stranded_tasks,
+        }
+
+    def render(self) -> str:
+        lines = [
+            f"elastic policy {self.policy}: "
+            f"{self.n_scale_ups} scale-up(s), "
+            f"{self.n_scale_downs} scale-down(s); fleet "
+            f"{self.fleet_initial} -> peak {self.fleet_peak} -> "
+            f"final {self.fleet_final}",
+            f"  capacity cost: {self.vm_seconds:.1f} vm-seconds"
+            + (
+                f" ({self.cost:.1f} priced)"
+                if self.cost_by_class
+                else ""
+            ),
+        ]
+        for t, site, delta in self.actions:
+            verb = "add" if delta > 0 else "drain"
+            lines.append(f"  t={t:9.2f}s  {verb} {abs(delta)} @ {site}")
+        return "\n".join(lines)

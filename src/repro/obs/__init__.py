@@ -13,6 +13,7 @@ from repro.obs.analyze import (
     UtilizationSummary,
     WorkflowAnalysis,
     analyze_tracer,
+    capacity_timeline,
     concurrency_profile,
 )
 from repro.obs.trace import (
@@ -43,6 +44,7 @@ __all__ = [
     "UtilizationSummary",
     "WorkflowAnalysis",
     "analyze_tracer",
+    "capacity_timeline",
     "concurrency_profile",
     "NULL_TRACER",
     "NullTracer",

@@ -39,6 +39,7 @@ TRACE_CATEGORIES: Tuple[str, ...] = (
     "registry",   # metadata op start/finish, registry slot waits
     "scheduler",  # per-placement candidate scores
     "workload",   # tenant submit, admission enqueue/dequeue (reject reserved)
+    "elastic",    # autoscaler decisions, VM provision/drain lifecycle
     "span",       # interval spans (tasks, staging, transfers, RPCs)
 )
 

@@ -106,6 +106,14 @@ def result_metrics(result: ScenarioResult) -> Dict[str, float]:
             completed=float(res.n_completed),
             peak_in_flight=float(res.peak_in_flight),
         )
+    if result.elastic is not None:
+        metrics.update(
+            vm_seconds=float(result.elastic.vm_seconds),
+            capacity_cost=float(result.elastic.cost),
+            scale_ups=float(result.elastic.n_scale_ups),
+            scale_downs=float(result.elastic.n_scale_downs),
+            fleet_peak=float(result.elastic.fleet_peak),
+        )
     return metrics
 
 
@@ -160,6 +168,8 @@ def scenario_result_to_dict(
         doc["analysis"] = result.analysis.to_dict()
     if result.slo is not None:
         doc["slo"] = result.slo.to_dict()
+    if result.elastic is not None:
+        doc["elastic"] = result.elastic.to_dict()
     return doc
 
 

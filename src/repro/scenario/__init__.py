@@ -21,6 +21,7 @@ from repro.scenario.slo import (
     evaluate_slo,
 )
 from repro.scenario.spec import (
+    ElasticitySpec,
     FAULT_KINDS,
     FaultSpec,
     NetworkSpec,
@@ -46,6 +47,7 @@ from repro.scenario.sweep import (
 Scenario = ScenarioSpec
 
 __all__ = [
+    "ElasticitySpec",
     "FAULT_KINDS",
     "FaultSpec",
     "NetworkSpec",

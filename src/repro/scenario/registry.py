@@ -19,6 +19,7 @@ from typing import Dict, Tuple
 from repro.cloud.presets import AZURE_4DC
 from repro.scenario.slo import SLOSpec
 from repro.scenario.spec import (
+    ElasticitySpec,
     FaultSpec,
     NetworkSpec,
     ObservabilitySpec,
@@ -27,7 +28,7 @@ from repro.scenario.spec import (
     StrategySpec,
     TopologySpec,
 )
-from repro.workload.spec import WorkloadSpec
+from repro.workload.spec import TenantSpec, WorkloadSpec
 
 __all__ = [
     "SCENARIOS",
@@ -35,6 +36,30 @@ __all__ = [
     "get_scenario",
     "register_scenario",
 ]
+
+
+def _staggered_tenants(offsets, compute_time, gap_s):
+    """Open-loop tenants arriving at explicit offsets (one per tenant,
+    with a second wave ``gap_s`` later that the ``quick()`` reduction
+    truncates away) -- the deterministic demand profiles the autoscale
+    scenarios are built from."""
+    return tuple(
+        TenantSpec(
+            name=f"tenant-{i:02d}",
+            application="montage-small",
+            input_site=AZURE_4DC[i % len(AZURE_4DC)],
+            ops_per_task=8,
+            compute_time=compute_time,
+            arrival_times=(at, at + gap_s),
+        )
+        for i, at in enumerate(offsets)
+    )
+
+
+#: Shared per-site-class capacity prices for the autoscale scenarios:
+#: the Azure 4-DC preset tags its datacenters with "europe"/"us"
+#: regions, and geo-distant European capacity bills 1.5x.
+_AUTOSCALE_COST_RATES = (("europe", 1.5), ("us", 1.0))
 
 
 def _build_registry() -> Dict[str, ScenarioSpec]:
@@ -195,6 +220,91 @@ def _build_registry() -> Dict[str, ScenarioSpec]:
             token_burst=2,
             n_nodes=16,
             seed=23,
+        ),
+        ScenarioSpec(
+            name="autoscale_ramp",
+            description=(
+                "Accelerating open-loop arrival ramp under the "
+                "predictive autoscaler: EWMA forecast pre-provisions "
+                "ahead of the ramp, then drains the tail (traced; see "
+                "repro.cli analyze for the capacity timeline)"
+            ),
+            surface="workload",
+            strategy=StrategySpec(name="decentralized"),
+            workload=WorkloadSpec(
+                tenants=_staggered_tenants(
+                    # Arrival spacing shrinks 8s -> 1s: the ramp the
+                    # trend term of the forecast exists to catch.
+                    (0.0, 8.0, 15.0, 21.0, 26.0, 30.0, 33.0, 35.0,
+                     36.0, 37.0),
+                    compute_time=0.5,
+                    gap_s=60.0,
+                ),
+                mode="open",
+                seed=11,
+                name="autoscale_ramp",
+            ),
+            observability=ObservabilitySpec(enabled=True),
+            elasticity=ElasticitySpec(
+                enabled=True,
+                policy="predictive",
+                interval_s=2.0,
+                lag_s=6.0,
+                warmup_s=4.0,
+                warmup_factor=2.0,
+                max_vms_per_site=4,
+                cooldown_s=8.0,
+                ewma_alpha=0.4,
+                target_task_s=20.0,
+                cost_rates=_AUTOSCALE_COST_RATES,
+            ),
+            n_nodes=4,
+            seed=11,
+        ),
+        ScenarioSpec(
+            name="autoscale_pareto",
+            description=(
+                "Cost-vs-SLO Pareto probe: a 12-tenant burst plus late "
+                "stragglers under threshold autoscaling with 35s "
+                "deadlines -- matches static-peak attainment at a "
+                "fraction of its vm-seconds, beats static-low on "
+                "attainment (tests/elastic/test_pareto.py)"
+            ),
+            surface="workload",
+            strategy=StrategySpec(name="decentralized"),
+            workload=WorkloadSpec(
+                tenants=_staggered_tenants(
+                    # 12-tenant burst at t=0..2.75, then four late
+                    # stragglers that keep the run alive while the
+                    # autoscaler drains the burst capacity.
+                    tuple(0.25 * i for i in range(12))
+                    + (50.0, 60.0, 70.0, 80.0),
+                    compute_time=0.75,
+                    gap_s=130.0,
+                ),
+                mode="open",
+                seed=5,
+                name="autoscale_pareto",
+            ),
+            slo=SLOSpec(
+                tenant_deadlines=tuple(
+                    (f"tenant-{i:02d}", 35.0) for i in range(16)
+                ),
+            ),
+            elasticity=ElasticitySpec(
+                enabled=True,
+                policy="threshold",
+                interval_s=2.0,
+                lag_s=5.0,
+                warmup_s=3.0,
+                warmup_factor=2.0,
+                max_vms_per_site=4,
+                scale_step=2,
+                up_threshold=1.5,
+                cost_rates=_AUTOSCALE_COST_RATES,
+            ),
+            n_nodes=4,
+            seed=5,
         ),
         ScenarioSpec(
             name="outage_resilience",

@@ -21,6 +21,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 from repro.cloud.deployment import Deployment
+from repro.elastic import ElasticController, ElasticReport, ElasticSignals
 from repro.cloud.faults import (
     FaultEvent,
     LatencySpikeInjector,
@@ -71,6 +72,9 @@ class ScenarioResult:
     analysis: Optional[RunAnalysis] = None
     #: SLO verdicts (None when the spec declares no objectives).
     slo: Optional[SLOReport] = None
+    #: Elastic control-plane report: actions taken, capacity paid
+    #: (None when ``spec.elasticity`` is disabled).
+    elastic: Optional[ElasticReport] = None
     #: The live tracer (None when tracing was off).  Not serialized --
     #: the exporters in ``repro.obs.export`` consume it directly.
     tracer: Optional[Tracer] = field(default=None, repr=False)
@@ -147,6 +151,8 @@ class ScenarioResult:
             text += "\n".join(lines)
         if self.slo is not None:
             text += "\n\n" + self.slo.render()
+        if self.elastic is not None:
+            text += "\n\n" + self.elastic.render()
         return text
 
     def __repr__(self) -> str:
@@ -257,6 +263,38 @@ def _finalize(result: ScenarioResult) -> ScenarioResult:
     if result.spec.slo is not None and not result.spec.slo.empty:
         result.slo = evaluate_slo(result.spec.slo, result)
     return result
+
+
+def _elastic_signals(spec: ScenarioSpec) -> ElasticSignals:
+    """Workload-surface sensors, fed deadline targets from the SLO spec."""
+    slo = spec.slo
+    return ElasticSignals(
+        tenant_deadlines=(
+            dict(slo.tenant_deadlines) if slo is not None else {}
+        ),
+        run_deadline_s=slo.deadline_s if slo is not None else None,
+    )
+
+
+def _start_elastic(
+    spec: ScenarioSpec,
+    deployment: Deployment,
+    cluster,
+    signals: Optional[ElasticSignals],
+    tracer: Optional[Tracer],
+) -> Optional[ElasticController]:
+    """Construct and start the control loop (None when disabled)."""
+    if not spec.elasticity.enabled:
+        return None
+    controller = ElasticController(
+        deployment,
+        cluster,
+        spec.elasticity,
+        signals=signals,
+        tracer=tracer,
+    )
+    controller.start()
+    return controller
 
 
 def _build_workflow(spec: ScenarioSpec):
@@ -377,6 +415,11 @@ def run_scenario(
             controller.strategy,
             input_site=spec.scheduler.input_site,
         )
+        # Workflow surface has no admission layer, so the autoscaler
+        # senses queue depth only (signals=None).
+        elastic = _start_elastic(
+            spec, deployment, engine.cluster, None, tracer
+        )
         result = engine.run(
             workflow if workflow is not None else _build_workflow(spec)
         )
@@ -390,11 +433,22 @@ def run_scenario(
                 wan_bytes=engine.transfer.wan_bytes,
                 provenance=_provenance(deployment),
                 obs=tracer.export() if tracer is not None else None,
+                elastic=(
+                    elastic.finalize() if elastic is not None else None
+                ),
                 tracer=tracer,
             )
         )
 
-    runner = WorkloadRunner(deployment, controller.strategy)
+    signals = (
+        _elastic_signals(spec) if spec.elasticity.enabled else None
+    )
+    runner = WorkloadRunner(
+        deployment, controller.strategy, elastic_signals=signals
+    )
+    elastic = _start_elastic(
+        spec, deployment, runner.engine.cluster, signals, tracer
+    )
     result = runner.run(spec.workload)
     controller.shutdown()
     return _finalize(
@@ -407,6 +461,7 @@ def run_scenario(
             wan_bytes=result.wan_bytes,
             provenance=_provenance(deployment),
             obs=tracer.export() if tracer is not None else None,
+            elastic=elastic.finalize() if elastic is not None else None,
             tracer=tracer,
         )
     )

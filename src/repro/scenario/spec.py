@@ -47,6 +47,7 @@ from repro.cloud.presets import (
     make_topology,
 )
 from repro.cloud.topology import CloudTopology
+from repro.elastic.policies import ELASTICITY_NAMES
 from repro.metadata.config import MetadataConfig
 from repro.metadata.controller import STRATEGIES, StrategyName
 from repro.obs import TRACE_CATEGORIES
@@ -58,6 +59,7 @@ from repro.workload.admission import ADMISSION_NAMES
 from repro.workload.spec import WorkloadSpec
 
 __all__ = [
+    "ElasticitySpec",
     "FAULT_KINDS",
     "FaultSpec",
     "NetworkSpec",
@@ -565,6 +567,175 @@ class ObservabilitySpec:
             )
 
 
+@dataclass(frozen=True)
+class ElasticitySpec:
+    """Elastic provisioning control plane (see ``repro.elastic``).
+
+    Disabled by default: a run with ``enabled=False`` constructs no
+    controller, schedules no control-loop events and draws no
+    randomness, so every pre-elasticity golden stays bit-for-bit.
+    Unlike ``observability``/``slo`` this block **participates in**
+    ``spec_hash`` when enabled -- an autoscaled run simulates a
+    genuinely different system than a static one -- while a disabled
+    block is dropped from the canonical form so existing artifact keys
+    never move.
+
+    Attributes
+    ----------
+    enabled:
+        Master switch.  Every other knob requires it (a tuned but
+        disabled autoscaler would masquerade as an elastic run).
+    policy:
+        Decision kernel: ``threshold`` (queue-depth hysteresis bands),
+        ``slo_debt`` (scale when projected deadline debt crosses
+        ``debt_budget_s``) or ``predictive`` (EWMA arrival-rate
+        forecast, pre-provisions ahead of ramps).
+    interval_s:
+        Control-loop period (simulated seconds between decisions).
+    lag_s:
+        Provisioning lag: ordered capacity becomes placeable this many
+        seconds after the decision.
+    warmup_s / warmup_factor:
+        Warm-up cost: a freshly provisioned VM's computes are stretched
+        by ``warmup_factor`` until ``warmup_s`` after arrival.
+    min_vms_per_site / max_vms_per_site:
+        Hard fleet bounds every policy's actions are clamped to.
+    scale_step:
+        VMs added per scale-up decision (drains shed at most this
+        many, most policies shed one).
+    cooldown_s:
+        Per-site dwell time after any action before the next one.
+    up_threshold / down_threshold:
+        ``threshold`` policy's hysteresis band (tasks per effective
+        VM); ``slo_debt`` reuses ``down_threshold`` as its quiet-fleet
+        bar.  Must satisfy ``down < up``.
+    debt_budget_s:
+        ``slo_debt`` only: projected debt (seconds) that triggers a
+        scale-up.
+    ewma_alpha / target_task_s:
+        ``predictive`` only: EWMA smoothing factor and the per-instance
+        service-demand estimate (vm-seconds) its Little's-law fleet
+        sizing uses.
+    cost_rates:
+        ``(site_class, rate)`` pairs pricing vm-seconds per site class
+        (the datacenter's region tag); unlisted classes bill at 1.0.
+    """
+
+    enabled: bool = False
+    policy: str = "threshold"
+    interval_s: float = 5.0
+    lag_s: float = 30.0
+    warmup_s: float = 0.0
+    warmup_factor: float = 2.0
+    min_vms_per_site: int = 1
+    max_vms_per_site: int = 8
+    scale_step: int = 1
+    cooldown_s: float = 0.0
+    up_threshold: float = 2.0
+    down_threshold: float = 0.25
+    debt_budget_s: float = 5.0
+    ewma_alpha: float = 0.3
+    target_task_s: float = 30.0
+    cost_rates: Tuple[Tuple[str, float], ...] = ()
+
+    def __post_init__(self):
+        object.__setattr__(
+            self,
+            "cost_rates",
+            tuple((str(c), float(r)) for c, r in self.cost_rates),
+        )
+
+    def validate(self) -> None:
+        if self.policy not in ELASTICITY_NAMES:
+            raise ValueError(
+                f"unknown elasticity policy {self.policy!r}; expected "
+                f"one of {ELASTICITY_NAMES}"
+            )
+        if not self.enabled:
+            if self != ElasticitySpec():
+                # The spec tree's masquerade guard: a tuned autoscaler
+                # that never acts would present as an elastic run.
+                raise ValueError(
+                    "elasticity knobs require enabled=True"
+                )
+            return
+        if self.interval_s <= 0:
+            raise ValueError("elasticity.interval_s must be positive")
+        if self.lag_s < 0:
+            raise ValueError("elasticity.lag_s must be >= 0")
+        if self.warmup_s < 0:
+            raise ValueError("elasticity.warmup_s must be >= 0")
+        if self.warmup_factor < 1.0:
+            raise ValueError(
+                "elasticity.warmup_factor must be >= 1 (warm-up slows "
+                "a VM down, it cannot speed one up)"
+            )
+        if self.min_vms_per_site < 1:
+            raise ValueError(
+                "elasticity.min_vms_per_site must be >= 1 (draining a "
+                "site to zero would strand its queue)"
+            )
+        if self.max_vms_per_site < self.min_vms_per_site:
+            raise ValueError(
+                "elasticity.max_vms_per_site must be >= min_vms_per_site"
+            )
+        if self.scale_step < 1:
+            raise ValueError("elasticity.scale_step must be >= 1")
+        if self.cooldown_s < 0:
+            raise ValueError("elasticity.cooldown_s must be >= 0")
+        if self.down_threshold < 0 or self.up_threshold <= self.down_threshold:
+            raise ValueError(
+                "elasticity thresholds must satisfy "
+                "0 <= down_threshold < up_threshold (the gap is the "
+                "hysteresis band)"
+            )
+        if self.debt_budget_s < 0:
+            raise ValueError("elasticity.debt_budget_s must be >= 0")
+        if not 0 < self.ewma_alpha <= 1:
+            raise ValueError("elasticity.ewma_alpha must be in (0, 1]")
+        if self.target_task_s <= 0:
+            raise ValueError("elasticity.target_task_s must be positive")
+        # Policy-specific knobs are rejected under other policies, like
+        # the scheduler/admission sub-specs: a tuned-but-unread knob
+        # would masquerade as a tuned run.
+        if self.up_threshold != 2.0 and self.policy != "threshold":
+            raise ValueError(
+                "elasticity.up_threshold requires policy='threshold'"
+            )
+        if self.down_threshold != 0.25 and self.policy not in (
+            "threshold",
+            "slo_debt",
+        ):
+            raise ValueError(
+                "elasticity.down_threshold requires policy='threshold' "
+                "(or 'slo_debt')"
+            )
+        if self.debt_budget_s != 5.0 and self.policy != "slo_debt":
+            raise ValueError(
+                "elasticity.debt_budget_s requires policy='slo_debt'"
+            )
+        if (
+            self.ewma_alpha != 0.3 or self.target_task_s != 30.0
+        ) and self.policy != "predictive":
+            raise ValueError(
+                "elasticity.ewma_alpha/target_task_s require "
+                "policy='predictive'"
+            )
+        seen = set()
+        for cls, rate in self.cost_rates:
+            if not cls:
+                raise ValueError("elasticity.cost_rates needs class names")
+            if cls in seen:
+                raise ValueError(
+                    f"elasticity.cost_rates repeats class {cls!r}"
+                )
+            seen.add(cls)
+            if rate <= 0:
+                raise ValueError(
+                    f"elasticity cost rate for {cls!r} must be positive"
+                )
+
+
 def _validate_admission_knobs(
     admission: Optional[str],
     max_in_flight: Optional[int],
@@ -667,6 +838,25 @@ def config_from_specs(
 
 def _nested_replace(obj, path: str, value):
     head, _, rest = path.partition(".")
+    if isinstance(obj, (tuple, list)):
+        # Numeric segments index into spec tuples, so one fault's field
+        # or one tenant's rate is sweepable without replacing the whole
+        # list: ``faults.0.duration``, ``workload.tenants.1.arrival_rate``.
+        try:
+            idx = int(head)
+        except ValueError:
+            raise ValueError(
+                f"cannot descend into {type(obj).__name__} with {path!r}: "
+                f"expected a numeric index, got {head!r}"
+            ) from None
+        if not 0 <= idx < len(obj):
+            raise ValueError(
+                f"index {idx} out of range: {type(obj).__name__} has "
+                f"{len(obj)} element(s)"
+            )
+        items = list(obj)
+        items[idx] = _nested_replace(items[idx], rest, value) if rest else value
+        return tuple(items)
     if not dataclasses.is_dataclass(obj):
         raise ValueError(
             f"cannot descend into {type(obj).__name__} with {path!r}"
@@ -708,6 +898,11 @@ class ScenarioSpec:
         ``ScenarioResult.slo``; excluded from :meth:`spec_hash` for
         the same reason as ``observability`` (re-judging a stored
         experiment must not orphan its artifact).
+    elasticity:
+        Elastic provisioning control plane
+        (:class:`ElasticitySpec`); off by default.  Unlike the two
+        lens blocks above it *changes simulated behaviour*, so an
+        enabled block participates in :meth:`spec_hash`.
     workload:
         Workload surface only: the embedded
         :class:`~repro.workload.spec.WorkloadSpec`.
@@ -734,6 +929,7 @@ class ScenarioSpec:
     scheduler: SchedulerSpec = field(default_factory=SchedulerSpec)
     observability: ObservabilitySpec = field(default_factory=ObservabilitySpec)
     slo: Optional[SLOSpec] = None
+    elasticity: ElasticitySpec = field(default_factory=ElasticitySpec)
     faults: Tuple[FaultSpec, ...] = ()
     workload: Optional[WorkloadSpec] = None
     admission: Optional[str] = None
@@ -764,6 +960,42 @@ class ScenarioSpec:
         self.strategy.validate()
         self.scheduler.validate()
         self.observability.validate()
+        self.elasticity.validate()
+        if self.elasticity.enabled:
+            if self.surface == "synthetic":
+                raise ValueError(
+                    "elasticity does not apply to the synthetic surface "
+                    "(its reader/writer nodes are the experiment, not a "
+                    "schedulable fleet)"
+                )
+            if self.elasticity.policy == "slo_debt" and (
+                self.surface != "workload"
+                or self.slo is None
+                or not (
+                    self.slo.deadline_s is not None
+                    or self.slo.tenant_deadlines
+                )
+            ):
+                raise ValueError(
+                    "elasticity.policy='slo_debt' needs the workload "
+                    "surface and an slo block with deadline_s or "
+                    "tenant_deadlines (its signal is live deadline debt)"
+                )
+            if (
+                self.elasticity.policy == "predictive"
+                and self.surface != "workload"
+            ):
+                raise ValueError(
+                    "elasticity.policy='predictive' needs the workload "
+                    "surface (its signal is the tenant arrival rate)"
+                )
+            known_regions = set(self.topology.region_names())
+            for cls, _rate in self.elasticity.cost_rates:
+                if cls not in known_regions:
+                    raise ValueError(
+                        f"elasticity.cost_rates names unknown site class "
+                        f"{cls!r}; topology has {sorted(known_regions)}"
+                    )
         if self.slo is not None:
             self.slo.validate()
             if self.slo.latency_targets and not self.observability.enabled:
@@ -988,6 +1220,7 @@ class ScenarioSpec:
             ("scheduler", SchedulerSpec),
             ("observability", ObservabilitySpec),
             ("slo", SLOSpec),
+            ("elasticity", ElasticitySpec),
         ):
             if isinstance(data.get(key), Mapping):
                 data[key] = _sub_from_dict(sub, data[key])
@@ -1012,11 +1245,19 @@ class ScenarioSpec:
         before hashing.  Tracing only observes a run (same seeds, same
         events, same metrics) and objectives only judge one, so a
         traced or re-judged re-run of a stored experiment must land on
-        the same artifact key.
+        the same artifact key.  A *disabled* ``elasticity`` block is
+        dropped too (behaviour-free, keys stay stable); an enabled one
+        is kept -- an autoscaled run is a different experiment.
         """
         doc = self.to_dict()
         del doc["observability"]
         doc.pop("slo", None)
+        if not self.elasticity.enabled:
+            # Disabled elasticity is behaviour-free, so it is dropped
+            # and every pre-elasticity artifact key stays valid; an
+            # *enabled* block changes what the simulation does and
+            # stays in the digest.
+            del doc["elasticity"]
         return json.dumps(doc, sort_keys=True, separators=(",", ":"))
 
     def spec_hash(self) -> str:

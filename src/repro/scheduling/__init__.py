@@ -11,7 +11,7 @@ Turns the workflow engine's placement step into a swappable
 See ``docs/scheduling.md`` for policy semantics, knobs and guidance.
 """
 
-from repro.scheduling.base import ClusterView, PlacementPolicy
+from repro.scheduling.base import ClusterView, PlacementPolicy, TenantContext
 from repro.scheduling.policies import (
     BandwidthAwarePolicy,
     HybridPolicy,
@@ -33,5 +33,6 @@ __all__ = [
     "RoundRobinPolicy",
     "SCHEDULERS",
     "SCHEDULER_NAMES",
+    "TenantContext",
     "make_scheduler",
 ]

@@ -19,6 +19,7 @@ two runs with the same seed and policy place identically.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import TYPE_CHECKING, Dict, List, Optional
 
 if TYPE_CHECKING:  # typing only: keep the package import-cycle free
@@ -27,7 +28,21 @@ if TYPE_CHECKING:  # typing only: keep the package import-cycle free
     from repro.storage.transfer import TransferService
     from repro.workflow.dag import Task, Workflow
 
-__all__ = ["ClusterView", "PlacementPolicy"]
+__all__ = ["ClusterView", "PlacementPolicy", "TenantContext"]
+
+
+@dataclass(frozen=True)
+class TenantContext:
+    """Identity of the tenant whose task is being placed.
+
+    ``quota`` is the tenant's admission share where one exists (the
+    token-bucket refill rate, or the in-flight cap under semaphore
+    admission); ``None`` means uncapped.  Single-workflow runs have no
+    tenant, so policies must tolerate ``cluster.placing_tenant is None``.
+    """
+
+    name: str
+    quota: Optional[float] = None
 
 
 class ClusterView:
@@ -52,6 +67,14 @@ class ClusterView:
         #: VM name -> number of tasks currently assigned (running or
         #: staging inputs).  Owned by the engine; policies read it.
         self.vm_load = vm_load
+        #: Tenant whose task is being placed *right now*; set by the
+        #: engine around each ``place()`` call on the workload surface,
+        #: ``None`` on single-workflow runs.
+        self.placing_tenant: Optional[TenantContext] = None
+        #: Tenant name -> tasks currently in flight (placed, not yet
+        #: complete).  Owned by the engine; policies and elasticity
+        #: controllers read it for per-tenant backlog visibility.
+        self.tenant_load: Dict[str, int] = {}
 
     # -- fleet -----------------------------------------------------------
 

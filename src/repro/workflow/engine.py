@@ -34,7 +34,12 @@ from repro.metadata.entry import RegistryEntry
 from repro.metadata.stats import OpStats
 from repro.metadata.strategies.base import MetadataStrategy
 from repro.obs import NULL_TRACER
-from repro.scheduling import ClusterView, PlacementPolicy, make_scheduler
+from repro.scheduling import (
+    ClusterView,
+    PlacementPolicy,
+    TenantContext,
+    make_scheduler,
+)
 from repro.storage.filestore import StoredFile
 from repro.storage.transfer import TransferService
 from repro.workflow.dag import Task, Workflow, WorkflowFile
@@ -168,6 +173,12 @@ class WorkflowEngine:
         self._vm_load: Dict[str, int] = {
             vm.name: 0 for vm in deployment.workers
         }
+        # Elastic fleets: newly provisioned VMs need a load counter the
+        # moment they become placeable.  Entries of removed (draining)
+        # VMs are kept -- their in-flight decrements still land there,
+        # and the elastic controller reads them to detect drain
+        # completion.
+        deployment.add_fleet_listener(self._on_fleet_change)
         self.cluster = ClusterView(deployment, self.transfer, self._vm_load)
         self.policy = self._resolve_policy(scheduler, config)
         # Observability: placement decisions under "scheduler" (with
@@ -178,6 +189,11 @@ class WorkflowEngine:
         self._tracer = tr
         self._trace_sched = tr.enabled and tr.wants("scheduler")
         self._trace_span = tr.enabled and tr.wants("span")
+
+    def _on_fleet_change(self, added, removed) -> None:
+        """Keep per-VM load counters in sync with an elastic fleet."""
+        for vm in added:
+            self._vm_load.setdefault(vm.name, 0)
 
     def _resolve_policy(
         self,
@@ -236,6 +252,7 @@ class WorkflowEngine:
         workflow: Workflow,
         input_site: Optional[str] = None,
         run: Optional[str] = None,
+        tenant: Optional[TenantContext] = None,
     ) -> Generator:
         """Process form of :meth:`run`, for composition with other load.
 
@@ -246,7 +263,10 @@ class WorkflowEngine:
         can neither lose nor double-attribute operations.  ``input_site``
         optionally stages *this* workflow's external inputs at a
         different site than the engine default (per-tenant data
-        origins); ``run`` overrides the auto-generated tag.
+        origins); ``run`` overrides the auto-generated tag; ``tenant``
+        identifies the submitting tenant to placement policies (exposed
+        as ``cluster.placing_tenant`` during this workflow's placement
+        decisions, with in-flight counts in ``cluster.tenant_load``).
         """
         self._run_seq += 1
         if run is None:
@@ -279,7 +299,7 @@ class WorkflowEngine:
             self.env.process(
                 self._task_lifecycle(
                     workflow, task, parent_events, completion[task.task_id],
-                    results, provisioner, run,
+                    results, provisioner, run, tenant,
                 ),
                 name=f"task-{task.task_id}",
             )
@@ -336,17 +356,29 @@ class WorkflowEngine:
         results: List[TaskResult],
         provisioner=None,
         run: str = "",
+        tenant: Optional[TenantContext] = None,
     ) -> Generator:
         if parent_events:
             yield AllOf(self.env, parent_events)
         parent_sites = [ev.value for ev in parent_events]
-        vm = self._place(workflow, task, parent_sites)
+        # Expose the submitting tenant to the policy for the duration
+        # of this one placement decision (satellite plumbing: policies
+        # may read it, none act on it yet).
+        self.cluster.placing_tenant = tenant
+        try:
+            vm = self._place(workflow, task, parent_sites)
+        finally:
+            self.cluster.placing_tenant = None
         if self._trace_sched:
             self._emit_placement(task, vm, parent_sites)
         self.policy.on_task_placed(task, vm, self.cluster)
         if provisioner is not None:
             provisioner.on_task_placed(task, vm.site)
         self._vm_load[vm.name] += 1
+        if tenant is not None:
+            self.cluster.tenant_load[tenant.name] = (
+                self.cluster.tenant_load.get(tenant.name, 0) + 1
+            )
         span = (
             self._tracer.span(
                 "task", task=task.task_id, vm=vm.name, site=vm.site, run=run
@@ -360,6 +392,8 @@ class WorkflowEngine:
             )
         finally:
             self._vm_load[vm.name] -= 1
+            if tenant is not None:
+                self.cluster.tenant_load[tenant.name] -= 1
             self.policy.on_task_complete(task, vm, self.cluster)
             if span is not None:
                 span.finish()

@@ -28,7 +28,7 @@ from repro.sim import AllOf
 from repro.cloud.deployment import Deployment
 from repro.metadata.strategies.base import MetadataStrategy
 from repro.obs import NULL_TRACER
-from repro.scheduling import PlacementPolicy
+from repro.scheduling import PlacementPolicy, TenantContext
 from repro.storage.transfer import TransferService
 from repro.workflow.engine import WorkflowEngine
 from repro.workload.admission import (
@@ -62,6 +62,11 @@ class WorkloadRunner:
     transfer:
         Optional shared :class:`~repro.storage.transfer.TransferService`
         (the engine builds one otherwise).
+    elastic_signals:
+        Optional :class:`~repro.elastic.controller.ElasticSignals` the
+        runner feeds as instances move through submit -> admit ->
+        complete (the elastic control plane's workload sensors).  Pure
+        bookkeeping; ``None`` costs nothing.
     """
 
     def __init__(
@@ -71,6 +76,7 @@ class WorkloadRunner:
         scheduler: Optional[Union[str, PlacementPolicy]] = None,
         admission: Optional[Union[str, AdmissionController]] = None,
         transfer: Optional[TransferService] = None,
+        elastic_signals=None,
     ):
         self.deployment = deployment
         self.env = deployment.env
@@ -79,6 +85,7 @@ class WorkloadRunner:
             deployment, strategy, transfer=transfer, scheduler=scheduler
         )
         self.admission = self._resolve_admission(admission)
+        self.elastic_signals = elastic_signals
         # Observability: instance arrival/admission/completion under
         # "workload", with an admission-wait histogram.  ("reject" is
         # reserved in the taxonomy; no controller drops work today.)
@@ -222,12 +229,17 @@ class WorkloadRunner:
             workflow = workflow.namespaced(f"r{self._epoch}")
             run_tag = f"r{self._epoch}/{inst.namespace}"
         submitted = self.env.now
+        signals = self.elastic_signals
         if self._trace_wl:
             self._tracer.emit(
                 "workload", "submit", tenant=tenant.name, run=run_tag
             )
+        if signals is not None:
+            signals.on_submit(run_tag, tenant.name, submitted)
         token = yield from self.admission.admit(tenant.name)
         admitted = self.env.now
+        if signals is not None:
+            signals.on_admit()
         if self._trace_wl:
             wait = admitted - submitted
             self._tracer.emit(
@@ -243,10 +255,15 @@ class WorkloadRunner:
                 workflow,
                 input_site=inst.input_site,
                 run=run_tag,
+                tenant=TenantContext(
+                    name=tenant.name, quota=self.admission.bound
+                ),
             )
         finally:
             self._in_flight -= 1
             self.admission.release(token)
+            if signals is not None:
+                signals.on_complete(run_tag, self.env.now)
         if self._trace_wl:
             self._tracer.emit(
                 "workload", "complete",

@@ -1,0 +1,123 @@
+"""Deployment fleet lifecycle for the elastic control plane.
+
+``add_vms`` / ``drain_vms`` / ``retire_vm`` are the actuation surface
+of ``repro.elastic``: ordered capacity joins the placeable fleet (warm
+or degraded), drains leave placement immediately but never strand
+placed work, and the vm-seconds ledger bills each VM from provision to
+decommission.
+"""
+
+import pytest
+
+from repro.cloud.deployment import Deployment
+from repro.cloud.presets import azure_4dc_topology
+
+
+@pytest.fixture
+def dep():
+    return Deployment(
+        topology=azure_4dc_topology(jitter=False), n_nodes=4, seed=1
+    )
+
+
+class TestAddVms:
+    def test_added_vms_are_placeable_immediately(self, dep):
+        before = len(dep.workers)
+        added = dep.add_vms("east-us", 2)
+        assert len(dep.workers) == before + 2
+        assert all(vm in dep.workers_at("east-us") for vm in added)
+        # Worker naming continues the static sequence.
+        assert all(vm.name.startswith("worker-") for vm in added)
+
+    def test_warmup_stretches_compute_until_warm_at(self, dep):
+        env = dep.env
+        env.run(until=10.0)
+        vm = dep.add_vms("east-us", 1, warm_s=5.0, warmup_factor=2.0)[0]
+        assert vm.provisioned_at == 10.0
+        assert vm.warm_at == 15.0
+        # Cold: a 1 s compute takes 2 s.
+        env.run(until=env.process(vm.compute(1.0), name="cold"))
+        assert env.now == pytest.approx(12.0)
+        env.run(until=16.0)
+        # Warm: back to nominal speed.
+        env.run(until=env.process(vm.compute(1.0), name="warm"))
+        assert env.now == pytest.approx(17.0)
+
+    def test_static_fleet_is_born_warm(self, dep):
+        vm = dep.workers[0]
+        assert vm.warm_at == 0.0
+        assert vm.warmup_factor == 1.0
+        assert not vm.draining
+
+    def test_provider_core_limit_still_enforced(self, dep):
+        limit = dep.topology.get("east-us").core_limit
+        with pytest.raises(ValueError, match="Core limit"):
+            dep.add_vms("east-us", limit + 1)
+
+    def test_nonpositive_count_rejected(self, dep):
+        with pytest.raises(ValueError, match="positive"):
+            dep.add_vms("east-us", 0)
+
+
+class TestDrainVms:
+    def test_drain_removes_from_placement_newest_first(self, dep):
+        newest = dep.add_vms("east-us", 2)[-1]
+        drained = dep.drain_vms("east-us", 1)
+        assert drained == [newest]
+        assert newest.draining
+        assert newest not in dep.workers
+        assert newest not in dep.workers_at("east-us")
+        assert newest in dep.draining
+
+    def test_drain_refuses_to_overdraw_a_site(self, dep):
+        with pytest.raises(ValueError, match="only 1 there"):
+            dep.drain_vms("east-us", 2)
+
+    def test_drain_refuses_to_empty_the_fleet(self, dep):
+        # 4 sites x 1 VM: draining all four would leave nothing
+        # placeable anywhere.
+        for site in ("west-europe", "north-europe", "south-central-us"):
+            dep.drain_vms(site, 1)
+        with pytest.raises(ValueError, match="entire fleet"):
+            dep.drain_vms("east-us", 1)
+
+    def test_draining_vms_hold_their_cores(self, dep):
+        limit = dep.topology.get("east-us").core_limit
+        dep.add_vms("east-us", limit - 1)  # site now at its cap
+        dep.drain_vms("east-us", 1)
+        with pytest.raises(ValueError, match="Core limit"):
+            dep.add_vms("east-us", 1)
+
+    def test_retire_requires_a_draining_vm(self, dep):
+        with pytest.raises(ValueError, match="not draining"):
+            dep.retire_vm(dep.workers[0])
+
+
+class TestFleetListeners:
+    def test_listener_sees_adds_and_drains(self, dep):
+        events = []
+        dep.add_fleet_listener(
+            lambda added, removed: events.append(
+                (len(added), len(removed))
+            )
+        )
+        dep.add_vms("east-us", 2)
+        dep.drain_vms("east-us", 1)
+        assert events == [(2, 0), (0, 1)]
+
+
+class TestVmSecondsLedger:
+    def test_bills_provision_to_retire_and_survivors_to_now(self, dep):
+        env = dep.env
+        env.run(until=10.0)
+        extra = dep.add_vms("east-us", 1)[0]
+        env.run(until=30.0)
+        dep.drain_vms("east-us", 1)
+        dep.retire_vm(extra)  # lived 10 -> 30: 20 vm-seconds
+        env.run(until=50.0)
+        bill = dep.vm_seconds_by_site()
+        # Static east-us VM bills the whole window, the retired one
+        # only its provision-to-decommission lifetime.
+        assert bill["east-us"] == pytest.approx(50.0 + 20.0)
+        assert bill["west-europe"] == pytest.approx(50.0)
+        assert dep.vm_seconds() == pytest.approx(sum(bill.values()))

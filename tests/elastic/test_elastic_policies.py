@@ -1,0 +1,210 @@
+"""Unit tests for the elasticity decision kernels (repro.elastic.policies)."""
+
+import pytest
+
+from repro.elastic import (
+    ELASTICITY_NAMES,
+    FleetView,
+    PredictivePolicy,
+    SLODebtPolicy,
+    ScaleAction,
+    SignalSnapshot,
+    ThresholdPolicy,
+    make_elasticity_policy,
+)
+from repro.scenario import ElasticitySpec
+
+
+def _fleet(vms, pending=None, draining=None, min_vms=1, max_vms=8):
+    return FleetView(
+        vms=vms,
+        pending=pending or {},
+        draining=draining or {},
+        min_vms=min_vms,
+        max_vms=max_vms,
+    )
+
+
+def _snap(now=10.0, site_load=None, **kw):
+    return SignalSnapshot(now=now, site_load=site_load or {}, **kw)
+
+
+def _threshold_spec(**kw):
+    return ElasticitySpec(enabled=True, policy="threshold", **kw)
+
+
+class TestScaleAction:
+    def test_zero_delta_rejected(self):
+        with pytest.raises(ValueError, match="non-zero"):
+            ScaleAction("east-us", 0)
+
+
+class TestRegistry:
+    def test_unknown_policy_lists_choices(self):
+        with pytest.raises(ValueError, match="threshold"):
+            make_elasticity_policy("nope", _threshold_spec())
+
+    @pytest.mark.parametrize("name", ELASTICITY_NAMES)
+    def test_every_registered_policy_instantiates(self, name):
+        policy = make_elasticity_policy(name, ElasticitySpec(enabled=True, policy=name))
+        assert policy.name == name
+
+
+class TestClampedDelta:
+    def test_scale_up_clamped_against_effective_fleet(self):
+        # 2 placeable + 1 already ordered: only one slot left under max 4.
+        policy = ThresholdPolicy(_threshold_spec(max_vms_per_site=4))
+        fleet = _fleet({"a": 2}, pending={"a": 1}, max_vms=4)
+        assert policy._clamped_delta(fleet, "a", 5) == 1
+
+    def test_drain_clamped_against_placeable_only(self):
+        # One placeable VM plus one still in its lag window: effective
+        # is 2, but draining the placeable one would leave the site
+        # with zero live workers -- the clamp must refuse.
+        policy = ThresholdPolicy(_threshold_spec())
+        fleet = _fleet({"a": 1}, pending={"a": 1}, min_vms=1)
+        assert policy._clamped_delta(fleet, "a", -1) == 0
+
+    def test_drain_never_goes_below_min(self):
+        policy = ThresholdPolicy(_threshold_spec())
+        fleet = _fleet({"a": 3}, min_vms=2)
+        assert policy._clamped_delta(fleet, "a", -5) == -1
+
+
+class TestThresholdPolicy:
+    def test_scales_up_above_band(self):
+        policy = ThresholdPolicy(_threshold_spec(scale_step=2))
+        actions = policy.decide(
+            _snap(site_load={"a": 5}), _fleet({"a": 1, "b": 1})
+        )
+        assert actions == [ScaleAction("a", 2)]
+
+    def test_holds_inside_hysteresis_band(self):
+        policy = ThresholdPolicy(_threshold_spec())
+        # ratio 1.0 sits between down (0.25) and up (2.0).
+        actions = policy.decide(
+            _snap(site_load={"a": 1, "b": 1}), _fleet({"a": 1, "b": 1})
+        )
+        assert actions == []
+
+    def test_scales_down_when_quiet(self):
+        policy = ThresholdPolicy(_threshold_spec())
+        actions = policy.decide(
+            _snap(site_load={}), _fleet({"a": 3, "b": 1})
+        )
+        # Only a has room above the floor; one VM shed per decision.
+        assert actions == [ScaleAction("a", -1)]
+
+    def test_admission_backlog_counts_as_demand(self):
+        policy = ThresholdPolicy(_threshold_spec())
+        fleet = _fleet({"a": 2, "b": 2})
+        quiet = policy.decide(_snap(site_load={}), fleet)
+        backlogged = policy.decide(
+            _snap(site_load={}, admission_backlog=12), fleet
+        )
+        assert quiet == [ScaleAction("a", -1), ScaleAction("b", -1)]
+        assert ScaleAction("a", 1) in backlogged
+        assert ScaleAction("b", 1) in backlogged
+
+    def test_pending_capacity_not_reordered_during_lag(self):
+        policy = ThresholdPolicy(_threshold_spec())
+        # 4 tasks over effective 4 (1 placeable + 3 in flight): ratio
+        # 1.0, inside the band -- the lag window must not re-trigger.
+        actions = policy.decide(
+            _snap(site_load={"a": 4}), _fleet({"a": 1}, pending={"a": 3})
+        )
+        assert actions == []
+
+
+class TestSLODebtPolicy:
+    def _spec(self, **kw):
+        return ElasticitySpec(
+            enabled=True, policy="slo_debt", lag_s=10.0, **kw
+        )
+
+    def test_projected_debt_triggers_scale_up_at_pressured_site(self):
+        policy = SLODebtPolicy(self._spec(debt_budget_s=5.0))
+        fleet = _fleet({"a": 1, "b": 1})
+        # First sample establishes the baseline; debt then grows at
+        # 2 s/s, so the 10 s lag projection (4 + 20) blows the budget.
+        policy.decide(_snap(now=0.0, slo_debt_s=0.0, site_load={"b": 3}), fleet)
+        actions = policy.decide(
+            _snap(now=2.0, slo_debt_s=4.0, site_load={"b": 3}), fleet
+        )
+        assert actions == [ScaleAction("b", 1)]
+
+    def test_no_scale_down_while_debt_grows(self):
+        policy = SLODebtPolicy(self._spec(debt_budget_s=1000.0))
+        fleet = _fleet({"a": 2})
+        policy.decide(_snap(now=0.0, slo_debt_s=0.0), fleet)
+        actions = policy.decide(_snap(now=1.0, slo_debt_s=0.5), fleet)
+        assert actions == []
+
+    def test_scales_down_once_debt_flat_and_fleet_quiet(self):
+        policy = SLODebtPolicy(self._spec())
+        fleet = _fleet({"a": 2})
+        policy.decide(_snap(now=0.0, slo_debt_s=1.0), fleet)
+        actions = policy.decide(_snap(now=1.0, slo_debt_s=1.0), fleet)
+        assert actions == [ScaleAction("a", -1)]
+
+    def test_holds_capacity_while_backlog_waits_upstream(self):
+        policy = SLODebtPolicy(self._spec())
+        fleet = _fleet({"a": 2})
+        policy.decide(_snap(now=0.0, slo_debt_s=1.0), fleet)
+        actions = policy.decide(
+            _snap(now=1.0, slo_debt_s=1.0, admission_backlog=3), fleet
+        )
+        assert actions == []
+
+
+class TestPredictivePolicy:
+    def _spec(self, **kw):
+        kw.setdefault("ewma_alpha", 0.5)
+        kw.setdefault("target_task_s", 10.0)
+        kw.setdefault("lag_s", 5.0)
+        return ElasticitySpec(enabled=True, policy="predictive", **kw)
+
+    def _ramp(self, policy, fleet):
+        out = []
+        submitted = 0
+        for i in range(1, 6):
+            submitted += i  # accelerating arrivals
+            out.append(
+                policy.decide(
+                    _snap(now=float(i), submitted_total=submitted,
+                          site_load={"a": 1, "b": 1}),
+                    fleet,
+                )
+            )
+        return out
+
+    def test_ramp_provisions_before_backlog_exists(self):
+        policy = PredictivePolicy(self._spec(max_vms_per_site=4))
+        rounds = self._ramp(policy, _fleet({"a": 1, "b": 1}, max_vms=4))
+        ups = [a for acts in rounds for a in acts if a.delta > 0]
+        assert ups, "accelerating arrivals must order capacity"
+
+    def test_equal_histories_yield_equal_actions(self):
+        fleet = _fleet({"a": 1, "b": 1}, max_vms=4)
+        first = self._ramp(PredictivePolicy(self._spec(max_vms_per_site=4)), fleet)
+        second = self._ramp(PredictivePolicy(self._spec(max_vms_per_site=4)), fleet)
+        assert first == second
+
+    def test_busy_site_is_not_mass_drained_on_forecast_dip(self):
+        policy = PredictivePolicy(self._spec())
+        # Zero forecast, but every VM at the site is busy: hold.
+        actions = policy.decide(
+            _snap(now=1.0, submitted_total=0, site_load={"a": 2}),
+            _fleet({"a": 2}),
+        )
+        assert actions == []
+
+    def test_idle_fleet_sheds_one_vm_per_tick(self):
+        policy = PredictivePolicy(self._spec())
+        policy.decide(
+            _snap(now=1.0, submitted_total=0, site_load={}), _fleet({"a": 3})
+        )
+        actions = policy.decide(
+            _snap(now=2.0, submitted_total=0, site_load={}), _fleet({"a": 3})
+        )
+        assert actions == [ScaleAction("a", -1)]

@@ -1,0 +1,71 @@
+"""The cost-vs-SLO Pareto acceptance test (fast profile).
+
+The ``autoscale_pareto`` scenario is the control plane's headline
+claim: against the same burst-plus-stragglers workload an autoscaled
+4->16 fleet must match a statically peak-provisioned 16-node fleet on
+deadline attainment while paying measurably fewer vm-seconds, and must
+beat the static 4-node fleet on attainment.  Static baselines are the
+same spec with elasticity switched off, so all three variants share
+the workload, seed and topology; static fleets bill ``n_nodes *
+makespan`` vm-seconds (every VM runs the whole window).
+"""
+
+import pytest
+
+from repro.scenario import ElasticitySpec, get_scenario
+
+DEADLINE_S = 35.0  # mirrors the scenario's per-tenant SLOSpec deadlines
+
+
+def _attainment(res):
+    records = res.result.records
+    assert records, "the pareto workload must complete instances"
+    met = sum(1 for r in records if r.response_time <= DEADLINE_S)
+    return met / len(records)
+
+
+@pytest.fixture(scope="module")
+def variants():
+    auto_spec = get_scenario("autoscale_pareto")
+    assert auto_spec.elasticity.enabled
+    peak_spec = auto_spec.replace(n_nodes=16, elasticity=ElasticitySpec())
+    low_spec = auto_spec.replace(elasticity=ElasticitySpec())
+    return {
+        "auto": auto_spec.run(quick=True),
+        "static_peak": peak_spec.run(quick=True),
+        "static_low": low_spec.run(quick=True),
+    }
+
+
+def test_autoscaler_matches_peak_attainment(variants):
+    assert _attainment(variants["auto"]) >= _attainment(
+        variants["static_peak"]
+    )
+
+
+def test_autoscaler_pays_fewer_vm_seconds_than_static_peak(variants):
+    auto = variants["auto"]
+    peak = variants["static_peak"]
+    assert auto.elastic is not None
+    static_vm_seconds = 16 * peak.makespan
+    # "Measurably lower": well past float noise, not a squeaker.
+    assert auto.elastic.vm_seconds < 0.9 * static_vm_seconds
+
+
+def test_autoscaler_beats_static_low_on_attainment(variants):
+    assert _attainment(variants["auto"]) > _attainment(
+        variants["static_low"]
+    )
+
+
+def test_static_baselines_carry_no_elastic_report(variants):
+    assert variants["static_peak"].elastic is None
+    assert variants["static_low"].elastic is None
+
+
+def test_autoscaler_priced_cost_reflects_site_class_rates(variants):
+    report = variants["auto"].elastic
+    # The europe class bills 1.5x, so priced cost must exceed raw
+    # vm-seconds (some capacity always lands in a europe site) but
+    # stay under the all-europe ceiling.
+    assert report.vm_seconds < report.cost < 1.5 * report.vm_seconds

@@ -183,3 +183,44 @@ class TestDiffStores:
         assert diff.only_a[0].endswith("-s5")
         assert diff.only_b == []
         assert "only in A" in diff.render()
+
+
+class TestElasticSerialization:
+    def test_elastic_block_and_metrics_ride_on_artifacts(self):
+        res = get_scenario("autoscale_ramp").run(quick=True)
+        doc = scenario_result_to_dict(res)
+        el = doc["elastic"]
+        assert el["policy"] == "predictive"
+        assert el["vm_seconds"] == pytest.approx(res.elastic.vm_seconds)
+        assert el["stranded_tasks"] == 0
+        assert [a["delta"] for a in el["actions"]] == [
+            d for _, _, d in res.elastic.actions
+        ]
+        json.dumps(doc)  # artifact stays JSON-clean
+        metrics = result_metrics(res)
+        assert metrics["vm_seconds"] == pytest.approx(
+            res.elastic.vm_seconds
+        )
+        assert metrics["capacity_cost"] == pytest.approx(res.elastic.cost)
+        assert metrics["fleet_peak"] == float(res.elastic.fleet_peak)
+        assert metrics["scale_ups"] == float(res.elastic.n_scale_ups)
+
+    def test_disabled_runs_serialize_without_elastic_key(self):
+        res = synthetic_result()
+        doc = scenario_result_to_dict(res)
+        assert "elastic" not in doc
+        assert "vm_seconds" not in result_metrics(res)
+
+    def test_elastic_artifacts_diff_on_capacity_metrics(self, tmp_path):
+        store = ResultStore(tmp_path)
+        a = get_scenario("autoscale_ramp").run(quick=True)
+        b = get_scenario("autoscale_ramp").replace(
+            **{"elasticity.max_vms_per_site": 1}
+        ).run(quick=True)
+        da = store.load(store.save(a))
+        db = store.load(store.save(b))
+        delta = diff_artifacts(da, db)
+        assert "elasticity.max_vms_per_site" in delta.spec_changes
+        assert "vm_seconds" in delta.metrics
+        lo, hi = delta.metrics["vm_seconds"]
+        assert lo != hi  # capping the fleet changes the capacity bill

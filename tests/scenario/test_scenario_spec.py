@@ -7,6 +7,7 @@ import pytest
 from repro.metadata.config import MetadataConfig
 from repro.scenario import (
     SCENARIOS,
+    ElasticitySpec,
     FaultSpec,
     NetworkSpec,
     ScenarioSpec,
@@ -108,6 +109,125 @@ class TestReplace:
     def test_descending_into_unset_field_rejected(self):
         with pytest.raises(ValueError, match="unset"):
             ScenarioSpec().replace(**{"workload.mode": "open"})
+
+
+class TestReplaceIndexPaths:
+    """Numeric path segments index into spec tuples."""
+
+    def test_fault_field_overridden_by_index(self):
+        spec = get_scenario("outage_resilience")
+        out = spec.replace(**{"faults.0.duration": 9.0})
+        assert out.faults[0].duration == 9.0
+        # The sibling fault and the original spec are untouched.
+        assert out.faults[1] == spec.faults[1]
+        assert spec.faults[0].duration == 4.0
+        assert isinstance(out.faults, tuple)
+        out.validate()
+
+    def test_tenant_field_overridden_by_index(self):
+        spec = get_scenario("open_loop_tokens")
+        out = spec.replace(**{"workload.tenants.1.arrival_rate": 2.0})
+        assert out.workload.tenants[1].arrival_rate == 2.0
+        assert out.workload.tenants[0] == spec.workload.tenants[0]
+        out.validate()
+
+    def test_bare_index_replaces_whole_element(self):
+        spec = get_scenario("outage_resilience")
+        flap = spec.faults[1]
+        out = spec.replace(**{"faults.1": flap})
+        assert out.faults[1] == flap
+
+    def test_non_numeric_segment_into_tuple_rejected(self):
+        spec = get_scenario("outage_resilience")
+        with pytest.raises(ValueError, match="numeric index"):
+            spec.replace(**{"faults.first.duration": 9.0})
+
+    def test_out_of_range_index_rejected(self):
+        spec = get_scenario("outage_resilience")
+        with pytest.raises(ValueError, match="out of range"):
+            spec.replace(**{"faults.2.duration": 9.0})
+
+    def test_index_paths_compose_as_sweep_axes(self):
+        from repro.scenario import run_sweep
+
+        res = run_sweep(
+            get_scenario("open_loop_tokens"),
+            {"workload.tenants.0.arrival_rate": [0.5, 1.0]},
+            quick=True,
+        )
+        assert all(c.ok for c in res.cells)
+        rates = [
+            c.result.spec.workload.tenants[0].arrival_rate
+            for c in res.cells
+        ]
+        assert rates == [0.5, 1.0]
+
+
+class TestElasticitySpec:
+    def test_disabled_default_validates(self):
+        ElasticitySpec().validate()
+
+    def test_tuned_but_disabled_rejected(self):
+        with pytest.raises(ValueError, match="enabled=True"):
+            ElasticitySpec(lag_s=5.0).validate()
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(ValueError, match="unknown elasticity policy"):
+            ElasticitySpec(enabled=True, policy="magic").validate()
+
+    @pytest.mark.parametrize(
+        "kw,msg",
+        [
+            ({"interval_s": 0.0}, "interval_s"),
+            ({"lag_s": -1.0}, "lag_s"),
+            ({"warmup_factor": 0.5}, "warmup_factor"),
+            ({"min_vms_per_site": 0}, "min_vms_per_site"),
+            ({"max_vms_per_site": 0}, "max_vms_per_site"),
+            ({"scale_step": 0}, "scale_step"),
+            ({"cooldown_s": -1.0}, "cooldown_s"),
+            (
+                {"up_threshold": 0.1, "down_threshold": 0.2},
+                "hysteresis",
+            ),
+        ],
+    )
+    def test_bounds_enforced(self, kw, msg):
+        with pytest.raises(ValueError, match=msg):
+            ElasticitySpec(enabled=True, **kw).validate()
+
+    @pytest.mark.parametrize(
+        "kw,policy",
+        [
+            ({"up_threshold": 3.0}, "predictive"),
+            ({"down_threshold": 0.1}, "predictive"),
+            ({"debt_budget_s": 2.0}, "threshold"),
+            ({"ewma_alpha": 0.5}, "threshold"),
+            ({"target_task_s": 5.0}, "slo_debt"),
+        ],
+    )
+    def test_policy_specific_knobs_rejected_elsewhere(self, kw, policy):
+        with pytest.raises(ValueError, match="policy='"):
+            ElasticitySpec(enabled=True, policy=policy, **kw).validate()
+
+    def test_cost_rates_validated(self):
+        with pytest.raises(ValueError, match="repeats"):
+            ElasticitySpec(
+                enabled=True, cost_rates=(("eu", 1.0), ("eu", 2.0))
+            ).validate()
+        with pytest.raises(ValueError, match="positive"):
+            ElasticitySpec(
+                enabled=True, cost_rates=(("eu", 0.0),)
+            ).validate()
+        with pytest.raises(ValueError, match="class names"):
+            ElasticitySpec(
+                enabled=True, cost_rates=(("", 1.0),)
+            ).validate()
+
+    def test_elastic_registry_scenarios_enabled_and_valid(self):
+        for name in ("autoscale_ramp", "autoscale_pareto"):
+            spec = get_scenario(name)
+            assert spec.elasticity.enabled
+            spec.validate()
 
 
 class TestValidation:
@@ -416,3 +536,25 @@ class TestSpecHash:
         h = get_scenario("paper_default").spec_hash()
         assert len(h) == 64
         int(h, 16)
+
+    def test_disabled_elasticity_is_dropped_from_canonical_form(self):
+        # The compatibility half of the elasticity-hash contract:
+        # every pre-elasticity artifact key must stay where it is.
+        spec = get_scenario("paper_default")
+        assert '"elasticity"' not in spec.canonical_json()
+        assert spec.spec_hash() == self.PAPER_DEFAULT_HASH
+
+    def test_enabled_elasticity_participates_in_the_hash(self):
+        base = get_scenario("multi_tenant_8")
+        elastic = base.replace(
+            elasticity=ElasticitySpec(enabled=True)
+        )
+        assert '"elasticity"' in elastic.canonical_json()
+        assert elastic.spec_hash() != base.spec_hash()
+        # ...and so does every knob on an enabled block: an autoscaled
+        # run with a different lag simulates a different system.
+        ramp = get_scenario("autoscale_ramp")
+        assert (
+            ramp.replace(**{"elasticity.lag_s": 7.0}).spec_hash()
+            != ramp.spec_hash()
+        )

@@ -893,3 +893,102 @@ class TestRunMetricsFlag:
         )
         assert main(["run", "--spec", str(spec_path), "--metrics"]) == 0
         assert "trace events" in capsys.readouterr().out
+
+
+class TestElasticityFlags:
+    def test_elasticity_lists_policies(self, capsys):
+        assert main(["elasticity"]) == 0
+        out = capsys.readouterr().out
+        for name in ("threshold", "slo_debt", "predictive"):
+            assert name in out
+
+    def test_scenarios_table_shows_capability_columns(self, capsys):
+        assert main(["scenarios"]) == 0
+        out = capsys.readouterr().out
+        assert "caps" in out
+        # The elastic scenarios advertise the control plane; the SLO
+        # scenario advertises its lens; plain ones show the dash.
+        assert "elastic" in out
+        assert "obs+elastic" in out
+        assert "slo+elastic" in out
+        assert "obs+slo" in out
+
+    def test_run_with_elastic_flags_reports_actions(self, capsys):
+        assert (
+            main(
+                [
+                    "run",
+                    "--workflow",
+                    "montage",
+                    "--ops",
+                    "10",
+                    "--nodes",
+                    "4",
+                    "--elastic",
+                    "threshold",
+                    "--elastic-lag",
+                    "5",
+                    "--elastic-max",
+                    "3",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "elastic policy threshold" in out
+        assert "vm-seconds" in out
+
+    def test_elastic_knobs_require_elastic_flag(self, capsys):
+        assert (
+            main(
+                [
+                    "run",
+                    "--workflow",
+                    "montage",
+                    "--ops",
+                    "4",
+                    "--elastic-lag",
+                    "5",
+                ]
+            )
+            == 2
+        )
+        assert "--elastic" in capsys.readouterr().err
+
+    def test_elastic_flags_clash_with_spec_file(self, capsys, tmp_path):
+        from repro.scenario import get_scenario
+
+        spec_path = tmp_path / "spec.json"
+        spec_path.write_text(get_scenario("paper_default").to_json())
+        assert (
+            main(
+                [
+                    "run",
+                    "--spec",
+                    str(spec_path),
+                    "--elastic",
+                    "threshold",
+                ]
+            )
+            == 2
+        )
+        assert "--spec" in capsys.readouterr().err
+
+    def test_analyze_elastic_scenario_prints_capacity_timeline(
+        self, capsys
+    ):
+        assert main(["analyze", "autoscale_ramp", "--quick"]) == 0
+        out = capsys.readouterr().out
+        assert "capacity timeline" in out
+        assert "elastic policy predictive" in out
+
+    def test_elastic_artifact_analyzes_from_disk(self, capsys, tmp_path):
+        from repro.results import ResultStore
+        from repro.scenario import get_scenario
+
+        store = ResultStore(tmp_path / "runs")
+        path = store.save(get_scenario("autoscale_ramp").run(quick=True))
+        assert main(["analyze", "--artifact", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "elastic policy predictive" in out
+        assert "vm-seconds" in out
